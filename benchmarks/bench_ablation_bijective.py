@@ -1,0 +1,89 @@
+"""Ablation: the bijective (key-less) container vs std-style map.
+
+The paper's future work ("room for generating code for specialized data
+structures"), built and measured: for a Pext bijection the container can
+drop key storage and compare one word per probe.  This bench runs the
+same workload through UnorderedMap and BijectiveMap and reports the
+speedup and the memory proxy (bytes of key data retained).
+"""
+
+import time
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.containers import UnorderedMap
+from repro.containers.bijective import BijectiveMap
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+def workload(table, keys):
+    started = time.perf_counter()
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    for key in keys:
+        table.find(key)
+    for key in keys[::2]:
+        table.erase(key)
+    return time.perf_counter() - started
+
+
+def test_bijective_container_ablation(benchmark):
+    pext = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+    keys = generate_keys("SSN", 10_000, Distribution.UNIFORM, seed=1)
+
+    def race():
+        times = {}
+        best_std = best_bij = float("inf")
+        for _ in range(3):
+            best_std = min(best_std, workload(UnorderedMap(pext.function),
+                                              keys))
+            best_bij = min(best_bij, workload(BijectiveMap(pext), keys))
+        times["UnorderedMap (stores keys)"] = best_std
+        times["BijectiveMap (hash only)"] = best_bij
+        return times
+
+    times = benchmark.pedantic(race, rounds=1, iterations=1)
+    std_time = times["UnorderedMap (stores keys)"]
+    bij_time = times["BijectiveMap (hash only)"]
+
+    # Measure memory on freshly filled containers (insert-only).
+    from repro.bench.memory import container_footprint
+
+    reference = UnorderedMap(pext.function)
+    specialized = BijectiveMap(pext)
+    for key in keys:
+        reference.insert(key, None)
+        specialized.insert(key, None)
+    reference_memory = container_footprint(reference)
+    specialized_memory = container_footprint(specialized)
+
+    rows = [
+        {
+            "container": "UnorderedMap (stores keys)",
+            "time (ms)": std_time * 1000,
+            "total bytes": reference_memory["total_bytes"],
+            "key bytes retained": reference_memory["key_payload_bytes"],
+        },
+        {
+            "container": "BijectiveMap (hash only)",
+            "time (ms)": bij_time * 1000,
+            "total bytes": specialized_memory["total_bytes"],
+            "key bytes retained": specialized_memory["key_payload_bytes"],
+        },
+    ]
+    emit_report(
+        "ablation_bijective",
+        render_table(rows, title="Key-less container on a Pext bijection"),
+    )
+    # Dropping key comparisons must not cost meaningful time (it usually
+    # saves some; allow scheduler noise), it retains zero key bytes, and
+    # the total footprint shrinks.
+    assert bij_time <= std_time * 1.3
+    assert specialized_memory["key_payload_bytes"] == 0
+    assert (
+        specialized_memory["total_bytes"]
+        < reference_memory["total_bytes"]
+    )

@@ -1,0 +1,64 @@
+"""Ablation: the optional murmur finalizer on synthetic functions.
+
+Extension beyond the paper: SEPE's functions trade uniformity for speed
+(Table 2, RQ7).  A two-round murmur finalizer buys the uniformity back
+at a fixed per-call cost and preserves bijectivity.  This bench
+quantifies both sides: chi-square uniformity (incremental keys — the
+worst case) and H-Time, for plain vs mixed OffXor, with STL as the
+anchor.
+"""
+
+from conftest import emit_report
+from repro.bench.metrics import chi_square_uniformity
+from repro.bench.report import render_table
+from repro.bench.runner import measure_h_time
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+def test_final_mix_ablation(benchmark):
+    keys = generate_keys("SSN", 20_000, Distribution.INCREMENTAL)
+    plain = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.OFFXOR)
+    mixed = synthesize(
+        r"\d{3}-\d{2}-\d{4}", HashFamily.OFFXOR, final_mix=True
+    )
+    functions = {
+        "OffXor (paper default)": plain.function,
+        "OffXor + final mix": mixed.function,
+        "STL": stl_hash_bytes,
+    }
+
+    def measure():
+        return {
+            name: {
+                "h_time": measure_h_time(function, keys[:5000], repeats=3),
+                "chi2": chi_square_uniformity(function, keys, bins=512),
+            }
+            for name, function in functions.items()
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    stl_chi = results["STL"]["chi2"]
+    rows = [
+        {
+            "Function": name,
+            "H-Time (ms)": values["h_time"] * 1000,
+            "chi2 / STL": values["chi2"] / stl_chi,
+        }
+        for name, values in results.items()
+    ]
+    emit_report(
+        "ablation_final_mix",
+        render_table(rows, title="Final-mix: uniformity vs speed"),
+    )
+    plain_result = results["OffXor (paper default)"]
+    mixed_result = results["OffXor + final mix"]
+    # Mixing restores uniformity by orders of magnitude ...
+    assert mixed_result["chi2"] < plain_result["chi2"] / 10
+    # ... costs some speed over plain ...
+    assert mixed_result["h_time"] > plain_result["h_time"]
+    # ... but remains cheaper than the general-purpose STL loop.
+    assert mixed_result["h_time"] < results["STL"]["h_time"]

@@ -1,0 +1,91 @@
+"""Ablation: lattice granularity — single bits vs bit pairs vs nibbles.
+
+The paper chooses bit *pairs* (Definition 3.2, Example 3.5): pairs are
+the finest power-of-two granularity that still sees the constant
+prefixes of ASCII digits (4 constant bits) and letters (2 constant
+bits).  This bench quantifies that choice: for each character class,
+how many constant bits does each granularity certify?
+
+Expected shape: nibbles miss the letter prefix entirely (0 of 2 bits);
+pairs match single-bit granularity on digits/letters; single-bit wins
+only on classes engineered to share isolated bits (e.g. lowercase hex,
+where only bit 7 is shared) — and costs 2x the lattice positions.
+"""
+
+from typing import FrozenSet
+
+from conftest import emit_report
+from repro.bench.report import render_table
+
+DIGITS = frozenset(range(ord("0"), ord("9") + 1))
+UPPER = frozenset(range(ord("A"), ord("Z") + 1))
+LOWER = frozenset(range(ord("a"), ord("z") + 1))
+LETTERS = UPPER | LOWER
+HEX_LOWER = DIGITS | frozenset(range(ord("a"), ord("f") + 1))
+ALNUM = DIGITS | LETTERS
+
+
+def constant_bits_at_granularity(
+    byte_class: FrozenSet[int], group_bits: int
+) -> int:
+    """Count bits certified constant when joining over groups of
+    ``group_bits`` bits (1 = single-bit lattice, 2 = the paper's quads,
+    4 = nibbles, 8 = whole bytes)."""
+    constant = 0
+    for start in range(0, 8, group_bits):
+        shift = 8 - start - group_bits
+        groups = {(byte >> shift) & ((1 << group_bits) - 1)
+                  for byte in byte_class}
+        if len(groups) == 1:
+            constant += group_bits
+    return constant
+
+
+def test_granularity_ablation(benchmark):
+    classes = {
+        "digits [0-9]": DIGITS,
+        "upper [A-Z]": UPPER,
+        "letters [A-Za-z]": LETTERS,
+        "hex [0-9a-f]": HEX_LOWER,
+        "alnum [0-9A-Za-z]": ALNUM,
+    }
+
+    def measure():
+        rows = []
+        for name, byte_class in classes.items():
+            rows.append(
+                {
+                    "class": name,
+                    "bit lattice": constant_bits_at_granularity(
+                        byte_class, 1
+                    ),
+                    "quad lattice (paper)": constant_bits_at_granularity(
+                        byte_class, 2
+                    ),
+                    "nibble lattice": constant_bits_at_granularity(
+                        byte_class, 4
+                    ),
+                    "byte lattice": constant_bits_at_granularity(
+                        byte_class, 8
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit_report(
+        "ablation_granularity",
+        render_table(
+            rows, title="Constant bits certified per lattice granularity"
+        ),
+    )
+    by_class = {row["class"]: row for row in rows}
+    # Example 3.5's claims, verbatim:
+    digits = by_class["digits [0-9]"]
+    assert digits["quad lattice (paper)"] == 4
+    letters = by_class["letters [A-Za-z]"]
+    assert letters["quad lattice (paper)"] == 2
+    assert letters["nibble lattice"] == 0  # coarser granularity misses it
+    # Single-bit only wins on adversarial classes like lowercase hex.
+    hex_row = by_class["hex [0-9a-f]"]
+    assert hex_row["bit lattice"] > hex_row["quad lattice (paper)"]

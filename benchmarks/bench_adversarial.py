@@ -1,0 +1,70 @@
+"""Adversarial workloads: the boundary the paper draws, executed.
+
+SEPE targets settings "where an adversary is not expected to force
+collisions".  This bench runs the xor-cancellation attack against the
+OffXor family inside a real container and contrasts three defenses: the
+STL baseline (immune), the Aes family (one AES round breaks the xor
+structure), and OffXor + final mix (the finalizer does not help — the
+collision happens *before* mixing, a worthwhile negative result).
+"""
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.containers import UnorderedSet
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.keygen.adversarial import collision_ratio, xor_attack_for
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def test_adversarial_workload(benchmark):
+    spec = KEY_TYPES["IPV6"]
+    offxor = synthesize(spec.regex, HashFamily.OFFXOR)
+    offxor_mixed = synthesize(spec.regex, HashFamily.OFFXOR, final_mix=True)
+    aes = synthesize(spec.regex, HashFamily.AES)
+    base = generate_keys("IPV6", 500, Distribution.UNIFORM, seed=1)
+    crafted = xor_attack_for(offxor, base, count=2000, seed=2)
+
+    functions = {
+        "OffXor (attacked)": offxor.function,
+        "OffXor + final mix": offxor_mixed.function,
+        "Aes": aes.function,
+        "STL": stl_hash_bytes,
+    }
+
+    def measure():
+        results = {}
+        for name, function in functions.items():
+            table = UnorderedSet(function)
+            for key in crafted:
+                table.insert(key)
+            results[name] = {
+                "t_coll_ratio": collision_ratio(function, crafted),
+                "bucket_collisions": table.bucket_collisions(),
+            }
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {
+            "Function": name,
+            "collision ratio": values["t_coll_ratio"],
+            "bucket collisions": values["bucket_collisions"],
+        }
+        for name, values in results.items()
+    ]
+    emit_report(
+        "adversarial",
+        render_table(
+            rows, title="xor-cancellation attack on IPv6 keys (2000 keys)"
+        ),
+    )
+    # The attack lands on OffXor, mixing does NOT save it (collision is
+    # pre-finalizer), the AES round and STL are immune.
+    assert results["OffXor (attacked)"]["t_coll_ratio"] > 0.3
+    assert results["OffXor + final mix"]["t_coll_ratio"] > 0.3
+    assert results["Aes"]["t_coll_ratio"] == 0.0
+    assert results["STL"]["t_coll_ratio"] == 0.0

@@ -1,0 +1,49 @@
+"""RQ4's code-size dimension: generated artifact sizes.
+
+Paper context: Section 4.4 compares running time *and code size* across
+x86 and aarch64; RQ6 attributes Pext's steeper synthesis time to
+printing fully unrolled instructions.  Expected shape: Naive ≈ OffXor ≤
+Pext per format; code size grows linearly with key size; aarch64 Aes
+code is bulkier than x86's (NEON lacks a single-instruction aesenc).
+"""
+
+from conftest import emit_report
+from repro.bench.code_size import measure_code_size, size_scaling
+from repro.bench.metrics import pearson_correlation
+from repro.bench.report import render_table
+from repro.core.plan import HashFamily
+
+
+def test_code_size(benchmark):
+    rows = benchmark.pedantic(
+        measure_code_size,
+        kwargs=dict(key_types=("SSN", "MAC", "IPV6", "INTS")),
+        rounds=1,
+        iterations=1,
+    )
+    scaling = size_scaling(exponents=tuple(range(4, 12)))
+    text = render_table(rows, title="Generated code size per family/format")
+    text += "\n" + render_table(
+        scaling, title="Pext generated size vs key size (RQ6's unrolling)"
+    )
+    emit_report("code_size", text)
+
+    by_key = {(row["format"], row["family"]): row for row in rows}
+    # Pext emits at least as much code as OffXor for every format.
+    for name in ("SSN", "MAC", "IPV6", "INTS"):
+        assert (
+            by_key[(name, "pext")]["x86 stmts"]
+            >= by_key[(name, "offxor")]["x86 stmts"]
+        )
+    # aarch64 drops Pext entirely.
+    assert all(
+        row["aarch64 bytes"] == 0
+        for row in rows
+        if row["family"] == "pext"
+    )
+    # Generated size scales linearly with key size.
+    r = pearson_correlation(
+        [float(row["key bytes"]) for row in scaling],
+        [float(row["cpp bytes"]) for row in scaling],
+    )
+    assert r > 0.99

@@ -1,0 +1,52 @@
+"""Dispatcher overhead: routed vs direct specialized hashing.
+
+The multi-format dispatcher adds one dict probe per call on the unique-
+length fast path.  This bench quantifies that overhead and the verified
+(template-checking) mode's cost, against calling the specialized
+function directly and against hashing everything with STL.
+"""
+
+from conftest import emit_report
+from repro.bench.report import render_speedups
+from repro.bench.runner import measure_h_time
+from repro.core.dispatch import build_dispatcher
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def test_dispatch_overhead(benchmark):
+    formats = ("SSN", "IPV4", "MAC", "IPV6")
+    regexes = [KEY_TYPES[name].regex for name in formats]
+    fast = build_dispatcher(regexes, verify=False)
+    checked = build_dispatcher(regexes, verify=True)
+    direct = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+    keys = generate_keys("SSN", 5000, Distribution.UNIFORM, seed=1)
+
+    def race():
+        return {
+            "direct Pext": measure_h_time(direct.function, keys, repeats=3),
+            "dispatched (fast path)": measure_h_time(fast, keys, repeats=3),
+            "dispatched (verified)": measure_h_time(
+                checked, keys, repeats=3
+            ),
+            "STL": measure_h_time(stl_hash_bytes, keys, repeats=3),
+        }
+
+    times = benchmark.pedantic(race, rounds=1, iterations=1)
+    emit_report(
+        "dispatch",
+        render_speedups(
+            {name: [seconds] for name, seconds in times.items()},
+            reference="STL",
+            title="Dispatcher overhead on SSN keys (4 formats registered)",
+        ),
+    )
+    # Routing costs something over the raw function but stays well under
+    # the general-purpose baseline; verification costs more again.
+    assert times["direct Pext"] <= times["dispatched (fast path)"]
+    assert times["dispatched (fast path)"] < times["STL"]
+    assert times["dispatched (fast path)"] <= times["dispatched (verified)"]

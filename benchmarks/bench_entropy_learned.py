@@ -1,0 +1,65 @@
+"""Related-work comparison: Entropy-Learned Hashing vs SEPE's OffXor.
+
+Hentschel et al. (the paper's closest related work) constrain a
+general-purpose hash to high-entropy byte positions learned from data.
+Both approaches skip the SSN separators; they differ in mechanism:
+entropy learning gathers selected bytes then runs the full base hash,
+SEPE generates straight-line loads.  This bench measures that gap and
+the data-adaptivity advantage entropy learning keeps.
+"""
+
+from conftest import emit_report
+from repro.bench.metrics import total_collisions
+from repro.bench.report import render_table
+from repro.bench.runner import measure_h_time
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.hashes.entropy import EntropyLearnedHash
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+def test_entropy_learned_comparison(benchmark):
+    train = generate_keys("SSN", 1000, Distribution.UNIFORM, seed=1)
+    keys = generate_keys("SSN", 5000, Distribution.UNIFORM, seed=2)
+    entropy_full = EntropyLearnedHash.train(train)
+    entropy_top4 = EntropyLearnedHash.train(train, num_positions=4)
+    offxor = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.OFFXOR)
+    functions = {
+        "STL (hash all bytes)": stl_hash_bytes,
+        "Entropy-Learned (9 positions)": entropy_full,
+        "Entropy-Learned (top 4)": entropy_top4,
+        "SEPE OffXor (generated)": offxor.function,
+    }
+
+    def measure():
+        return {
+            name: {
+                "h_time": measure_h_time(function, keys, repeats=3),
+                "collisions": total_collisions(function, keys),
+            }
+            for name, function in functions.items()
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {
+            "Function": name,
+            "H-Time (ms)": values["h_time"] * 1000,
+            "T-Coll": values["collisions"],
+        }
+        for name, values in results.items()
+    ]
+    emit_report(
+        "entropy_learned",
+        render_table(rows, title="Entropy-Learned Hashing vs SEPE (SSN)"),
+    )
+    # Skipping separators helps both; generated loads beat gather+hash.
+    assert (
+        results["SEPE OffXor (generated)"]["h_time"]
+        < results["Entropy-Learned (9 positions)"]["h_time"]
+    )
+    # Aggressive truncation trades collisions for speed (their knob).
+    assert results["Entropy-Learned (top 4)"]["collisions"] > 0
+    assert results["Entropy-Learned (9 positions)"]["collisions"] == 0

@@ -1,0 +1,37 @@
+"""Figure 13: box plot of B-Time per hash function (x86 suite).
+
+Rendered as min/median/mean/max summary rows plus speedups over STL.
+Paper shape: the four synthetic families outperform all baselines;
+Gperf is the outlier (excluded from the paper's plot, flagged here).
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure13
+from repro.bench.report import render_boxplot, render_speedups
+
+
+def test_figure13(benchmark, reduced_key_types):
+    series = benchmark.pedantic(
+        figure13,
+        kwargs=dict(
+            key_types=reduced_key_types, samples=1, affectations=2000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_boxplot(
+        series, title="Figure 13: B-Time per function", unit="ms", scale=1000
+    )
+    text += "\n" + render_speedups(
+        series, reference="STL", title="Mean B-Time speedups vs STL"
+    )
+    emit_report("figure13", text)
+
+    def mean(name):
+        return sum(series[name]) / len(series[name])
+
+    # Synthetic xor families beat STL end to end.
+    assert mean("Naive") < mean("STL")
+    assert mean("OffXor") < mean("STL")
+    # Gperf is the outlier, far slower than every other function.
+    assert mean("Gperf") > mean("STL") * 1.5

@@ -1,0 +1,38 @@
+"""Figure 15: B-Time on the aarch64 suite.
+
+Substitution: the host CPU cannot change, but the paper's aarch64 run
+differs algorithmically by dropping the Pext family (no bit-extract on
+the Jetson).  Paper shape: Naive/OffXor remain fastest, Aes sometimes
+equivalent and sometimes slower.
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure15
+from repro.bench.report import render_boxplot
+
+
+def test_figure15(benchmark):
+    series = benchmark.pedantic(
+        figure15,
+        kwargs=dict(
+            key_types=("SSN", "MAC", "URL1"), samples=1, affectations=2000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "figure15",
+        render_boxplot(
+            series,
+            title="Figure 15: B-Time per function (aarch64 suite)",
+            unit="ms",
+            scale=1000,
+        ),
+    )
+    assert "Pext" not in series  # no bext on the aarch64 target
+
+    def mean(name):
+        return sum(series[name]) / len(series[name])
+
+    assert mean("Naive") < mean("STL")
+    assert mean("OffXor") < mean("STL")

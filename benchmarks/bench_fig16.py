@@ -1,0 +1,41 @@
+"""Figure 16: synthesis time vs key size (RQ6).
+
+Keys are all-digit formats of 2^4 .. 2^12 bytes (paper: up to 2^14) with
+no constant subsequences.  Paper shape: linear growth for every family
+(smallest Pearson r = 0.993), Pext the steepest because it prints fully
+unrolled extraction code.
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure16, synthesis_linearity
+from repro.bench.report import render_series, render_table
+
+
+def test_figure16(benchmark):
+    series = benchmark.pedantic(
+        figure16,
+        kwargs=dict(exponents=tuple(range(4, 13)), repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = synthesis_linearity(series)
+    text = render_series(
+        series,
+        title="Figure 16: synthesis time (s) vs key size (bytes)",
+        x_label="key bytes",
+        y_label="family",
+    )
+    text += "\n" + render_table(
+        [
+            {"family": name, "pearson r": value}
+            for name, value in sorted(correlations.items())
+        ],
+        title="Linearity (paper: smallest r = 0.993)",
+    )
+    emit_report("figure16", text)
+    # RQ6: synthesis is linear in the key size.
+    for family, r in correlations.items():
+        assert r > 0.95, (family, r)
+    # Largest key must still synthesize quickly (paper: 0.016 s at 2^14).
+    for points in series.values():
+        assert max(seconds for _, seconds in points) < 2.0

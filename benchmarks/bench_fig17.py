@@ -1,0 +1,44 @@
+"""Figure 17: bucket collisions under a low-mixing container (RQ7).
+
+The container indexes buckets by the hash's most significant bits;
+the X axis discards 0..48 low bits.  Paper shape: Naive and OffXor
+degrade sharply as X grows; Pext and Aes resist longer; the library
+baselines barely move.
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure17_18
+from repro.bench.report import render_series
+
+
+def test_figure17(benchmark):
+    bucket_series, _true_series = benchmark.pedantic(
+        figure17_18,
+        kwargs=dict(
+            key_types=("SSN", "IPV4"),
+            keys_per_type=5000,
+            discard_steps=(0, 8, 16, 24, 32, 40, 48),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "figure17",
+        render_series(
+            {
+                name: [(x, float(y)) for x, y in points]
+                for name, points in bucket_series.items()
+            },
+            title="Figure 17: bucket collisions vs discarded LSBs",
+            x_label="discarded bits",
+            y_label="function",
+        ),
+    )
+    naive = dict(bucket_series["Naive"])
+    stl = dict(bucket_series["STL"])
+    pext = dict(bucket_series["Pext"])
+    # Naive collapses at high discards; STL stays flat.
+    assert naive[48] > 3 * stl[48]
+    assert naive[48] > naive[0]
+    # Pext resists better than Naive (its bits sit at the top).
+    assert pext[48] < naive[48]

@@ -1,0 +1,50 @@
+"""Figure 18: true collisions under a low-mixing container, plus the
+four-digit worst case (RQ7).
+
+Paper shape: Naive/OffXor lose distinct keys as low bits are discarded;
+Pext-based hashing still shows ~7x more true collisions than STL at high
+discards; with four-digit keys and 32-bit MSB indexing, Pext loses all
+10,000 keys while using the LSBs makes Pext and STL behave identically.
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure17_18, figure18_four_digits
+from repro.bench.report import render_series, render_table
+
+
+def test_figure18(benchmark):
+    _bucket_series, true_series = benchmark.pedantic(
+        figure17_18,
+        kwargs=dict(
+            key_types=("SSN", "IPV4"),
+            keys_per_type=5000,
+            discard_steps=(0, 16, 32, 48),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    four_digit = figure18_four_digits(discard_bits=32)
+    text = render_series(
+        {
+            name: [(x, float(y)) for x, y in points]
+            for name, points in true_series.items()
+        },
+        title="Figure 18: true collisions vs discarded LSBs",
+        x_label="discarded bits",
+        y_label="function",
+    )
+    text += "\n" + render_table(
+        [dict({"Function": name}, **stats) for name, stats in
+         four_digit.items()],
+        title="Four-digit keys, 32 bits discarded (Section 4.7)",
+    )
+    emit_report("figure18", text)
+
+    naive = dict(true_series["Naive"])
+    stl = dict(true_series["STL"])
+    assert naive[48] > stl[48]
+    # Section 4.7's worst case: Pext loses every four-digit key under MSB
+    # indexing but matches STL under LSB indexing.
+    assert four_digit["Pext"]["msb_true_collisions"] == 9999
+    assert four_digit["Pext"]["lsb_true_collisions"] == 0
+    assert four_digit["STL"]["msb_true_collisions"] < 9999

@@ -1,0 +1,44 @@
+"""Figure 19: hashing time vs key size (RQ8).
+
+All-digit keys of 2^4 .. 2^12 bytes.  Paper shape: every function —
+Pext and the library baselines — scales linearly in key length
+(smallest Pearson r = 0.9979 for Pext).
+"""
+
+from conftest import emit_report
+from repro.bench.figures import figure19
+from repro.bench.metrics import pearson_correlation
+from repro.bench.report import render_series, render_table
+
+
+def test_figure19(benchmark):
+    series = benchmark.pedantic(
+        figure19,
+        kwargs=dict(exponents=tuple(range(4, 13)), keys_per_size=100,
+                    repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = {
+        name: pearson_correlation(
+            [float(size) for size, _ in points],
+            [seconds for _, seconds in points],
+        )
+        for name, points in series.items()
+    }
+    text = render_series(
+        series,
+        title="Figure 19: hashing time (s, 100 keys) vs key size",
+        x_label="key bytes",
+        y_label="function",
+    )
+    text += "\n" + render_table(
+        [
+            {"Function": name, "pearson r": value}
+            for name, value in sorted(correlations.items())
+        ],
+        title="Linearity (paper: smallest r = 0.9979)",
+    )
+    emit_report("figure19", text)
+    for name, r in correlations.items():
+        assert r > 0.95, (name, r)

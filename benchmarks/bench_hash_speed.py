@@ -1,0 +1,47 @@
+"""The headline H-Time race: synthetic vs library hashing speed.
+
+The paper's abstract claims "speedups of almost 50x once only hashing
+speed is considered" (Table 1: OffXor 0.037 ms vs Abseil 1.816 ms).
+Hardware ratios do not transfer to CPython, but the *ordering* must:
+every synthetic xor family beats every library baseline, and the
+slowest baselines (byte-at-a-time FNV; here also the software-AES Aes
+family) trail far behind.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench.runner import measure_h_time
+from repro.bench.suite import make_hash_suite
+from repro.bench.report import render_speedups
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+@pytest.mark.parametrize("key_type", ["SSN", "URL1"])
+def test_hash_speed_race(benchmark, key_type):
+    keys = generate_keys(key_type, 5000, Distribution.NORMAL, seed=1)
+    suite = make_hash_suite(
+        key_type, include=["STL", "FNV", "City", "Abseil", "Naive",
+                           "OffXor", "Pext"]
+    )
+
+    def race():
+        return {
+            name: measure_h_time(function, keys, repeats=3)
+            for name, function in suite.items()
+        }
+
+    times = benchmark.pedantic(race, rounds=1, iterations=1)
+    emit_report(
+        f"hash_speed_{key_type}",
+        render_speedups(
+            {name: [seconds] for name, seconds in times.items()},
+            reference="STL",
+            title=f"H-Time speedups vs STL ({key_type}, 5000 keys)",
+        ),
+    )
+    assert times["Naive"] < times["STL"]
+    assert times["OffXor"] < times["STL"]
+    assert times["OffXor"] < times["Abseil"]
+    assert times["OffXor"] < times["FNV"]

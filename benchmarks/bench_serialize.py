@@ -1,0 +1,53 @@
+"""Serialization payoff: fresh synthesis vs cached-plan compilation.
+
+Plan serialization exists so synthesis runs once per format rather than
+once per process.  This bench measures both paths for a large format
+(INTS, where unrolled Pext synthesis is at its most expensive) and
+verifies the restored function is identical.
+"""
+
+import time
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.codegen.serialize import compile_serialized, dumps
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def test_serialization_payoff(benchmark):
+    regex = KEY_TYPES["INTS"].regex
+
+    def measure():
+        started = time.perf_counter()
+        synthesized = synthesize(regex, HashFamily.PEXT)
+        fresh_seconds = time.perf_counter() - started
+
+        payload = dumps(synthesized.plan)
+        started = time.perf_counter()
+        restored = compile_serialized(payload)
+        cached_seconds = time.perf_counter() - started
+
+        key = KEY_TYPES["INTS"].encode(12345)
+        assert restored(key) == synthesized(key)
+        return fresh_seconds, cached_seconds, len(payload)
+
+    fresh, cached, payload_bytes = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit_report(
+        "serialize",
+        render_table(
+            [
+                {"path": "synthesize (analysis + codegen)",
+                 "seconds": fresh},
+                {"path": "compile cached plan", "seconds": cached},
+                {"path": f"payload size: {payload_bytes} bytes",
+                 "seconds": float("nan")},
+            ],
+            title="Plan-cache payoff on the 100-digit INTS format",
+        ),
+    )
+    # Skipping pattern analysis must save time.
+    assert cached < fresh

@@ -1,0 +1,36 @@
+"""Table 1: B-Time, H-Time, B-Coll and T-Coll under a normal distribution.
+
+Paper scale: all 8 key types, 10 samples, 10,000 affectations, 10,000
+collision keys.  Reduced here to 4 key types x 2 samples x 2,000
+affectations; the paper-shape assertions (synthetics fastest, Gperf
+collapsing, Pext collision-free) are checked, not absolute numbers.
+"""
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.bench.tables import table1
+
+
+def test_table1(benchmark, reduced_key_types):
+    rows = benchmark.pedantic(
+        table1,
+        kwargs=dict(
+            key_types=reduced_key_types,
+            samples=2,
+            affectations=2000,
+            collision_keys=2000,
+            h_time_keys=2000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("table1", render_table(rows, title="Table 1 (reduced scale)"))
+    by_name = {row["Function"]: row for row in rows}
+    assert len(rows) == 10
+    # Paper shape: synthetic xor families fastest at hashing; Gperf is the
+    # collision outlier; Pext and the library baselines are collision-free.
+    assert by_name["OffXor"]["H-Time (ms)"] < by_name["STL"]["H-Time (ms)"]
+    assert by_name["Naive"]["H-Time (ms)"] < by_name["STL"]["H-Time (ms)"]
+    assert by_name["Gperf"]["T-Coll"] > 1000
+    assert by_name["Pext"]["T-Coll"] == 0
+    assert by_name["STL"]["T-Coll"] == 0

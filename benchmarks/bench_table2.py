@@ -1,0 +1,32 @@
+"""Table 2: hash uniformity (chi-square normalized to STL).
+
+Paper scale: 100,000 keys per format and distribution.  Reduced to
+20,000 keys over two formats; the shape — libraries ~1.0, synthetics
+orders of magnitude higher, Pext the best synthetic on incremental
+keys — is asserted.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.bench.tables import table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(
+        table2,
+        kwargs=dict(key_types=("SSN", "MAC"), keys_per_type=20_000, bins=512),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("table2", render_table(rows, title="Table 2 (reduced scale)"))
+    by_name = {row["Function"]: row for row in rows}
+    for column in ("Inc", "Normal", "Uniform"):
+        assert by_name["STL"][column] == pytest.approx(1.0)
+        assert by_name["City"][column] < 5.0
+        assert by_name["Abseil"][column] < 5.0
+        # Synthetic functions are considerably less uniform than STL.
+        assert by_name["Naive"][column] > 5.0
+    # Pext beats Naive/OffXor on incremental keys (compacted low bits).
+    assert by_name["Pext"]["Inc"] <= by_name["Naive"]["Inc"]

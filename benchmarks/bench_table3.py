@@ -1,0 +1,30 @@
+"""Table 3: B-Time and T-Coll per key distribution.
+
+Paper shape: uniform keys run fastest (bucket time), Pext is the only
+synthetic with zero collisions across all three distributions, Gperf
+collides massively everywhere.
+"""
+
+from conftest import emit_report
+from repro.bench.report import render_table
+from repro.bench.tables import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(
+        table3,
+        kwargs=dict(
+            key_types=("SSN", "MAC"),
+            samples=2,
+            affectations=2000,
+            collision_keys=2000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("table3", render_table(rows, title="Table 3 (reduced scale)"))
+    by_name = {row["Function"]: row for row in rows}
+    for column in ("TC Inc", "TC Normal", "TC Uniform"):
+        assert by_name["Pext"][column] == 0
+        assert by_name["STL"][column] == 0
+        assert by_name["Gperf"][column] > 500

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark modules.
+
+Every module regenerates one table or figure of the paper at reduced
+scale (the paper's full scale is 144 experiments x 10 samples x 10,000
+affectations per function; see EXPERIMENTS.md for the knobs).  Reports
+are printed (visible with ``pytest -s``) and written under
+``benchmarks/out/`` so ``bench_output.txt`` and the files both carry the
+reproduced rows.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n===== {name} =====", file=sys.stderr)
+    print(text, file=sys.stderr)
+
+
+@pytest.fixture(scope="session")
+def reduced_key_types():
+    """A representative format subset for time-bounded benches: one
+    numeric (SSN), one hex (MAC), one long-numeric (IPV6), one
+    prefix-heavy (URL1)."""
+    return ("SSN", "MAC", "IPV6", "URL1")

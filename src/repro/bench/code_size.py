@@ -1,0 +1,100 @@
+"""Generated-code size analysis (the code-size half of RQ4).
+
+Section 4.4 examines "running time and code size differences" across
+architectures, and RQ6 notes Pext synthesis time is dominated by
+printing fully unrolled machine instructions.  This module measures the
+artifacts themselves: for each family, format and target, the size of
+the generated C++ (bytes, lines, statements) and of the generated
+Python, so the unrolling cost is visible as data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def _statement_count(source: str) -> int:
+    """Count C++/Python statements: non-empty, non-brace, non-comment
+    lines — a compiler-agnostic proxy for emitted instruction count."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped in "{}":
+            continue
+        if stripped.startswith(("//", "#", '"""')):
+            continue
+        count += 1
+    return count
+
+
+def measure_code_size(
+    key_types: Sequence[str] = ("SSN", "MAC", "IPV6", "INTS"),
+    families: Optional[Sequence[HashFamily]] = None,
+) -> List[Dict[str, object]]:
+    """Generated-code sizes per (format, family, target).
+
+    Returns renderable rows with byte counts and statement counts for
+    x86 C++, aarch64 C++ (where the family exists there), and the
+    executable Python.
+    """
+    chosen = list(families) if families is not None else list(HashFamily)
+    rows: List[Dict[str, object]] = []
+    for name in key_types:
+        spec = KEY_TYPES[name.upper()]
+        for family in chosen:
+            synthesized = synthesize(spec.regex, family)
+            cpp_x86 = synthesized.cpp_source("x86")
+            try:
+                cpp_arm: Optional[str] = synthesized.cpp_source("aarch64")
+            except SynthesisError:
+                cpp_arm = None
+            rows.append(
+                {
+                    "format": name,
+                    "family": family.value,
+                    "loads": len(synthesized.plan.loads),
+                    "x86 bytes": len(cpp_x86),
+                    "x86 stmts": _statement_count(cpp_x86),
+                    "aarch64 bytes": (
+                        len(cpp_arm) if cpp_arm is not None else 0
+                    ),
+                    "python stmts": _statement_count(
+                        synthesized.python_source
+                    ),
+                }
+            )
+    return rows
+
+
+def size_scaling(
+    exponents: Sequence[int] = tuple(range(4, 13)),
+    family: HashFamily = HashFamily.PEXT,
+) -> List[Dict[str, object]]:
+    """Generated-code size vs key size for all-digit formats.
+
+    The data behind the RQ6 observation: Pext's synthesis time grows
+    fastest because its emitted code does — every extraction is printed
+    unrolled.
+    """
+    rows: List[Dict[str, object]] = []
+    for exponent in exponents:
+        size = 1 << exponent
+        synthesized = synthesize(f"[0-9]{{{size}}}", family)
+        cpp = synthesized.cpp_source("x86")
+        rows.append(
+            {
+                "key bytes": size,
+                "loads": len(synthesized.plan.loads),
+                "cpp bytes": len(cpp),
+                "cpp stmts": _statement_count(cpp),
+                "python stmts": _statement_count(
+                    synthesized.python_source
+                ),
+            }
+        )
+    return rows

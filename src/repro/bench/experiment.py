@@ -1,0 +1,140 @@
+"""The experiment grid of Section 4.
+
+The paper's driver is parameterized by container structure (4),
+distribution (3), spread (3) and execution mode (batched plus three
+interweaved probability mixes = 4), giving the paper's 144 experiments
+per hash function and key type.  Each experiment runs 10,000
+affectations, sampled ten times.
+
+:func:`experiment_grid` materializes that grid; ``reduced=True`` keeps a
+representative 12-cell slice so the pytest-benchmark scripts finish in
+minutes while the full grid remains one flag away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.containers import CONTAINER_TYPES
+from repro.containers.base import HashTableBase
+from repro.keygen.distributions import Distribution
+from repro.keygen.driver import (
+    ALLOWED_MIXES,
+    DriverConfig,
+    ExecutionMode,
+    ProbabilityMix,
+)
+from repro.keygen.keyspec import KEY_TYPES, KeySpec
+
+SPREADS = (500, 2000, 10_000)
+"""The paper's three spread values."""
+
+PAPER_AFFECTATIONS = 10_000
+"""Affectations per experiment in the paper."""
+
+PAPER_SAMPLES = 10
+"""Samples per experiment in the paper (none discarded)."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of the grid, for one key format."""
+
+    key_spec: KeySpec
+    container_name: str
+    distribution: Distribution
+    spread: int
+    mode: ExecutionMode
+    mix: ProbabilityMix
+
+    @property
+    def container_type(self) -> Type[HashTableBase]:
+        return CONTAINER_TYPES[self.container_name]
+
+    def driver_config(
+        self, affectations: int = PAPER_AFFECTATIONS, seed: int = 0
+    ) -> DriverConfig:
+        """Materialize the driver configuration for this cell."""
+        return DriverConfig(
+            key_spec=self.key_spec,
+            distribution=self.distribution,
+            container_type=self.container_type,
+            mode=self.mode,
+            mix=self.mix,
+            affectations=affectations,
+            spread=self.spread,
+            seed=seed,
+        )
+
+    def label(self) -> str:
+        """A short human-readable cell label for reports."""
+        mode = (
+            "batched"
+            if self.mode is ExecutionMode.BATCHED
+            else f"inter({self.mix.insert},{self.mix.search})"
+        )
+        return (
+            f"{self.key_spec.name}/{self.container_name}/"
+            f"{self.distribution.value}/s{self.spread}/{mode}"
+        )
+
+
+def _mode_variants() -> List[Tuple[ExecutionMode, ProbabilityMix]]:
+    variants: List[Tuple[ExecutionMode, ProbabilityMix]] = [
+        (ExecutionMode.BATCHED, ALLOWED_MIXES[0])
+    ]
+    variants.extend(
+        (ExecutionMode.INTERWEAVED, mix) for mix in ALLOWED_MIXES
+    )
+    return variants
+
+
+def experiment_grid(
+    key_types: Optional[Sequence[str]] = None,
+    reduced: bool = False,
+) -> List[ExperimentSpec]:
+    """The experiment grid, per key format.
+
+    Args:
+        key_types: format names to include (default: all eight).
+        reduced: keep a 12-cell representative slice per format —
+            ``unordered_map`` and ``unordered_multiset`` crossed with all
+            three distributions, spread 2,000, batched and one
+            interweaved mix — instead of the full 144.
+    """
+    names = list(key_types) if key_types is not None else list(KEY_TYPES)
+    cells: List[ExperimentSpec] = []
+    if reduced:
+        containers = ("unordered_map", "unordered_multiset")
+        modes = [
+            (ExecutionMode.BATCHED, ALLOWED_MIXES[0]),
+            (ExecutionMode.INTERWEAVED, ALLOWED_MIXES[0]),
+        ]
+        spreads: Tuple[int, ...] = (2000,)
+    else:
+        containers = tuple(CONTAINER_TYPES)
+        modes = _mode_variants()
+        spreads = SPREADS
+    for name in names:
+        spec = KEY_TYPES[name.upper()]
+        for container_name in containers:
+            for distribution in Distribution:
+                for spread in spreads:
+                    for mode, mix in modes:
+                        cells.append(
+                            ExperimentSpec(
+                                key_spec=spec,
+                                container_name=container_name,
+                                distribution=distribution,
+                                spread=spread,
+                                mode=mode,
+                                mix=mix,
+                            )
+                        )
+    return cells
+
+
+def grid_size_per_key_type(reduced: bool = False) -> int:
+    """Number of cells per key format (144 full, 12 reduced)."""
+    return len(experiment_grid(key_types=["SSN"], reduced=reduced))

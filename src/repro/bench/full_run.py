@@ -1,0 +1,225 @@
+"""One-shot orchestration of the complete paper evaluation.
+
+``run_all`` regenerates every table and figure at a chosen scale and
+writes the text reports to a directory, giving a single entry point for
+"reproduce the paper" (``sepe bench full``).  Scales:
+
+- ``smoke`` — one format, hundreds of affectations; seconds.  For CI.
+- ``reduced`` — the benchmark suite's defaults; minutes.
+- ``paper`` — all 8 formats, 10 samples, 10,000 affectations, 100,000
+  uniformity keys; hours on CPython.  The paper's own scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench import figures, tables
+from repro.bench.code_size import measure_code_size
+from repro.bench.report import (
+    render_boxplot,
+    render_series,
+    render_table,
+)
+from repro.keygen.keyspec import KEY_TYPES
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knob bundle for one evaluation scale."""
+
+    name: str
+    key_types: Sequence[str]
+    samples: int
+    affectations: int
+    collision_keys: int
+    uniformity_keys: int
+    size_exponents: Sequence[int]
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        key_types=("SSN",),
+        samples=1,
+        affectations=400,
+        collision_keys=400,
+        uniformity_keys=3000,
+        size_exponents=(4, 6, 8),
+    ),
+    "reduced": Scale(
+        name="reduced",
+        key_types=("SSN", "MAC", "IPV6", "URL1"),
+        samples=2,
+        affectations=2000,
+        collision_keys=2000,
+        uniformity_keys=20_000,
+        size_exponents=tuple(range(4, 13)),
+    ),
+    "paper": Scale(
+        name="paper",
+        key_types=tuple(KEY_TYPES),
+        samples=10,
+        affectations=10_000,
+        collision_keys=10_000,
+        uniformity_keys=100_000,
+        size_exponents=tuple(range(4, 15)),
+    ),
+}
+
+
+def run_all(
+    scale: str = "smoke",
+    out_dir: str = "benchmarks/out",
+    progress: Callable[[str], None] = lambda message: None,
+) -> Dict[str, str]:
+    """Regenerate every artifact at ``scale``; returns name → report text.
+
+    Reports are also written to ``out_dir`` as ``<name>.txt``.
+
+    Raises:
+        KeyError: for an unknown scale name.
+    """
+    if scale not in SCALES:
+        known = ", ".join(SCALES)
+        raise KeyError(f"unknown scale {scale!r}; known: {known}")
+    knobs = SCALES[scale]
+    reports: Dict[str, str] = {}
+
+    def emit(name: str, text: str) -> None:
+        reports[name] = text
+        os.makedirs(out_dir, exist_ok=True)
+        with open(
+            os.path.join(out_dir, f"{name}.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(text)
+        progress(name)
+
+    emit(
+        "table1",
+        render_table(
+            tables.table1(
+                key_types=knobs.key_types,
+                samples=knobs.samples,
+                affectations=knobs.affectations,
+                collision_keys=knobs.collision_keys,
+                h_time_keys=knobs.collision_keys,
+            ),
+            title=f"Table 1 ({knobs.name} scale)",
+        ),
+    )
+    emit(
+        "table2",
+        render_table(
+            tables.table2(
+                key_types=knobs.key_types,
+                keys_per_type=knobs.uniformity_keys,
+            ),
+            title=f"Table 2 ({knobs.name} scale)",
+        ),
+    )
+    emit(
+        "table3",
+        render_table(
+            tables.table3(
+                key_types=knobs.key_types,
+                samples=knobs.samples,
+                affectations=knobs.affectations,
+                collision_keys=knobs.collision_keys,
+            ),
+            title=f"Table 3 ({knobs.name} scale)",
+        ),
+    )
+    emit(
+        "figure13",
+        render_boxplot(
+            figures.figure13(
+                key_types=knobs.key_types,
+                samples=knobs.samples,
+                affectations=knobs.affectations,
+                reduced_grid=(scale != "paper"),
+            ),
+            title=f"Figure 13 ({knobs.name} scale)",
+            unit="ms",
+            scale=1000,
+        ),
+    )
+    emit(
+        "figure15",
+        render_boxplot(
+            figures.figure15(
+                key_types=knobs.key_types,
+                samples=knobs.samples,
+                affectations=knobs.affectations,
+                reduced_grid=(scale != "paper"),
+            ),
+            title=f"Figure 15 aarch64 ({knobs.name} scale)",
+            unit="ms",
+            scale=1000,
+        ),
+    )
+    emit(
+        "figure16",
+        render_series(
+            figures.figure16(exponents=knobs.size_exponents, repeats=2),
+            title=f"Figure 16 ({knobs.name} scale)",
+            x_label="key bytes",
+            y_label="family",
+        ),
+    )
+    bucket_series, true_series = figures.figure17_18(
+        key_types=knobs.key_types[:2],
+        keys_per_type=knobs.collision_keys,
+    )
+    emit(
+        "figure17",
+        render_series(
+            {k: [(x, float(y)) for x, y in v]
+             for k, v in bucket_series.items()},
+            title=f"Figure 17 ({knobs.name} scale)",
+            x_label="discarded bits",
+        ),
+    )
+    emit(
+        "figure18",
+        render_series(
+            {k: [(x, float(y)) for x, y in v]
+             for k, v in true_series.items()},
+            title=f"Figure 18 ({knobs.name} scale)",
+            x_label="discarded bits",
+        ),
+    )
+    emit(
+        "figure19",
+        render_series(
+            figures.figure19(
+                exponents=knobs.size_exponents,
+                keys_per_size=max(knobs.collision_keys // 20, 20),
+            ),
+            title=f"Figure 19 ({knobs.name} scale)",
+            x_label="key bytes",
+        ),
+    )
+    emit(
+        "figure20",
+        render_boxplot(
+            figures.figure20(
+                key_types=knobs.key_types[:2],
+                samples=knobs.samples,
+                affectations=knobs.affectations,
+            ),
+            title=f"Figure 20 ({knobs.name} scale)",
+            unit="ms",
+            scale=1000,
+        ),
+    )
+    emit(
+        "code_size",
+        render_table(
+            measure_code_size(key_types=knobs.key_types),
+            title=f"Generated code size ({knobs.name} scale)",
+        ),
+    )
+    return reports

@@ -1,0 +1,79 @@
+"""Memory accounting for hash containers.
+
+The bijective containers' pitch is not only fewer compares but fewer
+bytes: no key storage.  ``sys.getsizeof`` alone misses nested structure,
+so :func:`container_footprint` walks buckets, nodes, keys and values and
+sums their footprints (shared objects counted once by id).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Set
+
+
+def _deep_size(obj: Any, seen: Set[int]) -> int:
+    identity = id(obj)
+    if identity in seen:
+        return 0
+    seen.add(identity)
+    total = sys.getsizeof(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            total += _deep_size(item, seen)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            total += _deep_size(key, seen)
+            total += _deep_size(value, seen)
+    return total
+
+
+def container_footprint(table: Any) -> Dict[str, int]:
+    """Byte footprint of a chained hash container.
+
+    Works for any object exposing ``_buckets`` (the containers in
+    :mod:`repro.containers`); returns totals plus a key-bytes breakdown
+    so the key-less saving of ``BijectiveMap`` is directly visible.
+
+    Raises:
+        TypeError: for objects without a ``_buckets`` attribute.
+    """
+    buckets = getattr(table, "_buckets", None)
+    if buckets is None:
+        raise TypeError(
+            f"{type(table).__name__} does not expose chained buckets"
+        )
+    seen: Set[int] = set()
+    total = _deep_size(buckets, seen)
+    key_bytes = 0
+    node_count = 0
+    for bucket in buckets:
+        for node in bucket:
+            node_count += 1
+            for field in node:
+                if isinstance(field, (bytes, bytearray)):
+                    key_bytes += len(field)
+    return {
+        "total_bytes": total,
+        "key_payload_bytes": key_bytes,
+        "nodes": node_count,
+        "buckets": len(buckets),
+    }
+
+
+def footprint_comparison(reference: Any, specialized: Any) -> Dict[str, object]:
+    """Side-by-side footprints with the savings ratio."""
+    ref = container_footprint(reference)
+    spec = container_footprint(specialized)
+    return {
+        "reference_bytes": ref["total_bytes"],
+        "specialized_bytes": spec["total_bytes"],
+        "saved_bytes": ref["total_bytes"] - spec["total_bytes"],
+        "saved_fraction": (
+            (ref["total_bytes"] - spec["total_bytes"]) / ref["total_bytes"]
+            if ref["total_bytes"]
+            else 0.0
+        ),
+        "reference_key_bytes": ref["key_payload_bytes"],
+        "specialized_key_bytes": spec["key_payload_bytes"],
+    }

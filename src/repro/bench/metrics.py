@@ -1,0 +1,148 @@
+"""Statistics used throughout the evaluation.
+
+The paper reports geometric means over experiment groups, Mann-Whitney U
+tests for pairwise significance, chi-square goodness-of-fit against a
+uniform histogram for RQ3, and two collision counts (bucket collisions
+from the container, "true" 64-bit hash collisions from the function).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from scipy import stats
+
+HashCallable = Callable[[bytes], int]
+
+HASH_SPACE = 1 << 64
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero values are floored at a tiny epsilon.
+
+    Timing values are strictly positive in practice; the floor guards
+    collision counts of zero when a geomean over counts is requested.
+    """
+    floored = [max(value, 1e-12) for value in values]
+    if not floored:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(sum(math.log(value) for value in floored) / len(floored))
+
+
+def total_collisions(hash_function: HashCallable, keys: Sequence[bytes]) -> int:
+    """The paper's T-Coll: distinct keys mapping to the same 64-bit value.
+
+    Computed as (number of distinct keys) - (number of distinct hashes);
+    Table 1 sums this over the eight key types.
+    """
+    distinct_keys = set(keys)
+    hashes = {hash_function(key) for key in distinct_keys}
+    return len(distinct_keys) - len(hashes)
+
+
+def collisions_by_key_type(
+    hash_functions: Dict[str, HashCallable], keys: Sequence[bytes]
+) -> Dict[str, int]:
+    """T-Coll of several functions over one key sample."""
+    return {
+        name: total_collisions(function, keys)
+        for name, function in hash_functions.items()
+    }
+
+
+def chi_square_uniformity(
+    hash_function: HashCallable,
+    keys: Sequence[bytes],
+    bins: int = 1024,
+) -> float:
+    """Chi-square statistic of the hash distribution against uniform.
+
+    Follows RQ3's methodology: hash every key, histogram the 64-bit
+    values into equal-width bins, and compute the chi-square
+    goodness-of-fit statistic against the flat expectation.  The paper
+    reports these normalized by the STL result; see
+    :func:`normalized_chi_square`.
+    """
+    if not keys:
+        raise ValueError("uniformity test requires keys")
+    counts = [0] * bins
+    width = HASH_SPACE // bins
+    for key in keys:
+        counts[hash_function(key) // width] += 1
+    expected = len(keys) / bins
+    return sum((count - expected) ** 2 / expected for count in counts)
+
+
+def normalized_chi_square(
+    hash_functions: Dict[str, HashCallable],
+    keys: Sequence[bytes],
+    bins: int = 1024,
+    reference: str = "STL",
+) -> Dict[str, float]:
+    """Chi-square statistics normalized by the reference function's.
+
+    This is exactly the presentation of Table 2: values near 1.0 mean
+    "as uniform as STL"; large values mean skewed.
+    """
+    raw = {
+        name: chi_square_uniformity(function, keys, bins)
+        for name, function in hash_functions.items()
+    }
+    baseline = raw.get(reference)
+    if baseline is None:
+        raise KeyError(f"reference function {reference!r} not in suite")
+    baseline = max(baseline, 1e-12)
+    return {name: value / baseline for name, value in raw.items()}
+
+
+def chi_square_p_value(
+    hash_function: HashCallable, keys: Sequence[bytes], bins: int = 256
+) -> float:
+    """The chi-square goodness-of-fit p-value (scipy), for significance
+    statements like the paper's "statistically uniform (p > 0.05)"."""
+    counts = [0] * bins
+    width = HASH_SPACE // bins
+    for key in keys:
+        counts[hash_function(key) // width] += 1
+    return float(stats.chisquare(counts).pvalue)
+
+
+def mann_whitney_u(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sided Mann-Whitney U p-value between two timing samples.
+
+    The paper uses this test for every "significantly different /
+    statistically equivalent" claim (e.g. OffXor vs Naive p = 0.51).
+    """
+    if len(sample_a) < 2 or len(sample_b) < 2:
+        raise ValueError("Mann-Whitney needs at least two samples per side")
+    return float(
+        stats.mannwhitneyu(sample_a, sample_b, alternative="two-sided").pvalue
+    )
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson r, used by RQ6/RQ8 to assert linear asymptotic behaviour."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("Pearson needs two equal-length samples")
+    return float(stats.pearsonr(xs, ys).statistic)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Min / max / mean / median / geomean summary used by reports."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+    )
+    return {
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+        "median": median,
+        "geomean": geometric_mean(ordered),
+    }

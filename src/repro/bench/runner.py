@@ -1,0 +1,122 @@
+"""Measurement primitives: B-Time, H-Time, and experiment execution.
+
+Terminology follows Section 4.1:
+
+- **B-Time** — wall-clock time of the full affectation loop: hashing plus
+  container bookkeeping.  Measured by :func:`measure_b_time` via the
+  driver.
+- **H-Time** — time spent purely converting keys to 64-bit values.
+  Measured by :func:`measure_h_time`: a tight loop hashing a fixed key
+  sample (the paper's "10,000 activations of the hash function").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench.experiment import ExperimentSpec
+from repro.keygen.driver import AffectationResult, run_driver
+
+HashCallable = Callable[[bytes], int]
+
+
+def measure_h_time(
+    hash_function: HashCallable,
+    keys: Sequence[bytes],
+    repeats: int = 1,
+) -> float:
+    """Seconds to hash every key in ``keys``, ``repeats`` times.
+
+    The loop itself is deliberately minimal (a local-variable function
+    reference over a pre-built list), so differences between functions
+    reflect hashing work, not harness overhead.
+    """
+    if not keys:
+        raise ValueError("H-Time needs at least one key")
+    function = hash_function
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        for key in keys:
+            function(key)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best
+
+
+def measure_b_time(
+    hash_function: HashCallable,
+    spec: ExperimentSpec,
+    samples: int = 3,
+    affectations: int = 10_000,
+) -> List[AffectationResult]:
+    """Run one experiment cell ``samples`` times.
+
+    Matches the paper's sampling: every sample is kept (none discarded
+    for warm-up).  Seeds differ per sample so key pools differ, as fresh
+    driver runs would.
+    """
+    results = []
+    for sample in range(samples):
+        config = spec.driver_config(affectations=affectations, seed=sample)
+        results.append(run_driver(hash_function, config))
+    return results
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one (hash, cell) pair."""
+
+    spec: ExperimentSpec
+    hash_name: str
+    b_times: List[float]
+    bucket_collisions: List[int]
+    true_collisions: List[int]
+
+    @property
+    def mean_b_time(self) -> float:
+        return sum(self.b_times) / len(self.b_times)
+
+
+def run_experiment(
+    hash_functions: Dict[str, HashCallable],
+    spec: ExperimentSpec,
+    samples: int = 3,
+    affectations: int = 10_000,
+) -> List[ExperimentResult]:
+    """Run one cell for every function in a suite."""
+    results: List[ExperimentResult] = []
+    for name, function in hash_functions.items():
+        runs = measure_b_time(
+            function, spec, samples=samples, affectations=affectations
+        )
+        results.append(
+            ExperimentResult(
+                spec=spec,
+                hash_name=name,
+                b_times=[run.elapsed_seconds for run in runs],
+                bucket_collisions=[run.bucket_collisions for run in runs],
+                true_collisions=[run.true_collisions for run in runs],
+            )
+        )
+    return results
+
+
+def run_grid(
+    hash_functions: Dict[str, HashCallable],
+    cells: Sequence[ExperimentSpec],
+    samples: int = 3,
+    affectations: int = 10_000,
+) -> Dict[str, List[ExperimentResult]]:
+    """Run many cells; results grouped by hash name."""
+    grouped: Dict[str, List[ExperimentResult]] = {
+        name: [] for name in hash_functions
+    }
+    for cell in cells:
+        for result in run_experiment(
+            hash_functions, cell, samples=samples, affectations=affectations
+        ):
+            grouped[result.hash_name].append(result)
+    return grouped

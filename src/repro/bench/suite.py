@@ -1,0 +1,126 @@
+"""Per-key-type hash suites: the ten functions of Table 1.
+
+For a given key format, the suite contains:
+
+- the four **synthetic** families, synthesized from the format's regex
+  (``Naive``, ``OffXor``, ``Aes``, ``Pext``);
+- the four **library** baselines (``STL``, ``FNV``, ``City``,
+  ``Abseil``), format-independent;
+- the two **generated** baselines: ``Gpt`` (per-format handwritten to
+  the paper's prompt recipe) and ``Gperf`` (generated from 1,000 random
+  keys of the format, like the paper's setup).
+
+The optional ``arch="aarch64"`` drops Pext, matching Section 4.4: the
+paper's Jetson has no bit-extract instruction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import gperf
+from repro.hashes.gpt import GPT_HASHES
+from repro.hashes.registry import baseline_hashes
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import KeyGenerator
+from repro.keygen.keyspec import KeySpec, key_spec
+
+HashCallable = Callable[[bytes], int]
+
+SYNTHETIC_NAMES = ("Naive", "OffXor", "Aes", "Pext")
+"""Paper names of the synthetic families, in Figure 3 order."""
+
+GPERF_TRAINING_KEYS = 1000
+"""The paper feeds gperf 1,000 random keys (Section 4, baselines)."""
+
+_FAMILY_BY_NAME = {
+    "Naive": HashFamily.NAIVE,
+    "OffXor": HashFamily.OFFXOR,
+    "Aes": HashFamily.AES,
+    "Pext": HashFamily.PEXT,
+}
+
+
+@lru_cache(maxsize=64)
+def _cached_synthesis(regex: str, family_name: str) -> HashCallable:
+    """Synthesis is deterministic per (format, family); cache across the
+    many suite constructions a benchmark run performs."""
+    return synthesize(regex, _FAMILY_BY_NAME[family_name]).function
+
+
+def synthesize_suite(
+    spec: KeySpec, arch: str = "x86"
+) -> Dict[str, HashCallable]:
+    """Synthesize the four families for one key format.
+
+    On ``aarch64`` the Pext family is omitted (no ``bext`` on the
+    evaluation hardware, Section 4.4).
+    """
+    names: List[str] = list(SYNTHETIC_NAMES)
+    if arch == "aarch64":
+        names.remove("Pext")
+    return {name: _cached_synthesis(spec.regex, name) for name in names}
+
+
+def make_gperf_hash(
+    spec: KeySpec, seed: int = 0, training_keys: int = GPERF_TRAINING_KEYS
+) -> HashCallable:
+    """Generate the Gperf baseline for a format from random keys."""
+    generator = KeyGenerator(spec, Distribution.UNIFORM, seed=seed)
+    keywords = generator.distinct_pool(
+        min(training_keys, spec.space_size)
+    )
+    return gperf.generate(keywords)
+
+
+def make_hash_suite(
+    key_type: str,
+    arch: str = "x86",
+    include: Optional[List[str]] = None,
+    gperf_seed: int = 0,
+) -> Dict[str, HashCallable]:
+    """Build the full ten-function suite for one key format.
+
+    Args:
+        key_type: paper format name (``SSN``, ``MAC``, ...).
+        arch: ``"x86"`` (all ten) or ``"aarch64"`` (drops Pext).
+        include: optional subset of function names to build (saves the
+            gperf generation cost when it is not needed).
+        gperf_seed: seed for Gperf's random training keys.
+    """
+    spec = key_spec(key_type)
+    suite: Dict[str, HashCallable] = {}
+    wanted = set(include) if include is not None else None
+
+    def is_wanted(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    for name, named_hash in baseline_hashes().items():
+        if name != "Polymur" and is_wanted(name):
+            suite[name] = named_hash.function
+    if is_wanted("Gpt"):
+        suite["Gpt"] = GPT_HASHES[spec.name]
+    if is_wanted("Gperf"):
+        suite["Gperf"] = make_gperf_hash(spec, seed=gperf_seed)
+    for name, function in synthesize_suite(spec, arch=arch).items():
+        if is_wanted(name):
+            suite[name] = function
+    return suite
+
+
+TABLE1_ORDER = (
+    "Abseil",
+    "Aes",
+    "City",
+    "FNV",
+    "Gperf",
+    "Gpt",
+    "Naive",
+    "OffXor",
+    "Pext",
+    "STL",
+)
+"""Row order of the paper's Table 1 (alphabetical)."""

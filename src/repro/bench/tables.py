@@ -1,0 +1,190 @@
+"""Reproduction of the paper's Tables 1, 2 and 3.
+
+Each ``table*`` function returns structured rows (list of dicts keyed by
+column name) which :mod:`repro.bench.report` renders as text.  Defaults
+are reduced from paper scale (ten samples, 10,000 affectations, 100,000
+uniformity keys) so the benchmark suite terminates quickly; every knob
+is a parameter and EXPERIMENTS.md records which scale produced the
+recorded numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.experiment import ExperimentSpec
+from repro.bench.metrics import (
+    geometric_mean,
+    normalized_chi_square,
+    total_collisions,
+)
+from repro.bench.runner import measure_b_time, measure_h_time
+from repro.bench.suite import TABLE1_ORDER, make_hash_suite
+from repro.keygen.distributions import Distribution
+from repro.keygen.driver import ALLOWED_MIXES, ExecutionMode
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES, key_spec
+
+DEFAULT_KEY_TYPES = tuple(KEY_TYPES)
+
+
+def _cell(
+    key_type: str, distribution: Distribution, spread: int
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        key_spec=key_spec(key_type),
+        container_name="unordered_map",
+        distribution=distribution,
+        spread=spread,
+        mode=ExecutionMode.BATCHED,
+        mix=ALLOWED_MIXES[0],
+    )
+
+
+def table1(
+    key_types: Sequence[str] = DEFAULT_KEY_TYPES,
+    samples: int = 3,
+    affectations: int = 10_000,
+    collision_keys: int = 10_000,
+    h_time_keys: int = 10_000,
+    arch: str = "x86",
+) -> List[Dict[str, object]]:
+    """Table 1: B-Time, H-Time, B-Coll, T-Coll under a normal distribution.
+
+    Per the paper: B-Time and B-Coll are geometric means across
+    experiments (here: across key types, unordered_map, batched, spread =
+    ``collision_keys``); H-Time is the time of hashing ``h_time_keys``
+    activations; T-Coll sums the 64-bit collisions over all key types at
+    ``collision_keys`` keys each.
+    """
+    per_function: Dict[str, Dict[str, List[float]]] = {}
+    t_coll_total: Dict[str, int] = {}
+    for key_type in key_types:
+        suite = make_hash_suite(key_type, arch=arch)
+        keys = generate_keys(
+            key_type,
+            collision_keys,
+            Distribution.NORMAL,
+            seed=1,
+        )
+        cell = _cell(key_type, Distribution.NORMAL, min(collision_keys, 10_000))
+        for name, function in suite.items():
+            slot = per_function.setdefault(
+                name, {"b": [], "h": [], "bc": []}
+            )
+            runs = measure_b_time(
+                function, cell, samples=samples, affectations=affectations
+            )
+            slot["b"].extend(run.elapsed_seconds for run in runs)
+            slot["bc"].extend(
+                max(run.bucket_collisions, 1) for run in runs
+            )
+            slot["h"].append(
+                measure_h_time(function, keys[:h_time_keys], repeats=1)
+            )
+            t_coll_total[name] = t_coll_total.get(name, 0) + total_collisions(
+                function, keys
+            )
+    rows: List[Dict[str, object]] = []
+    for name in TABLE1_ORDER:
+        if name not in per_function:
+            continue
+        slot = per_function[name]
+        rows.append(
+            {
+                "Function": name,
+                "B-Time (ms)": geometric_mean(slot["b"]) * 1000,
+                "H-Time (ms)": geometric_mean(slot["h"]) * 1000,
+                "B-Coll": geometric_mean(slot["bc"]),
+                "T-Coll": t_coll_total[name],
+            }
+        )
+    return rows
+
+
+def table2(
+    key_types: Sequence[str] = DEFAULT_KEY_TYPES,
+    keys_per_type: int = 100_000,
+    bins: int = 1024,
+    arch: str = "x86",
+) -> List[Dict[str, object]]:
+    """Table 2: chi-square uniformity normalized to STL, per distribution.
+
+    RQ3's methodology: hash ``keys_per_type`` keys per format and
+    distribution, histogram, chi-square against uniform, normalize by the
+    STL result, then aggregate across formats with a geometric mean.
+    """
+    column_by_distribution = {
+        Distribution.INCREMENTAL: "Inc",
+        Distribution.NORMAL: "Normal",
+        Distribution.UNIFORM: "Uniform",
+    }
+    accumulator: Dict[str, Dict[str, List[float]]] = {}
+    for key_type in key_types:
+        suite = make_hash_suite(key_type, arch=arch)
+        for distribution, column in column_by_distribution.items():
+            keys = generate_keys(key_type, keys_per_type, distribution, seed=2)
+            normalized = normalized_chi_square(suite, keys, bins=bins)
+            for name, value in normalized.items():
+                accumulator.setdefault(name, {}).setdefault(
+                    column, []
+                ).append(value)
+    rows: List[Dict[str, object]] = []
+    for name in TABLE1_ORDER:
+        if name not in accumulator:
+            continue
+        columns = accumulator[name]
+        rows.append(
+            {
+                "Function": name,
+                "Inc": geometric_mean(columns["Inc"]),
+                "Normal": geometric_mean(columns["Normal"]),
+                "Uniform": geometric_mean(columns["Uniform"]),
+            }
+        )
+    return rows
+
+
+def table3(
+    key_types: Sequence[str] = DEFAULT_KEY_TYPES,
+    samples: int = 3,
+    affectations: int = 10_000,
+    collision_keys: int = 10_000,
+    arch: str = "x86",
+) -> List[Dict[str, object]]:
+    """Table 3: B-Time (BT) and T-Coll (TC) per key distribution."""
+    distributions = (
+        (Distribution.INCREMENTAL, "Inc"),
+        (Distribution.NORMAL, "Normal"),
+        (Distribution.UNIFORM, "Uniform"),
+    )
+    b_times: Dict[str, Dict[str, List[float]]] = {}
+    t_colls: Dict[str, Dict[str, int]] = {}
+    for key_type in key_types:
+        suite = make_hash_suite(key_type, arch=arch)
+        for distribution, column in distributions:
+            keys = generate_keys(key_type, collision_keys, distribution, seed=3)
+            cell = _cell(key_type, distribution, min(collision_keys, 10_000))
+            for name, function in suite.items():
+                runs = measure_b_time(
+                    function, cell, samples=samples, affectations=affectations
+                )
+                b_times.setdefault(name, {}).setdefault(column, []).extend(
+                    run.elapsed_seconds for run in runs
+                )
+                bucket = t_colls.setdefault(name, {})
+                bucket[column] = bucket.get(column, 0) + total_collisions(
+                    function, keys
+                )
+    rows: List[Dict[str, object]] = []
+    for name in TABLE1_ORDER:
+        if name not in b_times:
+            continue
+        row: Dict[str, object] = {"Function": name}
+        for _distribution, column in distributions:
+            row[f"BT {column} (ms)"] = (
+                geometric_mean(b_times[name][column]) * 1000
+            )
+            row[f"TC {column}"] = t_colls[name][column]
+        rows.append(row)
+    return rows

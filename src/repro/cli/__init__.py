@@ -1,0 +1,10 @@
+"""Command-line tools mirroring the paper's Figure 5.
+
+- ``sepe-keybuilder`` — read example keys from stdin or a file, print the
+  inferred format regex (Figure 5a's ``keybuilder``).
+- ``sepe-keysynth`` — take a format regex, print the synthesized hash
+  functions as C++ (Figure 5b/5c's ``keysynth``) or as the executable
+  Python this reproduction runs.
+- ``sepe`` — umbrella command with ``infer``, ``synth`` and ``demo``
+  subcommands.
+"""

@@ -1,0 +1,230 @@
+"""``sepe``: umbrella command line for the reproduction.
+
+Subcommands:
+
+- ``sepe infer`` — keybuilder (examples → regex).
+- ``sepe synth`` — keysynth (regex → code).
+- ``sepe demo`` — synthesize for a paper key format and race the result
+  against the STL baseline on a small workload.
+- ``sepe bench`` — run one of the paper's tables at reduced scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import keybuilder, keysynth
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    from repro.bench.metrics import total_collisions
+    from repro.bench.runner import measure_h_time
+    from repro.bench.suite import make_hash_suite
+    from repro.keygen.distributions import Distribution
+    from repro.keygen.generator import generate_keys
+    from repro.keygen.keyspec import key_spec
+
+    try:
+        spec = key_spec(args.key_type)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    keys = generate_keys(spec.name, args.keys, Distribution.UNIFORM)
+    suite = make_hash_suite(
+        spec.name, include=["STL", "Naive", "OffXor", "Aes", "Pext"]
+    )
+    print(f"format {spec.name}: {spec.regex}")
+    print(f"{args.keys} uniform keys, hashing time and 64-bit collisions:")
+    stl_time = None
+    for name in ("STL", "Naive", "OffXor", "Aes", "Pext"):
+        seconds = measure_h_time(suite[name], keys, repeats=3)
+        if name == "STL":
+            stl_time = seconds
+        collisions = total_collisions(suite[name], keys)
+        speedup = stl_time / seconds if stl_time else float("nan")
+        print(
+            f"  {name:8s} {seconds * 1000:9.3f} ms   "
+            f"{speedup:6.2f}x vs STL   {collisions} collisions"
+        )
+    return 0
+
+
+def _run_list_formats() -> int:
+    from repro.keygen.extended import EXTENDED_KEY_TYPES
+    from repro.keygen.keyspec import KEY_TYPES
+
+    print("paper formats (Section 4):")
+    for name, spec in KEY_TYPES.items():
+        print(f"  {name:8s} len {spec.length:3d}  {spec.regex}")
+    print("extended formats:")
+    for name, spec in EXTENDED_KEY_TYPES.items():
+        print(f"  {name:8s} len {spec.length:3d}  {spec.regex}")
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_format
+    from repro.core.plan import HashFamily
+    from repro.errors import SepeError
+
+    try:
+        family = HashFamily(args.family.lower())
+        print(
+            explain_format(
+                args.regex, family, final_mix=args.final_mix
+            )
+        )
+    except (SepeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    from repro.core.plan import HashFamily
+    from repro.core.synthesis import synthesize
+    from repro.core.validate import validate
+    from repro.errors import SepeError
+
+    try:
+        family = HashFamily(args.family.lower())
+        synthesized = synthesize(
+            args.regex, family, final_mix=args.final_mix
+        )
+    except (SepeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = validate(synthesized, sample_size=args.sample)
+    print(f"family:            {family.value}"
+          + (" + final mix" if args.final_mix else ""))
+    print(f"sample size:       {report.sample_size}")
+    print(f"deterministic:     {report.deterministic}")
+    print(f"64-bit range:      {report.in_range}")
+    print(f"bijection claimed: {report.bijection_claimed}")
+    print(f"collision rate:    {report.collision_rate:.6f}")
+    print(f"avalanche score:   {report.avalanche:.3f} (0.5 = ideal)")
+    if report.bijection_witness:
+        a, b = report.bijection_witness
+        print(f"collision witness: {a!r} vs {b!r}")
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench import tables
+    from repro.bench.report import render_table
+
+    if args.table == 1:
+        rows = tables.table1(key_types=args.key_types, samples=args.samples)
+    elif args.table == 2:
+        rows = tables.table2(
+            key_types=args.key_types, keys_per_type=args.keys
+        )
+    else:
+        rows = tables.table3(key_types=args.key_types, samples=args.samples)
+    print(render_table(rows, title=f"Table {args.table} (reduced scale)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sepe",
+        description="SEPE: synthesis of specialized hash functions.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    infer = subparsers.add_parser("infer", help="infer a regex from keys")
+    infer.add_argument("file", nargs="?")
+    infer.add_argument("--show-pattern", action="store_true")
+
+    synth = subparsers.add_parser("synth", help="synthesize from a regex")
+    synth.add_argument("regex")
+    synth.add_argument("--family", default="all")
+    synth.add_argument("--emit", default="cpp", choices=["cpp", "python"])
+    synth.add_argument("--target", default="x86", choices=["x86", "aarch64"])
+
+    demo = subparsers.add_parser("demo", help="race synthetic vs STL hashes")
+    demo.add_argument("key_type", nargs="?", default="SSN")
+    demo.add_argument("--keys", type=int, default=10_000)
+
+    subparsers.add_parser(
+        "list-formats", help="list the built-in key formats"
+    )
+
+    explain = subparsers.add_parser(
+        "explain", help="show how a format is analyzed and lowered"
+    )
+    explain.add_argument("regex")
+    explain.add_argument("--family", default="pext")
+    explain.add_argument("--final-mix", action="store_true")
+
+    check = subparsers.add_parser(
+        "validate", help="validate a synthesized hash against its format"
+    )
+    check.add_argument("regex")
+    check.add_argument("--family", default="pext")
+    check.add_argument("--final-mix", action="store_true")
+    check.add_argument("--sample", type=int, default=2000)
+
+    bench = subparsers.add_parser("bench", help="run a paper table")
+    bench.add_argument("table", type=int, choices=[1, 2, 3])
+    bench.add_argument("--key-types", nargs="*", default=["SSN", "MAC"])
+    bench.add_argument("--samples", type=int, default=2)
+    bench.add_argument("--keys", type=int, default=20_000)
+
+    full = subparsers.add_parser(
+        "bench-full", help="regenerate every table and figure"
+    )
+    full.add_argument(
+        "--scale", choices=["smoke", "reduced", "paper"], default="smoke"
+    )
+    full.add_argument("--out", default="benchmarks/out")
+
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "infer":
+        return keybuilder.run(
+            ([args.file] if args.file else [])
+            + (["--show-pattern"] if args.show_pattern else [])
+        )
+    if args.command == "synth":
+        argv_out = [args.regex, "--emit", args.emit, "--target", args.target]
+        if args.family:
+            argv_out += ["--family", args.family]
+        return keysynth.run(argv_out)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "list-formats":
+        return _run_list_formats()
+    if args.command == "explain":
+        return _run_explain(args)
+    if args.command == "validate":
+        return _run_validate(args)
+    if args.command == "bench":
+        return _run_bench(args)
+    if args.command == "bench-full":
+        from repro.bench.full_run import run_all
+
+        reports = run_all(
+            scale=args.scale,
+            out_dir=args.out,
+            progress=lambda name: print(f"[done] {name}"),
+        )
+        print(f"wrote {len(reports)} reports to {args.out}/")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main() -> None:  # pragma: no cover - console-script shim
+    raise SystemExit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

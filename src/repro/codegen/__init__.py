@@ -1,0 +1,27 @@
+"""Code generation backends for synthesized hash functions.
+
+A :class:`repro.core.plan.SynthesisPlan` is lowered to a small linear IR
+(:mod:`repro.codegen.ir`) and then emitted by one of two backends:
+
+- :mod:`repro.codegen.python_backend` — generates Python source and
+  compiles it with ``exec`` into a callable ``bytes -> int``.  This is the
+  executable artifact benchmarks and containers use.
+- :mod:`repro.codegen.cpp_backend` — generates the C++ a downstream C++
+  user would drop next to ``std::unordered_map`` (the paper's actual
+  output, Figure 5c/10/12), for both x86 (BMI2 ``pext`` + ``aesenc``) and
+  aarch64 (no bit-extract; the Pext family is unavailable there, matching
+  Section 4.4).
+"""
+
+from repro.codegen.cpp_backend import emit_cpp
+from repro.codegen.ir import IRFunction, Instr, build_ir
+from repro.codegen.python_backend import compile_plan, emit_python
+
+__all__ = [
+    "IRFunction",
+    "Instr",
+    "build_ir",
+    "compile_plan",
+    "emit_cpp",
+    "emit_python",
+]

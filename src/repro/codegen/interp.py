@@ -1,0 +1,84 @@
+"""A reference interpreter for the hash IR.
+
+The Python backend compiles IR to source; this module *executes* the IR
+directly.  It exists for differential testing: for any plan and key, the
+interpreter and the compiled function must agree bit for bit, which
+pins the backend's lowering (pext run-decomposition, shift masking,
+tail loops) against an independent, dead-simple evaluator.
+
+It is deliberately slow and obvious — one dict of registers, one
+if-chain per opcode — because its value is as an oracle, not an engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.codegen.ir import AES_ROUND_KEY, IRFunction
+from repro.isa.aes import aesenc
+from repro.isa.bits import MASK64, pext, rotl64
+
+
+def interpret(func: IRFunction, key: bytes) -> int:
+    """Evaluate an IR function on a key.
+
+    Raises:
+        ValueError: on an unknown opcode or a function without ``ret``.
+    """
+    registers: Dict[str, int] = {}
+
+    def get(name) -> int:
+        if isinstance(name, int):
+            return name
+        return registers[name]
+
+    for instr in func.instrs:
+        op, dest, args = instr.opcode, instr.dest, instr.args
+        if op == "const":
+            registers[dest] = args[0]
+        elif op == "load64":
+            offset, width = args
+            registers[dest] = int.from_bytes(
+                key[offset : offset + width], "little"
+            )
+        elif op == "pext":
+            registers[dest] = pext(get(args[0]), args[1])
+        elif op == "shl":
+            registers[dest] = (get(args[0]) << args[1]) & MASK64
+        elif op == "shr":
+            registers[dest] = get(args[0]) >> args[1]
+        elif op == "mul64":
+            registers[dest] = (get(args[0]) * args[1]) & MASK64
+        elif op == "rotl":
+            registers[dest] = rotl64(get(args[0]), args[1])
+        elif op == "xor":
+            registers[dest] = get(args[0]) ^ get(args[1])
+        elif op == "or":
+            registers[dest] = get(args[0]) | get(args[1])
+        elif op == "add":
+            registers[dest] = (get(args[0]) + get(args[1])) & MASK64
+        elif op == "aes_absorb":
+            state, lo, hi = (get(a) for a in args)
+            registers[dest] = aesenc(
+                state ^ (lo | (hi << 64)), AES_ROUND_KEY
+            )
+        elif op == "aes_fold":
+            value = get(args[0])
+            registers[dest] = (value ^ (value >> 64)) & MASK64
+        elif op == "tail_xor":
+            acc = get(args[0])
+            position = args[1]
+            length = len(key)
+            while position + 8 <= length:
+                acc ^= int.from_bytes(
+                    key[position : position + 8], "little"
+                )
+                position += 8
+            if position < length:
+                acc ^= int.from_bytes(key[position:length], "little")
+            registers[dest] = acc
+        elif op == "ret":
+            return get(args[0])
+        else:
+            raise ValueError(f"unknown IR opcode: {op}")
+    raise ValueError("IR function fell off the end without ret")

@@ -1,0 +1,46 @@
+"""Hash containers mimicking the C++ STL's unordered family.
+
+The paper's B-Time and B-Coll metrics depend on container policy, not
+just the hash function, so this package reimplements libstdc++'s
+behaviour:
+
+- separate chaining with node buckets;
+- ``bucket = hash % bucket_count`` indexing (the property RQ7 leans on:
+  modulo uses the *low* bits, so even poorly-mixed hashes spread);
+- prime bucket counts, growing to the next prime at least twice the
+  current count when the load factor would exceed 1.0.
+
+Four containers mirror the STL set (``unordered_map``, ``unordered_set``,
+``unordered_multimap``, ``unordered_multiset``) and
+:class:`repro.containers.low_mixing.LowMixingMap` implements RQ7's
+adversarial variant that indexes buckets by the *most significant* bits.
+"""
+
+from repro.containers.bijective import BijectiveMap, BijectiveSet
+from repro.containers.hashing_policy import PrimeRehashPolicy, next_prime
+from repro.containers.low_mixing import LowMixingMap
+from repro.containers.unordered_map import UnorderedMap
+from repro.containers.unordered_multimap import UnorderedMultimap
+from repro.containers.unordered_multiset import UnorderedMultiset
+from repro.containers.unordered_set import UnorderedSet
+
+CONTAINER_TYPES = {
+    "unordered_map": UnorderedMap,
+    "unordered_set": UnorderedSet,
+    "unordered_multimap": UnorderedMultimap,
+    "unordered_multiset": UnorderedMultiset,
+}
+"""The four STL container types of the paper's benchmark driver."""
+
+__all__ = [
+    "BijectiveMap",
+    "BijectiveSet",
+    "CONTAINER_TYPES",
+    "LowMixingMap",
+    "PrimeRehashPolicy",
+    "UnorderedMap",
+    "UnorderedMultimap",
+    "UnorderedMultiset",
+    "UnorderedSet",
+    "next_prime",
+]

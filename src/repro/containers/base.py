@@ -1,0 +1,175 @@
+"""Shared machinery for the unordered containers.
+
+All four STL-style containers share one chained hash table.  Nodes store
+the cached hash (like libstdc++'s ``_Hash_node`` with hash caching) so
+rehashing never re-invokes the user hash, and lookups compare the cached
+hash before the key — the behaviour B-Time measures.
+
+The table is intentionally *not* built on Python ``dict``: the point of
+this substrate is that bucket behaviour (and therefore B-Coll and
+B-Time) is governed by the same policy as the paper's C++: chaining,
+``hash % prime_bucket_count``, growth by prime doubling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.containers.hashing_policy import PrimeRehashPolicy
+
+HashCallable = Callable[[bytes], int]
+
+
+class HashTableBase:
+    """A chained hash table with STL bucket semantics.
+
+    Args:
+        hash_function: the hash under test, ``bytes -> int``.
+        policy: bucket growth policy (defaults to libstdc++'s).
+        allow_duplicates: multimap/multiset behaviour when True.
+    """
+
+    __slots__ = (
+        "_hash",
+        "_policy",
+        "_buckets",
+        "_size",
+        "_allow_duplicates",
+    )
+
+    def __init__(
+        self,
+        hash_function: HashCallable,
+        policy: Optional[PrimeRehashPolicy] = None,
+        allow_duplicates: bool = False,
+    ):
+        self._hash = hash_function
+        self._policy = policy or PrimeRehashPolicy()
+        self._buckets: List[List[Tuple[int, bytes, Any]]] = [
+            [] for _ in range(self._policy.initial_bucket_count())
+        ]
+        self._size = 0
+        self._allow_duplicates = allow_duplicates
+
+    # -- bucket mechanics ------------------------------------------------
+
+    def _bucket_index(self, hash_value: int) -> int:
+        """Map a hash value to a bucket: libstdc++ uses plain modulo."""
+        return hash_value % len(self._buckets)
+
+    def _maybe_rehash(self) -> None:
+        if self._policy.needs_rehash(len(self._buckets), self._size):
+            new_count = self._policy.next_bucket_count(
+                len(self._buckets), self._size
+            )
+            old_buckets = self._buckets
+            self._buckets = [[] for _ in range(new_count)]
+            for bucket in old_buckets:
+                for node in bucket:
+                    self._buckets[self._bucket_index(node[0])].append(node)
+
+    # -- core operations -------------------------------------------------
+
+    def _insert(self, key: bytes, value: Any) -> bool:
+        """Insert a node; returns False for a rejected duplicate."""
+        hash_value = self._hash(key)
+        bucket = self._buckets[self._bucket_index(hash_value)]
+        if not self._allow_duplicates:
+            for node in bucket:
+                if node[0] == hash_value and node[1] == key:
+                    return False
+        self._maybe_rehash()
+        # The bucket list may have been reallocated by the rehash.
+        self._buckets[self._bucket_index(hash_value)].append(
+            (hash_value, key, value)
+        )
+        self._size += 1
+        return True
+
+    def _find(self, key: bytes) -> Optional[Tuple[int, bytes, Any]]:
+        hash_value = self._hash(key)
+        for node in self._buckets[self._bucket_index(hash_value)]:
+            if node[0] == hash_value and node[1] == key:
+                return node
+        return None
+
+    def _erase(self, key: bytes) -> int:
+        """Erase all nodes equal to ``key`` (STL ``erase(key)`` semantics);
+        returns the number removed."""
+        hash_value = self._hash(key)
+        index = self._bucket_index(hash_value)
+        bucket = self._buckets[index]
+        kept = [
+            node
+            for node in bucket
+            if not (node[0] == hash_value and node[1] == key)
+        ]
+        removed = len(bucket) - len(kept)
+        if removed:
+            self._buckets[index] = kept
+            self._size -= removed
+        return removed
+
+    def _count(self, key: bytes) -> int:
+        hash_value = self._hash(key)
+        return sum(
+            1
+            for node in self._buckets[self._bucket_index(hash_value)]
+            if node[0] == hash_value and node[1] == key
+        )
+
+    def _iter_nodes(self) -> Iterator[Tuple[int, bytes, Any]]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def _clear(self) -> None:
+        """Drop every node and shrink back to the initial bucket count."""
+        self._buckets = [
+            [] for _ in range(self._policy.initial_bucket_count())
+        ]
+        self._size = 0
+
+    # -- observers ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._find(key) is not None
+
+    @property
+    def bucket_count(self) -> int:
+        """Current number of buckets."""
+        return len(self._buckets)
+
+    @property
+    def load_factor(self) -> float:
+        """Elements per bucket."""
+        return self._size / len(self._buckets)
+
+    def bucket_sizes(self) -> List[int]:
+        """Size of every bucket, for collision statistics."""
+        return [len(bucket) for bucket in self._buckets]
+
+    def bucket_collisions(self) -> int:
+        """The paper's B-Coll: extra chained nodes across all buckets.
+
+        A bucket holding ``k`` nodes contributes ``k - 1`` collisions —
+        the number of equality probes a worst-case lookup in that bucket
+        pays beyond the first.
+        """
+        return sum(
+            len(bucket) - 1 for bucket in self._buckets if len(bucket) > 1
+        )
+
+    def distinct_hash_values(self) -> int:
+        """Number of distinct cached hash values currently stored."""
+        return len({node[0] for bucket in self._buckets for node in bucket})
+
+    def true_collisions(self) -> int:
+        """The paper's T-Coll restricted to stored keys: distinct keys
+        sharing a 64-bit hash value."""
+        distinct_keys = len(
+            {node[1] for bucket in self._buckets for node in bucket}
+        )
+        return distinct_keys - self.distinct_hash_values()

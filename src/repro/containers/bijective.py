@@ -1,0 +1,176 @@
+"""Containers specialized for bijective hashes (the paper's future work).
+
+The conclusion of the paper: "our techniques specialize hashing, but not
+storage and retrieval.  Thus, we see room for generating code for
+specialized data structures."  This module builds that next step for the
+strongest case SEPE produces: a **Pext bijection** (formats with at most
+64 varying bits, Section 4.2).
+
+When distinct conforming keys are *guaranteed* distinct 64-bit values,
+the container never needs the key bytes:
+
+- nodes store only ``(hash, value)`` — no key storage, and lookups
+  compare one machine word instead of walking byte strings;
+- erase/find never touch key memory at all.
+
+This is the learned-index insight the paper quotes from Kraska et al.
+("the key itself can be used as an offset") applied to chained tables.
+
+Safety contract: correctness requires every key passed in to conform to
+the synthesized format.  By default the constructor refuses a
+non-bijective hash; ``KeyPattern.require_match`` is available for callers
+who want per-operation format checking (at a cost).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Union
+
+from repro.containers.hashing_policy import PrimeRehashPolicy
+from repro.core.synthesis import SynthesizedHash
+from repro.errors import SynthesisError
+
+HashCallable = Callable[[bytes], int]
+
+
+def _resolve(
+    hash_function: Union[SynthesizedHash, HashCallable],
+    trust_bijective: bool,
+) -> HashCallable:
+    if isinstance(hash_function, SynthesizedHash):
+        if not hash_function.is_bijective and not trust_bijective:
+            raise SynthesisError(
+                "BijectiveMap requires a bijective hash; this "
+                f"{hash_function.family.value} plan is not "
+                "(pass trust_bijective=True to override)"
+            )
+        return hash_function.function
+    if not trust_bijective:
+        raise SynthesisError(
+            "a bare callable carries no bijection evidence; pass a "
+            "SynthesizedHash or trust_bijective=True"
+        )
+    return hash_function
+
+
+class BijectiveMap:
+    """A key-less hash map for bijective SEPE hashes.
+
+    >>> from repro import synthesize, HashFamily
+    >>> ssn = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
+    >>> table = BijectiveMap(ssn)
+    >>> table.insert(b"123-45-6789", "Ada")
+    True
+    >>> table.find(b"123-45-6789")
+    'Ada'
+    """
+
+    __slots__ = ("_hash", "_policy", "_buckets", "_size")
+
+    def __init__(
+        self,
+        hash_function: Union[SynthesizedHash, HashCallable],
+        policy: Optional[PrimeRehashPolicy] = None,
+        trust_bijective: bool = False,
+    ):
+        self._hash = _resolve(hash_function, trust_bijective)
+        self._policy = policy or PrimeRehashPolicy()
+        self._buckets: List[List[tuple]] = [
+            [] for _ in range(self._policy.initial_bucket_count())
+        ]
+        self._size = 0
+
+    def _bucket_of(self, hash_value: int) -> List[tuple]:
+        return self._buckets[hash_value % len(self._buckets)]
+
+    def _maybe_rehash(self) -> None:
+        if self._policy.needs_rehash(len(self._buckets), self._size):
+            new_count = self._policy.next_bucket_count(
+                len(self._buckets), self._size
+            )
+            old = self._buckets
+            self._buckets = [[] for _ in range(new_count)]
+            for bucket in old:
+                for node in bucket:
+                    self._buckets[node[0] % new_count].append(node)
+
+    def insert(self, key: bytes, value: Any = None) -> bool:
+        """Insert; returns False when the key (by hash) is present."""
+        hash_value = self._hash(key)
+        bucket = self._bucket_of(hash_value)
+        for node in bucket:
+            if node[0] == hash_value:
+                return False
+        self._maybe_rehash()
+        self._buckets[hash_value % len(self._buckets)].append(
+            (hash_value, value)
+        )
+        self._size += 1
+        return True
+
+    def find(self, key: bytes) -> Optional[Any]:
+        """The mapped value, or None.  One word-compare per probe."""
+        hash_value = self._hash(key)
+        for node in self._bucket_of(hash_value):
+            if node[0] == hash_value:
+                return node[1]
+        return None
+
+    def erase(self, key: bytes) -> int:
+        hash_value = self._hash(key)
+        index = hash_value % len(self._buckets)
+        bucket = self._buckets[index]
+        kept = [node for node in bucket if node[0] != hash_value]
+        removed = len(bucket) - len(kept)
+        if removed:
+            self._buckets[index] = kept
+            self._size -= removed
+        return removed
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._has_hash(self._hash(key))
+
+    def _has_hash(self, hash_value: int) -> bool:
+        return any(node[0] == hash_value for node in self._bucket_of(
+            hash_value))
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def bucket_collisions(self) -> int:
+        """Extra chained nodes, comparable to HashTableBase's metric."""
+        return sum(
+            len(bucket) - 1 for bucket in self._buckets if len(bucket) > 1
+        )
+
+    def hashes(self) -> Iterator[int]:
+        """Iterate stored hash values (keys are not recoverable — by
+        design the container never kept them; a Pext bijection *is*
+        invertible, but inversion lives with the plan, not here)."""
+        for bucket in self._buckets:
+            for node in bucket:
+                yield node[0]
+
+
+class BijectiveSet(BijectiveMap):
+    """Set variant: membership keyed purely on the bijective hash.
+
+    >>> from repro import synthesize, HashFamily
+    >>> ssn = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
+    >>> table = BijectiveSet(ssn)
+    >>> table.insert(b"123-45-6789")
+    True
+    >>> b"123-45-6789" in table
+    True
+    """
+
+    def insert(self, key: bytes, value: Any = None) -> bool:
+        return super().insert(key, None)
+
+    def find(self, key: bytes) -> bool:  # type: ignore[override]
+        hash_value = self._hash(key)
+        return self._has_hash(hash_value)

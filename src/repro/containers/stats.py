@@ -1,0 +1,101 @@
+"""Bucket-distribution statistics for hash containers.
+
+B-Coll is a single number; these helpers expose the full shape of a
+container's bucket occupancy, which is what actually drives lookup cost:
+
+- :func:`chain_length_histogram` — how many buckets hold 0, 1, 2, ...
+  nodes;
+- :func:`expected_poisson_histogram` — what a perfectly uniform hash
+  would produce (balls-in-bins is Poisson(λ = n/m) per bucket);
+- :func:`distribution_report` — the two side by side with a chi-square
+  style distance, quantifying "as good as random" for a given
+  function+container pair.
+
+These back the claim in RQ2 that synthetic functions match STL in
+*bucket* behaviour even while losing badly on raw hash uniformity: with
+prime-modulo indexing, both produce near-Poisson chains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.containers.base import HashTableBase
+
+
+def chain_length_histogram(table: HashTableBase) -> Dict[int, int]:
+    """Map chain length → number of buckets with that many nodes."""
+    histogram: Dict[int, int] = {}
+    for size in table.bucket_sizes():
+        histogram[size] = histogram.get(size, 0) + 1
+    return histogram
+
+
+def expected_poisson_histogram(
+    element_count: int, bucket_count: int, max_length: int
+) -> List[float]:
+    """Expected bucket counts per chain length under a uniform hash.
+
+    With ``n`` balls in ``m`` bins, the occupancy of one bin is
+    approximately Poisson with λ = n/m; entry ``k`` of the result is
+    ``m * P[Poisson(λ) = k]`` for k in ``0..max_length``.
+    """
+    if bucket_count <= 0:
+        raise ValueError("bucket_count must be positive")
+    lam = element_count / bucket_count
+    expected = []
+    for length in range(max_length + 1):
+        probability = math.exp(-lam) * lam**length / math.factorial(length)
+        expected.append(bucket_count * probability)
+    return expected
+
+
+def poisson_distance(table: HashTableBase) -> float:
+    """Chi-square-style distance between observed chains and Poisson.
+
+    Near 0 means "indistinguishable from a uniform random hash" for this
+    container; large values mean clustering.  Lengths with expected
+    count below 1 are pooled into the tail to keep the statistic stable.
+    """
+    histogram = chain_length_histogram(table)
+    max_length = max(histogram) if histogram else 0
+    expected = expected_poisson_histogram(
+        len(table), table.bucket_count, max_length
+    )
+    distance = 0.0
+    pooled_observed = 0.0
+    pooled_expected = 0.0
+    for length in range(max_length + 1):
+        observed_count = histogram.get(length, 0)
+        expected_count = expected[length]
+        if expected_count < 1.0:
+            pooled_observed += observed_count
+            pooled_expected += expected_count
+            continue
+        distance += (observed_count - expected_count) ** 2 / expected_count
+    if pooled_expected > 0:
+        distance += (
+            (pooled_observed - pooled_expected) ** 2 / pooled_expected
+        )
+    return distance
+
+
+def max_chain_length(table: HashTableBase) -> int:
+    """The worst-case probe chain in the container."""
+    sizes = table.bucket_sizes()
+    return max(sizes) if sizes else 0
+
+
+def distribution_report(table: HashTableBase) -> Dict[str, object]:
+    """One-call summary of a container's bucket health."""
+    histogram = chain_length_histogram(table)
+    return {
+        "elements": len(table),
+        "buckets": table.bucket_count,
+        "load_factor": table.load_factor,
+        "bucket_collisions": table.bucket_collisions(),
+        "max_chain": max_chain_length(table),
+        "empty_buckets": histogram.get(0, 0),
+        "poisson_distance": poisson_distance(table),
+    }

@@ -1,0 +1,54 @@
+"""``std::unordered_multimap`` equivalent: duplicate keys allowed."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from repro.containers.base import HashTableBase
+
+
+class UnorderedMultimap(HashTableBase):
+    """A multi-key hash map with STL bucket semantics.
+
+    The *Multi* variants accept duplicate keys, which is why Figure 20
+    shows them slower: every operation on a key may touch several nodes.
+
+    >>> from repro.hashes import stl_hash_bytes
+    >>> table = UnorderedMultimap(stl_hash_bytes)
+    >>> table.insert(b"k", 1), table.insert(b"k", 2)
+    (True, True)
+    >>> table.count(b"k")
+    2
+    """
+
+    def __init__(self, hash_function, policy=None):
+        super().__init__(hash_function, policy, allow_duplicates=True)
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert; always succeeds for multi containers."""
+        return self._insert(key, value)
+
+    def find(self, key: bytes) -> Any:
+        """The first mapped value for the key, or None."""
+        node = self._find(key)
+        return node[2] if node is not None else None
+
+    def find_all(self, key: bytes) -> List[Any]:
+        """Every mapped value for the key (``equal_range``)."""
+        hash_value = self._hash(key)
+        return [
+            node[2]
+            for node in self._buckets[self._bucket_index(hash_value)]
+            if node[0] == hash_value and node[1] == key
+        ]
+
+    def erase(self, key: bytes) -> int:
+        """Remove every node with the key; returns the count removed."""
+        return self._erase(key)
+
+    def count(self, key: bytes) -> int:
+        return self._count(key)
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        for _hash, key, value in self._iter_nodes():
+            yield key, value

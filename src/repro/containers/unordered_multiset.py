@@ -1,0 +1,41 @@
+"""``std::unordered_multiset`` equivalent: duplicate keys allowed."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.containers.base import HashTableBase
+
+
+class UnorderedMultiset(HashTableBase):
+    """A multi-key hash set with STL bucket semantics.
+
+    >>> from repro.hashes import stl_hash_bytes
+    >>> table = UnorderedMultiset(stl_hash_bytes)
+    >>> table.insert(b"k"), table.insert(b"k")
+    (True, True)
+    >>> table.count(b"k")
+    2
+    """
+
+    def __init__(self, hash_function, policy=None):
+        super().__init__(hash_function, policy, allow_duplicates=True)
+
+    def insert(self, key: bytes, value=None) -> bool:
+        """Insert; always succeeds for multi containers."""
+        return self._insert(key, None)
+
+    def find(self, key: bytes) -> bool:
+        """Membership test."""
+        return self._find(key) is not None
+
+    def erase(self, key: bytes) -> int:
+        """Remove every node with the key; returns the count removed."""
+        return self._erase(key)
+
+    def count(self, key: bytes) -> int:
+        return self._count(key)
+
+    def keys(self) -> Iterator[bytes]:
+        for _hash, key, _value in self._iter_nodes():
+            yield key

@@ -1,0 +1,50 @@
+"""``std::unordered_set`` equivalent: unique keys, no mapped values."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.containers.base import HashTableBase
+
+
+class UnorderedSet(HashTableBase):
+    """A unique-key hash set with STL bucket semantics.
+
+    >>> from repro.hashes import stl_hash_bytes
+    >>> table = UnorderedSet(stl_hash_bytes)
+    >>> table.insert(b"k")
+    True
+    >>> b"k" in table
+    True
+    """
+
+    def __init__(self, hash_function, policy=None):
+        super().__init__(hash_function, policy, allow_duplicates=False)
+
+    def insert(self, key: bytes, value=None) -> bool:
+        """Insert; returns False if already present.
+
+        The unused ``value`` parameter keeps the four containers
+        call-compatible for the benchmark driver.
+        """
+        return self._insert(key, None)
+
+    def find(self, key: bytes) -> bool:
+        """Membership test (the driver's search operation)."""
+        return self._find(key) is not None
+
+    def erase(self, key: bytes) -> int:
+        """Remove the key; returns 0 or 1."""
+        return self._erase(key)
+
+    def count(self, key: bytes) -> int:
+        return self._count(key)
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate stored keys in bucket order."""
+        for _hash, key, _value in self._iter_nodes():
+            yield key
+
+    def clear(self) -> None:
+        """Remove every entry (STL ``clear``)."""
+        self._clear()

@@ -1,0 +1,166 @@
+"""Format analysis: constant subsequences, load placement, skip tables.
+
+This module implements the structural half of SEPE's code generator
+(paper, Figure 7):
+
+- ``parseRanges`` / ``ignoreConstantSubsequences`` → :func:`coalesce_regions`
+  finds the byte regions worth loading, absorbing constant gaps too short
+  to be worth skipping (Section 3.2.1: only constant *words* — runs at
+  least as long as the machine word — are skipped).
+- fixed-length load placement → :func:`place_loads` unrolls each region
+  into 8-byte loads, with the paper's overlap rule (Section 3.2.2): when a
+  region is not a multiple of the word size, the final load starts at
+  ``region_end - 8`` and overlaps its predecessor.
+- variable-length keys → :func:`build_skip_table` converts the load
+  sequence into the skip table driving Figure 8's word loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.pattern import KeyPattern
+from repro.core.plan import SkipTable
+from repro.errors import SynthesisError
+
+WORD_BYTES = 8
+"""The machine word size all generated functions load (64-bit words)."""
+
+
+def coalesce_regions(
+    pattern: KeyPattern, gap_threshold: int = WORD_BYTES
+) -> List[Tuple[int, int]]:
+    """Compute the byte regions ``[start, end)`` the hash must cover.
+
+    Starts from the pattern's non-constant runs and merges runs separated
+    by fewer than ``gap_threshold`` constant bytes: skipping a short
+    constant gap costs an extra load, so it is cheaper to load through it.
+    Only gaps of at least a machine word are skipped — the same rule the
+    paper uses to define a "constant word" (Section 3.2.1).
+
+    Returns an empty list when every body byte is constant (all keys
+    identical in the body).
+    """
+    runs = pattern.variable_runs()
+    if not runs:
+        return []
+    regions: List[Tuple[int, int]] = []
+    current_start, current_len = runs[0]
+    current_end = current_start + current_len
+    for start, length in runs[1:]:
+        if start - current_end < gap_threshold:
+            current_end = start + length
+        else:
+            regions.append((current_start, current_end))
+            current_start, current_end = start, start + length
+    regions.append((current_start, current_end))
+    return regions
+
+
+def place_loads(
+    regions: List[Tuple[int, int]], key_length: int
+) -> List[int]:
+    """Unroll regions into 8-byte load offsets for a fixed-length key.
+
+    Within each region, loads go at ``start, start + 8, ...``; if the
+    region size is not a multiple of eight, the final load is placed at
+    ``end - 8`` so it ends exactly at the region boundary, overlapping the
+    previous load (Section 3.2.2).  Regions shorter than a word also get a
+    single 8-byte load, pulled left as needed so it stays inside the key.
+
+    Raises:
+        SynthesisError: when ``key_length`` is below 8 bytes, which SEPE
+            does not specialize (paper footnote 5).
+    """
+    if key_length < WORD_BYTES:
+        raise SynthesisError(
+            f"cannot place 8-byte loads in a {key_length}-byte key"
+        )
+    offsets: List[int] = []
+    for start, end in regions:
+        end = min(end, key_length)
+        start = min(start, key_length - WORD_BYTES)
+        if end - start <= WORD_BYTES:
+            offset = min(start, key_length - WORD_BYTES)
+            if end > offset + WORD_BYTES:
+                offset = end - WORD_BYTES
+            offsets.append(max(0, offset))
+            continue
+        position = start
+        while position + WORD_BYTES < end:
+            offsets.append(position)
+            position += WORD_BYTES
+        offsets.append(end - WORD_BYTES)
+    deduplicated: List[int] = []
+    for offset in offsets:
+        if not deduplicated or offset != deduplicated[-1]:
+            deduplicated.append(offset)
+    return deduplicated
+
+
+def naive_load_offsets(key_length: int) -> List[int]:
+    """Load offsets for the **Naive** family: every word of the key.
+
+    Covers the whole key with 8-byte loads, applying the same trailing
+    overlap rule: for a 11-byte key the loads are at offsets 0 and 3.
+    """
+    if key_length < WORD_BYTES:
+        raise SynthesisError(
+            f"cannot place 8-byte loads in a {key_length}-byte key"
+        )
+    offsets = list(range(0, key_length - WORD_BYTES + 1, WORD_BYTES))
+    if offsets[-1] + WORD_BYTES < key_length:
+        offsets.append(key_length - WORD_BYTES)
+    return offsets
+
+
+def build_skip_table(load_offsets: List[int]) -> SkipTable:
+    """Convert absolute load offsets into the skip table of Figure 9.
+
+    ``skips[c]`` is the pointer advance after the ``c``-th load; the final
+    advance moves past the last loaded word so the per-byte tail loop
+    resumes right after it.
+    """
+    if not load_offsets:
+        raise SynthesisError("a skip table needs at least one load")
+    initial = load_offsets[0]
+    skips: List[int] = []
+    for previous, current in zip(load_offsets, load_offsets[1:]):
+        if current <= previous:
+            raise SynthesisError(
+                f"skip-table loads must strictly advance: {load_offsets}"
+            )
+        skips.append(current - previous)
+    skips.append(WORD_BYTES)
+    return SkipTable(initial_offset=initial, skips=tuple(skips))
+
+
+def analyze_fixed_loads(pattern: KeyPattern) -> List[int]:
+    """Load offsets for OffXor/Aes/Pext over a fixed-length pattern.
+
+    Falls back to covering the whole key when the pattern has no constant
+    structure to exploit.
+    """
+    if not pattern.is_fixed_length:
+        raise SynthesisError("analyze_fixed_loads requires a fixed length")
+    regions = coalesce_regions(pattern)
+    if not regions:
+        # Degenerate format: every key is identical.  Hash the whole key
+        # anyway so unequal (non-conforming) inputs still disperse.
+        return naive_load_offsets(pattern.body_length)
+    return place_loads(regions, pattern.body_length)
+
+
+def analyze_variable_loads(pattern: KeyPattern) -> Tuple[SkipTable, List[int]]:
+    """Skip table plus body load offsets for a variable-length pattern."""
+    if pattern.is_fixed_length:
+        raise SynthesisError("pattern is fixed length; use analyze_fixed_loads")
+    if pattern.body_length < WORD_BYTES:
+        raise SynthesisError(
+            "variable-length synthesis requires a body of at least 8 bytes"
+        )
+    regions = coalesce_regions(pattern)
+    if not regions:
+        regions = [(0, pattern.body_length)]
+    offsets = place_loads(regions, pattern.body_length)
+    return build_skip_table(offsets), offsets

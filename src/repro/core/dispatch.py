@@ -1,0 +1,138 @@
+"""Multi-format dispatch: one hash callable serving several formats.
+
+Real applications rarely hash a single key format: a request router sees
+session ids *and* resource paths; a network controller sees MAC *and*
+IPv6 strings.  The paper's Figure 2 shows the handwritten version of
+the answer — Polymur branches on key length before hashing — and SEPE
+itself falls back to the standard hash for sub-word keys (footnote 5).
+
+:class:`FormatDispatcher` automates that pattern over synthesized
+functions: each registered format gets a specialized hash; at call time
+the dispatcher routes by key length first (an O(1) dict probe, since
+SEPE formats are fixed-length) and by template match when lengths
+collide; anything unrecognized goes to the general-purpose fallback.
+The common fast path — unique length, no verification — costs one dict
+lookup over calling the specialized function directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pattern import KeyPattern
+from repro.core.plan import HashFamily
+from repro.core.synthesis import SynthesizedHash, synthesize
+from repro.errors import SynthesisError
+from repro.hashes.murmur_stl import stl_hash_bytes
+
+HashCallable = Callable[[bytes], int]
+
+FormatSource = Union[str, KeyPattern, SynthesizedHash]
+
+
+class FormatDispatcher:
+    """Route keys to format-specialized hashes, falling back when unsure.
+
+    Args:
+        fallback: general-purpose hash for unrecognized keys (defaults to
+            the STL murmur port, matching SEPE's own fallback rule).
+        verify: when True, even a unique-length match is template-checked
+            before the specialized function runs; non-conforming keys go
+            to the fallback.  Off by default — the paper's functions also
+            assume conforming input (footnote 3's "assume you do not need
+            to assert key format").
+    """
+
+    def __init__(
+        self,
+        fallback: HashCallable = stl_hash_bytes,
+        verify: bool = False,
+    ):
+        self._fallback = fallback
+        self._verify = verify
+        self._by_length: Dict[int, List[Tuple[KeyPattern, HashCallable]]] = {}
+        self._variable: List[Tuple[KeyPattern, HashCallable]] = []
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        source: FormatSource,
+        family: HashFamily = HashFamily.PEXT,
+    ) -> SynthesizedHash:
+        """Register a format; synthesizes unless given a SynthesizedHash.
+
+        Returns the synthesized function so callers can inspect it.
+
+        Raises:
+            SynthesisError: propagated from synthesis for unsupported
+                formats (e.g. sub-word keys — register those under the
+                fallback instead, which is what SEPE itself does).
+        """
+        if isinstance(source, SynthesizedHash):
+            synthesized = source
+        else:
+            synthesized = synthesize(source, family)
+        pattern = synthesized.pattern
+        entry = (pattern, synthesized.function)
+        if pattern.is_fixed_length:
+            self._by_length.setdefault(pattern.body_length, []).append(entry)
+        else:
+            self._variable.append(entry)
+        return synthesized
+
+    @property
+    def format_count(self) -> int:
+        """Number of registered formats."""
+        return sum(len(v) for v in self._by_length.values()) + len(
+            self._variable
+        )
+
+    # -- dispatch --------------------------------------------------------
+
+    def route(self, key: bytes) -> HashCallable:
+        """The function that would hash ``key`` (for inspection/tests)."""
+        candidates = self._by_length.get(len(key))
+        if candidates:
+            if len(candidates) == 1 and not self._verify:
+                return candidates[0][1]
+            for pattern, function in candidates:
+                if pattern.matches(key):
+                    return function
+        for pattern, function in self._variable:
+            if pattern.matches(key):
+                return function
+        return self._fallback
+
+    def __call__(self, key: bytes) -> int:
+        return self.route(key)(key)
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> List[str]:
+        """Human-readable routing table, one line per registered format."""
+        from repro.core.regex_render import render_regex
+
+        lines = []
+        for length in sorted(self._by_length):
+            for pattern, _function in self._by_length[length]:
+                lines.append(f"len {length:4d}: {render_regex(pattern)}")
+        for pattern, _function in self._variable:
+            lines.append(
+                f"len {pattern.min_length}+  : {render_regex(pattern)}"
+            )
+        lines.append("otherwise  : fallback")
+        return lines
+
+
+def build_dispatcher(
+    formats: Sequence[str],
+    family: HashFamily = HashFamily.PEXT,
+    fallback: HashCallable = stl_hash_bytes,
+    verify: bool = False,
+) -> FormatDispatcher:
+    """Convenience: dispatcher over several format regexes at once."""
+    dispatcher = FormatDispatcher(fallback=fallback, verify=verify)
+    for regex in formats:
+        dispatcher.register(regex, family=family)
+    return dispatcher

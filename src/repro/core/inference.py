@@ -1,0 +1,92 @@
+"""Pattern inference from example keys (Section 3.1, ``keybuilder``).
+
+Given a set of representative keys, the inferred format is the
+position-wise join of their quad sequences over the semilattice of
+Definition 3.2.  Keys shorter than the longest example contribute ⊤ at the
+positions they lack, which also makes the inferred pattern variable-length
+whenever the examples disagree on length.
+
+The paper stresses (Example 3.6) that examples must *exercise* every bit
+that can vary: two well-chosen keys suffice for most formats, while a
+biased sample (say, IPv4 addresses that all start with ``1``) would freeze
+bits that actually vary.  Mischaracterizing variable bits as constant never
+produces an incorrect hash — only one with more collisions (footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.pattern import KeyPattern
+from repro.core.quads import join_keys
+from repro.errors import EmptyKeySetError
+
+KeyLike = Union[str, bytes]
+
+
+def _as_bytes(key: KeyLike) -> bytes:
+    """Accept str or bytes keys; strings are encoded as UTF-8."""
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        return bytes(key)
+    raise TypeError(f"keys must be str or bytes, got {type(key).__name__}")
+
+
+def infer_pattern(keys: Iterable[KeyLike]) -> KeyPattern:
+    """Infer the :class:`KeyPattern` recognizing every example key.
+
+    This is the join ``c_i = s_1[i] ∨ s_2[i] ∨ ... ∨ s_m[i]`` of
+    Section 3.1.  The result is fixed-length when all examples share a
+    length; otherwise ``min_length`` is the shortest example and
+    ``max_length`` the longest.
+
+    Raises:
+        EmptyKeySetError: when ``keys`` is empty.
+
+    >>> pattern = infer_pattern(["JFK", "LAX", "GRU"])
+    >>> pattern.is_fixed_length
+    True
+    >>> pattern.num_bytes
+    3
+    """
+    key_bytes: List[bytes] = [_as_bytes(key) for key in keys]
+    if not key_bytes:
+        raise EmptyKeySetError("cannot infer a pattern from zero examples")
+    joined = join_keys(key_bytes)
+    lengths = {len(key) for key in key_bytes}
+    return KeyPattern(
+        quads=tuple(joined),
+        min_length=min(lengths),
+        max_length=max(lengths),
+    )
+
+
+def infer_pattern_from_file(path: str) -> KeyPattern:
+    """Infer a pattern from a newline-separated file of example keys.
+
+    Blank lines are ignored; trailing newlines are stripped (they are not
+    part of the key format).  This backs the paper's command line
+    ``keybuilder < file_with_keys.txt`` (Figure 5a).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        keys = [line.rstrip("\n") for line in handle]
+    return infer_pattern([key for key in keys if key])
+
+
+def coverage_report(keys: Sequence[KeyLike]) -> List[int]:
+    """Report, per byte position, how many distinct byte values appear.
+
+    A position with a single distinct value across all examples will be
+    inferred constant; this helper lets users check whether their example
+    set is "good" in the sense of Example 3.6 before synthesizing.
+    """
+    key_bytes = [_as_bytes(key) for key in keys]
+    if not key_bytes:
+        raise EmptyKeySetError("cannot analyze zero examples")
+    max_len = max(len(key) for key in key_bytes)
+    counts = []
+    for index in range(max_len):
+        seen = {key[index] for key in key_bytes if index < len(key)}
+        counts.append(len(seen))
+    return counts

@@ -1,0 +1,131 @@
+"""Inverting bijective Pext hashes: from 64-bit value back to the key.
+
+When a format has at most 64 varying bits, the Pext family packs them
+injectively (Section 4.2) — which means the packing is *invertible*:
+undo the compacting shifts, scatter the bits back through the masks
+(``pdep``, the inverse of ``pext``), and fill the constant bits from the
+format template.  The paper's learned-index framing (Kraska et al.: "the
+key itself can be used as an offset") thus runs in both directions.
+
+This enables the key-less containers of
+:mod:`repro.containers.bijective` to *recover* their keys on demand, and
+gives tests an exact roundtrip property to pin synthesis against.
+
+The optional final mixer is also undone here: both of its rounds
+(multiply by an odd constant, xor-shift by 47) are 64-bit bijections
+with closed-form inverses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.codegen.ir import FINAL_MIX_MUL
+from repro.core.plan import CombineOp, SynthesisPlan
+from repro.core.synthesis import SynthesizedHash
+from repro.errors import SynthesisError
+from repro.isa.bits import MASK64, pdep, popcount
+
+_MUL_INVERSE = pow(FINAL_MIX_MUL, -1, 1 << 64)
+"""Modular inverse of the finalizer multiplier (it is odd)."""
+
+
+def _invert_xor_shift_right(value: int, shift: int) -> int:
+    """Invert ``v ^= v >> shift`` on 64 bits."""
+    result = value
+    applied = shift
+    while applied < 64:
+        result = value ^ (result >> shift)
+        applied += shift
+    return result & MASK64
+
+
+def _invert_final_mix(value: int) -> int:
+    """Undo the two finalizer rounds, newest first."""
+    for _ in range(2):
+        value = _invert_xor_shift_right(value, 47)
+        value = (value * _MUL_INVERSE) & MASK64
+    return value
+
+
+def invert_hash(synthesized: SynthesizedHash, hash_value: int) -> bytes:
+    """Recover the unique conforming key hashing to ``hash_value``.
+
+    Args:
+        synthesized: a bijective Pext-family hash.
+        hash_value: a value produced by ``synthesized`` on a conforming
+            key.  Values outside the bijection's image decode to *some*
+            byte string that may not conform; callers holding untrusted
+            values should re-hash and compare.
+
+    Raises:
+        SynthesisError: when the plan is not an invertible packing
+            (non-bijective, AES combine, or variable length).
+
+    >>> from repro import synthesize, HashFamily
+    >>> ssn = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
+    >>> invert_hash(ssn, ssn(b"123-45-6789"))
+    b'123-45-6789'
+    """
+    plan = synthesized.plan
+    if not plan.bijective:
+        raise SynthesisError("only bijective plans are invertible")
+    if plan.combine not in (CombineOp.OR, CombineOp.XOR):
+        raise SynthesisError(f"cannot invert combine {plan.combine}")
+    if plan.key_length is None:
+        raise SynthesisError("cannot invert variable-length plans")
+    if not 0 <= hash_value <= MASK64:
+        raise ValueError("hash value out of 64-bit range")
+
+    if plan.final_mix:
+        hash_value = _invert_final_mix(hash_value)
+
+    # Rebuild the key: start from the format's constant bits, then
+    # scatter each load's extracted bits back into place.
+    key = bytearray(plan.key_length)
+    pattern = synthesized.pattern
+    for index in range(plan.key_length):
+        key[index] = pattern.byte_pattern(index).const_value
+
+    for load in plan.loads:
+        mask = load.mask if load.mask is not None else MASK64
+        bits = popcount(mask)
+        if load.shift:
+            extracted = (hash_value >> load.shift) & ((1 << bits) - 1)
+        elif load.rotate:
+            raise SynthesisError("rotated folds are not invertible")
+        else:
+            extracted = hash_value & ((1 << bits) - 1)
+        word = pdep(extracted, mask)
+        for byte_index in range(load.width):
+            position = load.offset + byte_index
+            if position >= plan.key_length:
+                break
+            key[position] |= (word >> (8 * byte_index)) & 0xFF
+    return bytes(key)
+
+
+def invertible(synthesized: SynthesizedHash) -> bool:
+    """True when :func:`invert_hash` supports this plan."""
+    plan = synthesized.plan
+    return (
+        plan.bijective
+        and plan.combine in (CombineOp.OR, CombineOp.XOR)
+        and plan.key_length is not None
+        and not any(load.rotate for load in plan.loads)
+    )
+
+
+def recover_keys(
+    synthesized: SynthesizedHash, hash_values: List[int]
+) -> List[Optional[bytes]]:
+    """Batch inversion with verification.
+
+    Each recovered key is re-hashed; entries whose roundtrip fails (the
+    value was outside the bijection's image) come back as ``None``.
+    """
+    recovered: List[Optional[bytes]] = []
+    for value in hash_values:
+        key = invert_hash(synthesized, value)
+        recovered.append(key if synthesized(key) == value else None)
+    return recovered

@@ -1,0 +1,103 @@
+"""Extraction-mask and shift computation for the **Pext** family.
+
+Section 3.2.3: the quads of the key format mark which bits are constant.
+For every loaded word, the extraction mask selects exactly the varying
+bits; ``pext`` compacts them to the low end of the word.  When loads
+overlap (the trailing-load rule of Section 3.2.2), bits already extracted
+by an earlier load are cleared from later masks so each varying bit is
+extracted exactly once — this is what makes Pext a bijection whenever the
+format has at most 64 varying bits (paper, Section 4.2).
+
+Shift placement follows Figure 12: the first extracted word stays at the
+bottom of the hash; the last is pushed "as far to the left as possible"
+(``64 - bits``) so the whole 64-bit range is used.  Formats with more than
+64 varying bits cannot be packed injectively; their words are rotated to
+staggered positions and xor-folded instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.pattern import KeyPattern
+from repro.isa.bits import popcount
+
+WORD_BITS = 64
+
+
+def extraction_masks(pattern: KeyPattern, offsets: List[int]) -> List[int]:
+    """Per-load ``pext`` masks selecting each varying bit exactly once.
+
+    ``offsets`` must be sorted ascending (the order analysis produces).
+    Overlapped bytes — covered by an earlier load — contribute zero bits to
+    later masks.
+    """
+    masks: List[int] = []
+    covered_until = -1  # highest byte index already extracted (inclusive)
+    for offset in offsets:
+        mask = 0
+        for index in range(8):
+            byte_index = offset + index
+            if byte_index <= covered_until:
+                continue
+            if byte_index >= pattern.num_bytes:
+                continue
+            byte = pattern.byte_pattern(byte_index)
+            mask |= (byte.variable_mask & 0xFF) << (8 * index)
+        masks.append(mask)
+        covered_until = max(covered_until, offset + 7)
+    return masks
+
+
+def pack_shifts(bit_counts: List[int]) -> Tuple[List[int], bool]:
+    """Compute per-word left shifts packing extracted bits into 64 bits.
+
+    Returns ``(shifts, bijective)``.  When the total bit count fits in a
+    word, words are packed bottom-up with the final word pushed to the top
+    (Figure 12's ``hashable1 << 52``), and the packing is injective.
+    Otherwise every word gets shift 0 here and the caller must fall back
+    to rotation folding (:func:`fold_rotations`).
+    """
+    total = sum(bit_counts)
+    if total > WORD_BITS:
+        return [0] * len(bit_counts), False
+    shifts: List[int] = []
+    cumulative = 0
+    for index, bits in enumerate(bit_counts):
+        if index == len(bit_counts) - 1 and bits > 0:
+            shifts.append(max(cumulative, WORD_BITS - bits))
+        else:
+            shifts.append(cumulative)
+        cumulative += bits
+    return shifts, True
+
+
+def fold_rotations(bit_counts: List[int]) -> List[int]:
+    """Rotation amounts for formats exceeding 64 varying bits.
+
+    Words are tiled from the *top* of the hash downward (wrapping), with
+    the **last** word's extracted bits landing at the most-significant
+    positions — the paper's "shift significant bits as far to the left as
+    possible" applied to the xor-fold case.  Placing the trailing word at
+    the top matters for ascending key streams: their fastest-varying
+    bytes are at the end of the key, so the hash's MSBs vary quickly,
+    keeping Pext's distribution usable under MSB-sensitive consumers
+    (Table 2's incremental column; Figures 17/18's resistance).
+
+    Staggered placement also stops aligned words from cancelling: the
+    100-digit INTS format extracts the same nibble layout from every
+    word, which a shift-free xor would fold onto itself.
+    """
+    rotations: List[int] = []
+    suffix = 0
+    for index in range(len(bit_counts) - 1, -1, -1):
+        bits = max(bit_counts[index], 1)
+        rotations.append((WORD_BITS - suffix - bits) % WORD_BITS)
+        suffix += bits
+    rotations.reverse()
+    return rotations
+
+
+def mask_bit_counts(masks: List[int]) -> List[int]:
+    """Popcounts of the extraction masks (bits surviving each ``pext``)."""
+    return [popcount(mask) for mask in masks]

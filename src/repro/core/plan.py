@@ -1,0 +1,183 @@
+"""Synthesis plans: the intermediate result between analysis and codegen.
+
+A :class:`SynthesisPlan` is a declarative description of the hash function
+to generate: which words to load, which bits to extract from each, how to
+shift and combine them, and — for variable-length formats — the skip table
+driving the word loop of the paper's Figure 8.  Both code generation
+backends (executable Python and C++ source) consume plans, so the plan is
+the single point of truth for what a synthesized function computes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class HashFamily(enum.Enum):
+    """The four synthetic families of Section 4, by increasing constraint.
+
+    - ``NAIVE`` exploits only the fixed-length constraint: unrolled
+      xor over all 8-byte words (Section 3.2.2).
+    - ``OFFXOR`` additionally skips constant subsequences
+      (Section 3.2.1).
+    - ``AES`` is OffXor combining words with one AES encode round instead
+      of xor — slower per word, much better mixing.
+    - ``PEXT`` is OffXor plus constant-*bit* removal via parallel bit
+      extraction and compacting shifts (Section 3.2.3).
+    """
+
+    NAIVE = "naive"
+    OFFXOR = "offxor"
+    AES = "aes"
+    PEXT = "pext"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CombineOp(enum.Enum):
+    """How extracted words are folded into the hash value."""
+
+    XOR = "xor"
+    OR = "or"
+    AESENC = "aesenc"
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """One word load plus its per-word transformation.
+
+    Attributes:
+        offset: byte offset of the load within the key.
+        mask: ``pext`` extraction mask over the loaded little-endian word,
+            or ``None`` to use the word unmodified (Naive/OffXor/Aes).
+        shift: left shift applied after extraction, packing multiple
+            extracted words into the 64-bit hash (paper, Figure 12 step 3).
+        rotate: when a bijection is impossible (more than 64 variable
+            bits), words are rotated instead of shifted so bits wrap
+            around rather than falling off the top.
+        width: bytes loaded; 8 for normal word loads, smaller only for
+            short-key plans (RQ7's four-digit experiment), where a partial
+            little-endian load stands in for the full word.
+    """
+
+    offset: int
+    mask: Optional[int] = None
+    shift: int = 0
+    rotate: int = 0
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"negative load offset: {self.offset}")
+        if not 1 <= self.width <= 8:
+            raise ValueError(f"load width out of range: {self.width}")
+        if self.shift and self.rotate:
+            raise ValueError("a load is either shifted or rotated, not both")
+        if not 0 <= self.shift < 64:
+            raise ValueError(f"shift out of range: {self.shift}")
+        if not 0 <= self.rotate < 64:
+            raise ValueError(f"rotate out of range: {self.rotate}")
+
+
+@dataclass(frozen=True)
+class SkipTable:
+    """The constant-subsequence skip table of Section 3.2.1 (Figure 9).
+
+    ``initial_offset`` positions the first load; ``skips[c]`` is how far
+    the pointer advances after the ``c``-th load.  After the table is
+    exhausted, remaining key bytes (the variable tail) are folded in one
+    byte at a time, mirroring the trailing loop of Figure 8.
+    """
+
+    initial_offset: int
+    skips: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.initial_offset < 0:
+            raise ValueError("negative initial skip")
+        if any(skip <= 0 for skip in self.skips):
+            raise ValueError("skip entries must be positive")
+
+    def load_offsets(self) -> Tuple[int, ...]:
+        """The absolute byte offset of every word load the table drives."""
+        offsets = []
+        position = self.initial_offset
+        for skip in self.skips:
+            offsets.append(position)
+            position += skip
+        return tuple(offsets)
+
+    @property
+    def resume_offset(self) -> int:
+        """Byte offset where per-byte tail processing starts."""
+        return self.initial_offset + sum(self.skips)
+
+
+@dataclass(frozen=True)
+class SynthesisPlan:
+    """Everything codegen needs to emit one specialized hash function.
+
+    Attributes:
+        family: which of the four synthetic families this plan realizes.
+        key_length: the fixed key length in bytes, or ``None`` for
+            variable-length formats (which use ``skip_table`` + tail loop).
+        loads: fully unrolled loads for the fixed part of the key.
+        skip_table: word-loop descriptor for variable-length keys, or
+            ``None`` when the plan is fully unrolled.
+        combine: fold operation applied between transformed words.
+        total_variable_bits: number of key bits that actually vary.
+        bijective: True when distinct conforming keys are guaranteed
+            distinct hash values (at most 64 variable bits, Pext family).
+        pattern_regex: the format this plan was synthesized for, for
+            documentation and generated-code comments.
+        short_key: True only for explicitly requested sub-8-byte plans
+            (RQ7's worst-case experiment); SEPE's default is to refuse
+            such formats (paper footnote 5).
+        final_mix: append a murmur-style finalizer (two shift-mix/multiply
+            rounds) to the generated function.  An extension beyond the
+            paper: it buys back the uniformity the synthetic families
+            give up (Table 2 / RQ7) for a small fixed cost, and keeps the
+            bijection property (the finalizer is invertible on 64 bits).
+    """
+
+    family: HashFamily
+    key_length: Optional[int]
+    loads: Tuple[LoadOp, ...]
+    skip_table: Optional[SkipTable]
+    combine: CombineOp
+    total_variable_bits: int
+    bijective: bool
+    pattern_regex: str = ""
+    short_key: bool = False
+    final_mix: bool = False
+
+    def __post_init__(self) -> None:
+        if (
+            self.key_length is not None
+            and self.key_length < 8
+            and not self.short_key
+        ):
+            raise ValueError(
+                "plans require keys of at least 8 bytes; SEPE falls back "
+                "to the standard hash below that (paper footnote 5)"
+            )
+        for load in self.loads:
+            if (
+                self.key_length is not None
+                and load.offset + load.width > self.key_length
+            ):
+                raise ValueError(
+                    f"load at {load.offset} reads past key of "
+                    f"{self.key_length} bytes"
+                )
+
+    @property
+    def is_fixed_length(self) -> bool:
+        return self.key_length is not None
+
+    @property
+    def num_loads(self) -> int:
+        return len(self.loads)

@@ -1,0 +1,160 @@
+"""The quad-semilattice of Definition 3.2.
+
+A *quad* is a pair of bits: one of ``00``, ``01``, ``10``, ``11`` —
+represented here by the integers 0..3 — or the top element ⊤, represented
+by ``None``.  The join of two quads is the quad itself when they agree and
+⊤ otherwise.  Joining the quads of a set of example keys position by
+position yields the key format: positions that stay concrete are constant
+bit pairs, positions that go to ⊤ vary (paper, Section 3.1).
+
+The paper's rationale for bit pairs (Example 3.5): pairs are the finest
+power-of-two granularity that still distinguishes the constant prefixes of
+ASCII digits (``0011`` — two constant quads) and letters (``01`` — one
+constant quad shared by both cases).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Quad = Optional[int]
+"""A lattice element: 0..3 for a concrete bit pair, ``None`` for ⊤."""
+
+QUADS_PER_BYTE = 4
+"""Every byte contributes four bit pairs, most-significant pair first."""
+
+CONCRETE_QUADS: Tuple[int, ...] = (0, 1, 2, 3)
+"""The four non-top elements of the lattice."""
+
+
+def join(a: Quad, b: Quad) -> Quad:
+    """Join two lattice elements: ``a ∨ b`` per Definition 3.2.
+
+    >>> join(2, 2)
+    2
+    >>> join(2, 3) is None
+    True
+    >>> join(None, 1) is None
+    True
+    """
+    if a is None or b is None:
+        return None
+    return a if a == b else None
+
+
+def join_many(elements: Iterable[Quad]) -> Quad:
+    """Fold :func:`join` over an iterable; the join of nothing is ⊤.
+
+    The empty join is ⊤ rather than a bottom element because the lattice of
+    Definition 3.2 has no bottom: an unconstrained position varies.
+    """
+    result: Quad = None
+    first = True
+    for element in elements:
+        if first:
+            result = element
+            first = False
+        else:
+            result = join(result, element)
+            if result is None:
+                return None
+    if first:
+        return None
+    return result
+
+
+def leq(a: Quad, b: Quad) -> bool:
+    """The partial order induced by the join: ``a ≤ b`` iff ``a ∨ b == b``."""
+    return join(a, b) == b
+
+
+def byte_to_quads(byte: int) -> Tuple[int, int, int, int]:
+    """Split a byte into its four bit pairs, most significant first.
+
+    >>> byte_to_quads(ord('J'))   # 'J' = 0x4A = 01 00 10 10
+    (1, 0, 2, 2)
+    """
+    if not 0 <= byte <= 0xFF:
+        raise ValueError(f"byte out of range: {byte}")
+    return (
+        (byte >> 6) & 3,
+        (byte >> 4) & 3,
+        (byte >> 2) & 3,
+        byte & 3,
+    )
+
+
+def quads_to_byte(quads: Sequence[int]) -> int:
+    """Reassemble four concrete bit pairs (MS first) into a byte.
+
+    Raises :class:`ValueError` if any quad is ⊤ or out of range.
+    """
+    if len(quads) != QUADS_PER_BYTE:
+        raise ValueError(f"expected 4 quads, got {len(quads)}")
+    byte = 0
+    for quad in quads:
+        if quad is None or not 0 <= quad <= 3:
+            raise ValueError(f"quad not concrete: {quad!r}")
+        byte = (byte << 2) | quad
+    return byte
+
+
+def key_to_quads(key: bytes, pad_to_bytes: int = 0) -> List[Quad]:
+    """Convert a key into its quad sequence, optionally padded with ⊤.
+
+    Per Section 3.1, a key shorter than the longest example contributes ⊤
+    at every position it lacks, so ``pad_to_bytes`` extends the result with
+    ``None`` entries up to ``4 * pad_to_bytes`` quads.
+
+    >>> key_to_quads(b'J')
+    [1, 0, 2, 2]
+    >>> key_to_quads(b'J', pad_to_bytes=2)
+    [1, 0, 2, 2, None, None, None, None]
+    """
+    quads: List[Quad] = []
+    for byte in key:
+        quads.extend(byte_to_quads(byte))
+    if pad_to_bytes > len(key):
+        quads.extend([None] * (QUADS_PER_BYTE * (pad_to_bytes - len(key))))
+    return quads
+
+
+def join_keys(keys: Sequence[bytes]) -> List[Quad]:
+    """Position-wise join of the quad sequences of ``keys``.
+
+    This is the formula of Section 3.1: ``c_i = s_1[i] ∨ ... ∨ s_m[i]``
+    with missing positions treated as ⊤.  Returns a list with
+    ``4 * max(len(k))`` entries.
+    """
+    if not keys:
+        return []
+    max_len = max(len(key) for key in keys)
+    joined = key_to_quads(keys[0], pad_to_bytes=max_len)
+    for key in keys[1:]:
+        for index, quad in enumerate(key_to_quads(key, pad_to_bytes=max_len)):
+            joined[index] = join(joined[index], quad)
+    return joined
+
+
+def quads_const_mask(quads: Sequence[Quad]) -> Tuple[int, int]:
+    """Compute the (mask, value) bit template of a quad sequence.
+
+    ``mask`` has ones at bit positions that are constant, ``value`` holds
+    the constant bits (zero where variable).  Bit 0 of the result is the
+    least-significant bit of the *last* quad, i.e. the natural integer
+    reading of the quad string.
+
+    >>> quads_const_mask([0, 3])     # bits 0011 constant
+    (15, 3)
+    >>> quads_const_mask([None, 3])  # high pair varies
+    (3, 3)
+    """
+    mask = 0
+    value = 0
+    for quad in quads:
+        mask <<= 2
+        value <<= 2
+        if quad is not None:
+            mask |= 3
+            value |= quad
+    return mask, value

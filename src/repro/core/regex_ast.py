@@ -1,0 +1,108 @@
+"""AST for the regular-expression subset SEPE accepts.
+
+SEPE's formats are essentially fixed-shape byte templates, so the accepted
+language is the regular-expression fragment whose matches have statically
+enumerable per-position byte classes:
+
+- literal characters and escaped literals (``\\.``, ``\\-``, ...);
+- character classes with ranges (``[0-9a-fA-F]``) and the shorthands
+  ``\\d``, ``\\w``, ``\\s``, ``.``;
+- groups ``( ... )``;
+- bounded repetition ``{n}`` and ``{m,n}``;
+- alternation ``a|b`` of equal-length branches;
+- a *trailing* unbounded repetition (``.*``, ``[a-z]+`` at the very end),
+  which becomes the pattern's variable tail (Example 3.7's name field).
+
+Anything else — unbounded repetition mid-pattern, backreferences,
+anchors — raises :class:`repro.errors.UnsupportedPatternError` during
+expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for regex AST nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A single literal byte."""
+
+    byte: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.byte <= 0xFF:
+            raise ValueError(f"literal byte out of range: {self.byte}")
+
+
+@dataclass(frozen=True)
+class CharClass(Node):
+    """A set of allowed byte values for one position."""
+
+    bytes: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.bytes:
+            raise ValueError("empty character class")
+        if any(not 0 <= b <= 0xFF for b in self.bytes):
+            raise ValueError("character class byte out of range")
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """A sequence of sub-patterns matched one after the other."""
+
+    items: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Bounded or unbounded repetition of a sub-pattern.
+
+    ``max_count is None`` encodes unbounded repetition (``*`` when
+    ``min_count == 0``, ``+`` when ``min_count == 1``); it is only legal in
+    trailing position.
+    """
+
+    item: Node
+    min_count: int
+    max_count: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.min_count < 0:
+            raise ValueError("repetition count must be non-negative")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ValueError("max repetition below min")
+
+
+@dataclass(frozen=True)
+class Alternation(Node):
+    """A choice between branches (``a|b``)."""
+
+    branches: Tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("alternation needs at least two branches")
+
+
+ANY_BYTE: FrozenSet[int] = frozenset(range(0x100))
+"""Byte class of ``.`` — any byte (SEPE formats are byte templates, so ``.``
+is not newline-restricted)."""
+
+DIGITS: FrozenSet[int] = frozenset(ord(c) for c in "0123456789")
+"""Byte class of ``\\d``."""
+
+WORD_CHARS: FrozenSet[int] = frozenset(
+    ord(c)
+    for c in "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+"""Byte class of ``\\w``."""
+
+WHITESPACE: FrozenSet[int] = frozenset(ord(c) for c in " \t\n\r\f\v")
+"""Byte class of ``\\s``."""

@@ -1,0 +1,242 @@
+"""Expansion of the regex AST into a :class:`KeyPattern`.
+
+Expansion flattens the AST into a *shape*: an explicit list of byte
+classes, one per key position, plus length bounds.  Each class is then
+abstracted into quads by joining every byte it admits over the semilattice
+(the same abstraction Section 3.1 applies to example keys, so the two
+input paths of Figure 5 meet here).
+
+Soundness over precision: once a variable-length construct appears
+*before* other pattern elements, the positions following it can no longer
+be assigned a single class (the same byte index may be matched by
+different pattern elements depending on earlier lengths).  Those positions
+degrade to the "any byte" class — exactly what the position-wise join of
+keys with different lengths would produce.  All eight formats the paper
+evaluates are fixed-shape, so for them the expansion is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.pattern import KeyPattern
+from repro.core.quads import QUADS_PER_BYTE, Quad, byte_to_quads, join_many
+from repro.core.regex_ast import (
+    ANY_BYTE,
+    Alternation,
+    CharClass,
+    Concat,
+    Literal,
+    Node,
+    Repeat,
+)
+from repro.core.regex_parser import parse_regex
+from repro.errors import UnsupportedPatternError
+
+_MAX_EXPANDED_LENGTH = 1 << 20
+"""Guard against pathological quantifiers like ``a{1000000000}``."""
+
+
+@dataclass
+class Shape:
+    """Flattened form of a pattern: per-position classes + length bounds.
+
+    Attributes:
+        classes: byte class for positions ``0 .. len(classes)``; positions
+            beyond ``min_length`` may be absent in a matching key.
+        min_length: shortest match, in bytes.
+        max_length: longest match, or ``None`` for unbounded tails.
+    """
+
+    classes: List[FrozenSet[int]] = field(default_factory=list)
+    min_length: int = 0
+    max_length: Optional[int] = 0
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.max_length == self.min_length
+
+
+def _empty_shape() -> Shape:
+    return Shape([], 0, 0)
+
+
+def _single(byte_class: FrozenSet[int]) -> Shape:
+    return Shape([byte_class], 1, 1)
+
+
+def _concat(left: Shape, right: Shape) -> Shape:
+    """Concatenate two shapes, degrading positions after a variable point."""
+    if left.max_length is None:
+        # Nothing can be said about positions after an unbounded tail; the
+        # whole right side dissolves into it.
+        if right.min_length > 0:
+            # Content after an unbounded repeat cannot be positioned.
+            return Shape(
+                classes=list(left.classes),
+                min_length=left.min_length + right.min_length,
+                max_length=None,
+            )
+        return left
+    if left.is_fixed:
+        new_max = (
+            None
+            if right.max_length is None
+            else left.max_length + right.max_length
+        )
+        return Shape(
+            classes=list(left.classes) + list(right.classes),
+            min_length=left.min_length + right.min_length,
+            max_length=new_max,
+        )
+    # Left is bounded but variable: right's positions smear.
+    new_max = (
+        None if right.max_length is None else left.max_length + right.max_length
+    )
+    classes = list(left.classes)
+    if new_max is not None:
+        while len(classes) < new_max:
+            classes.append(ANY_BYTE)
+        # Positions from min_length onward may align with different pattern
+        # elements; widen them all.
+        for index in range(left.min_length, new_max):
+            classes[index] = ANY_BYTE
+        classes = classes[:new_max]
+    else:
+        classes = classes[: left.min_length]
+    return Shape(
+        classes=classes,
+        min_length=left.min_length + right.min_length,
+        max_length=new_max,
+    )
+
+
+def _repeat(shape: Shape, low: int, high: Optional[int]) -> Shape:
+    if shape.max_length is None:
+        raise UnsupportedPatternError(
+            "nested unbounded repetition is not supported"
+        )
+    if high is not None and high * max(shape.max_length, 1) > _MAX_EXPANDED_LENGTH:
+        raise UnsupportedPatternError(
+            f"expanded pattern exceeds {_MAX_EXPANDED_LENGTH} bytes"
+        )
+    result = _empty_shape()
+    for _ in range(low):
+        result = _concat(result, shape)
+    if high is None:
+        # Unbounded tail: keep the fixed prefix, mark the rest open-ended.
+        return Shape(
+            classes=result.classes[: result.min_length],
+            min_length=result.min_length,
+            max_length=None,
+        )
+    for _ in range(high - low):
+        optional = Shape(
+            classes=list(shape.classes),
+            min_length=0,
+            max_length=shape.max_length,
+        )
+        result = _concat(result, optional)
+    return result
+
+
+def _alternate(branches: List[Shape]) -> Shape:
+    if any(branch.max_length is None for branch in branches):
+        max_length: Optional[int] = None
+    else:
+        max_length = max(branch.max_length for branch in branches)
+    min_length = min(branch.min_length for branch in branches)
+    width = (
+        max(len(branch.classes) for branch in branches)
+        if max_length is None
+        else max_length
+    )
+    classes: List[FrozenSet[int]] = []
+    for index in range(width):
+        union: FrozenSet[int] = frozenset()
+        for branch in branches:
+            if index < len(branch.classes):
+                union |= branch.classes[index]
+            elif branch.max_length is None and index >= branch.min_length:
+                union |= ANY_BYTE
+        classes.append(union if union else ANY_BYTE)
+    return Shape(classes, min_length, max_length)
+
+
+def _expand(node: Node) -> Shape:
+    if isinstance(node, Literal):
+        return _single(frozenset({node.byte}))
+    if isinstance(node, CharClass):
+        return _single(node.bytes)
+    if isinstance(node, Concat):
+        shape = _empty_shape()
+        for item in node.items:
+            shape = _concat(shape, _expand(item))
+        return shape
+    if isinstance(node, Repeat):
+        return _repeat(_expand(node.item), node.min_count, node.max_count)
+    if isinstance(node, Alternation):
+        return _alternate([_expand(branch) for branch in node.branches])
+    raise UnsupportedPatternError(f"unknown AST node: {type(node).__name__}")
+
+
+def class_to_quads(byte_class: FrozenSet[int]) -> Tuple[Quad, ...]:
+    """Abstract a byte class into four quads by joining its members.
+
+    >>> class_to_quads(frozenset({ord('0')}))
+    (0, 3, 0, 0)
+    >>> class_to_quads(frozenset(range(ord('0'), ord('9') + 1)))[:2]
+    (0, 3)
+    """
+    columns: List[Quad] = []
+    for position in range(QUADS_PER_BYTE):
+        columns.append(
+            join_many(byte_to_quads(byte)[position] for byte in byte_class)
+        )
+    return tuple(columns)
+
+
+def shape_to_pattern(shape: Shape) -> KeyPattern:
+    """Convert a flattened shape into the quad-based :class:`KeyPattern`.
+
+    Positions in the fixed body keep their class-joined quads; positions
+    that may be absent (between ``min_length`` and ``max_length``) join
+    with ⊤ and therefore become ⊤, matching the treatment of short keys in
+    Section 3.1.
+    """
+    quads: List[Quad] = []
+    body = shape.min_length
+    width = body if shape.max_length is None else shape.max_length
+    for index in range(width):
+        if index < body and index < len(shape.classes):
+            quads.extend(class_to_quads(shape.classes[index]))
+        else:
+            quads.extend([None] * QUADS_PER_BYTE)
+    return KeyPattern(
+        quads=tuple(quads),
+        min_length=shape.min_length,
+        max_length=shape.max_length,
+    )
+
+
+def pattern_from_regex(regex: str) -> KeyPattern:
+    """Parse and expand a format regex into a :class:`KeyPattern`.
+
+    This is the entry point behind ``make_hash_from_regex.sh`` in the
+    paper's Figure 5b.
+
+    >>> pattern = pattern_from_regex(r"(([0-9]{3})\\.){3}[0-9]{3}")
+    >>> pattern.num_bytes, pattern.is_fixed_length
+    (15, True)
+    """
+    return shape_to_pattern(_expand(parse_regex(regex)))
+
+
+def shape_from_regex(regex: str) -> Shape:
+    """Parse and flatten a regex, keeping exact byte classes.
+
+    Useful for tooling that wants the concrete classes (e.g. the key
+    generator), not just the quad abstraction.
+    """
+    return _expand(parse_regex(regex))

@@ -1,0 +1,275 @@
+"""Recursive-descent parser for SEPE's regular-expression subset.
+
+The grammar (see :mod:`repro.core.regex_ast` for the accepted fragment)::
+
+    pattern     := alternation
+    alternation := concat ('|' concat)*
+    concat      := repeated*
+    repeated    := atom quantifier?
+    quantifier  := '{' INT (',' INT?)? '}' | '*' | '+' | '?'
+    atom        := literal | escape | class | '(' pattern ')' | '.'
+    class       := '[' '^'? class-item+ ']'
+    class-item  := byte ('-' byte)? | escape-shorthand
+
+Parsing is deliberately strict: malformed quantifiers, unterminated
+classes, and stray metacharacters raise :class:`RegexSyntaxError` with the
+failing position rather than being silently reinterpreted.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.regex_ast import (
+    ANY_BYTE,
+    DIGITS,
+    WHITESPACE,
+    WORD_CHARS,
+    Alternation,
+    CharClass,
+    Concat,
+    Literal,
+    Node,
+    Repeat,
+)
+from repro.errors import RegexSyntaxError
+
+_METACHARS = set("()[]{}|*+?.\\^$")
+
+_ESCAPE_CLASSES = {
+    "d": DIGITS,
+    "w": WORD_CHARS,
+    "s": WHITESPACE,
+}
+
+_ESCAPE_LITERALS = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "0": 0,
+}
+
+
+class _Parser:
+    """Stateful cursor over the pattern text."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- low-level cursor ----------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def advance(self) -> str:
+        char = self.pattern[self.pos]
+        self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            self.fail(f"expected {char!r}")
+        self.advance()
+
+    def fail(self, message: str) -> None:
+        raise RegexSyntaxError(message, self.pattern, self.pos)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self.parse_alternation()
+        if self.pos != len(self.pattern):
+            self.fail("unexpected trailing input")
+        return node
+
+    def parse_alternation(self) -> Node:
+        branches = [self.parse_concat()]
+        while self.peek() == "|":
+            self.advance()
+            branches.append(self.parse_concat())
+        if len(branches) == 1:
+            return branches[0]
+        return Alternation(tuple(branches))
+
+    def parse_concat(self) -> Node:
+        items: List[Node] = []
+        while True:
+            char = self.peek()
+            if char is None or char in "|)":
+                break
+            items.append(self.parse_repeated())
+        if len(items) == 1:
+            return items[0]
+        return Concat(tuple(items))
+
+    def parse_repeated(self) -> Node:
+        atom = self.parse_atom()
+        char = self.peek()
+        if char == "{":
+            low, high = self.parse_brace_quantifier()
+            return Repeat(atom, low, high)
+        if char == "*":
+            self.advance()
+            return Repeat(atom, 0, None)
+        if char == "+":
+            self.advance()
+            return Repeat(atom, 1, None)
+        if char == "?":
+            self.advance()
+            return Repeat(atom, 0, 1)
+        return atom
+
+    def parse_brace_quantifier(self) -> Tuple[int, Optional[int]]:
+        self.expect("{")
+        low = self.parse_int()
+        high: Optional[int] = low
+        if self.peek() == ",":
+            self.advance()
+            if self.peek() == "}":
+                high = None
+            else:
+                high = self.parse_int()
+        self.expect("}")
+        if high is not None and high < low:
+            self.fail(f"quantifier maximum {high} below minimum {low}")
+        return low, high
+
+    def parse_int(self) -> int:
+        start = self.pos
+        while self.peek() is not None and self.peek().isdigit():
+            self.advance()
+        if start == self.pos:
+            self.fail("expected an integer")
+        return int(self.pattern[start : self.pos])
+
+    def parse_atom(self) -> Node:
+        char = self.peek()
+        if char is None:
+            self.fail("unexpected end of pattern")
+        if char == "(":
+            self.advance()
+            node = self.parse_alternation()
+            self.expect(")")
+            return node
+        if char == "[":
+            return self.parse_class()
+        if char == ".":
+            self.advance()
+            return CharClass(ANY_BYTE)
+        if char == "\\":
+            return self.parse_escape()
+        if char in "*+?{":
+            self.fail(f"quantifier {char!r} with nothing to repeat")
+        if char in ")]}":
+            self.fail(f"unbalanced {char!r}")
+        if char in "^$":
+            self.fail(f"anchors are not supported: {char!r}")
+        self.advance()
+        return Literal(ord(char))
+
+    def parse_escape(self) -> Node:
+        self.expect("\\")
+        char = self.peek()
+        if char is None:
+            self.fail("dangling backslash")
+        self.advance()
+        if char in _ESCAPE_CLASSES:
+            return CharClass(_ESCAPE_CLASSES[char])
+        if char == "D":
+            return CharClass(frozenset(ANY_BYTE - DIGITS))
+        if char == "W":
+            return CharClass(frozenset(ANY_BYTE - WORD_CHARS))
+        if char == "S":
+            return CharClass(frozenset(ANY_BYTE - WHITESPACE))
+        if char in _ESCAPE_LITERALS:
+            return Literal(_ESCAPE_LITERALS[char])
+        if char == "x":
+            return Literal(self.parse_hex_byte())
+        # Escaped metacharacter or any other escaped literal.
+        return Literal(ord(char))
+
+    def parse_hex_byte(self) -> int:
+        digits = self.pattern[self.pos : self.pos + 2]
+        if len(digits) != 2 or any(
+            d not in "0123456789abcdefABCDEF" for d in digits
+        ):
+            self.fail("\\x must be followed by two hex digits")
+        self.pos += 2
+        return int(digits, 16)
+
+    def parse_class(self) -> Node:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            negated = True
+            self.advance()
+        members: set = set()
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                self.fail("unterminated character class")
+            if char == "]" and not first:
+                self.advance()
+                break
+            members |= self.parse_class_item()
+            first = False
+        if not members:
+            self.fail("empty character class")
+        if negated:
+            members = set(range(0x100)) - members
+            if not members:
+                self.fail("negated class matches nothing")
+        return CharClass(frozenset(members))
+
+    def parse_class_item(self) -> FrozenSet[int]:
+        char = self.advance()
+        if char == "\\":
+            escape = self.advance() if self.peek() is not None else self.fail(
+                "dangling backslash in class"
+            )
+            if escape in _ESCAPE_CLASSES:
+                return _ESCAPE_CLASSES[escape]
+            if escape in _ESCAPE_LITERALS:
+                low = _ESCAPE_LITERALS[escape]
+            elif escape == "x":
+                low = self.parse_hex_byte()
+            else:
+                low = ord(escape)
+        else:
+            low = ord(char)
+        if self.peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                self.pattern[self.pos + 1] != "]":
+            self.advance()  # consume '-'
+            end_char = self.advance()
+            if end_char == "\\":
+                escape = self.advance()
+                if escape == "x":
+                    high = self.parse_hex_byte()
+                elif escape in _ESCAPE_LITERALS:
+                    high = _ESCAPE_LITERALS[escape]
+                else:
+                    high = ord(escape)
+            else:
+                high = ord(end_char)
+            if high < low:
+                self.fail(f"inverted range {chr(low)}-{chr(high)}")
+            return frozenset(range(low, high + 1))
+        return frozenset({low})
+
+
+def parse_regex(pattern: str) -> Node:
+    """Parse ``pattern`` into an AST.
+
+    Raises:
+        RegexSyntaxError: on any syntax error, with position information.
+
+    >>> isinstance(parse_regex(r"\\d{3}-\\d{2}"), Node)
+    True
+    """
+    return _Parser(pattern).parse()

@@ -1,0 +1,187 @@
+"""Rendering a :class:`KeyPattern` back into a regular expression.
+
+This is the output side of ``keybuilder`` (paper, Figure 5a): the pattern
+inferred from example keys is printed as a regex that ``keysynth`` — or a
+human — can consume.  Each byte position renders as the most readable class
+that covers exactly the bytes its quads admit; runs of identical classes
+are collapsed with ``{n}``.
+
+Because quads abstract classes (a quad template admits a *product* of bit
+choices), rendering after inference is faithful to the inferred format,
+not to the original example set — e.g. digit positions render as
+``[0-3][4-7][89:;<=>?]``-style quad classes unless the quads happen to
+coincide with a named class.  In practice the important named classes
+(digit high-nibble, letter prefixes) are recognized and rendered readably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.pattern import BytePattern, KeyPattern
+
+_SAFE_LITERALS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ "
+    "!#%&',/:;<=>@\"~`"
+)
+
+_NAMED_CLASSES: List[Tuple[frozenset, str]] = []
+
+
+def _register_named_classes() -> None:
+    """Populate the table of byte sets with conventional regex names."""
+    digits = frozenset(range(ord("0"), ord("9") + 1))
+    lower = frozenset(range(ord("a"), ord("z") + 1))
+    upper = frozenset(range(ord("A"), ord("Z") + 1))
+    hex_lower = digits | frozenset(range(ord("a"), ord("f") + 1))
+    hex_upper = digits | frozenset(range(ord("A"), ord("F") + 1))
+    _NAMED_CLASSES.extend(
+        [
+            (digits, "[0-9]"),
+            (lower, "[a-z]"),
+            (upper, "[A-Z]"),
+            (lower | upper, "[A-Za-z]"),
+            (digits | lower, "[0-9a-z]"),
+            (digits | upper, "[0-9A-Z]"),
+            (hex_lower | frozenset(range(ord("A"), ord("F") + 1)), "[0-9a-fA-F]"),
+            (hex_lower, "[0-9a-f]"),
+            (hex_upper, "[0-9A-F]"),
+            (digits | lower | upper, "[0-9A-Za-z]"),
+            (frozenset(range(0x100)), "."),
+        ]
+    )
+
+
+_register_named_classes()
+
+
+def _escape_literal(byte: int) -> str:
+    """Escape a single byte for use outside character classes."""
+    char = chr(byte)
+    if char in _SAFE_LITERALS:
+        return char
+    if char in ".^$*+?()[]{}|\\-":
+        return "\\" + char
+    return f"\\x{byte:02x}"
+
+
+def _escape_class_member(byte: int) -> str:
+    """Escape a single byte for use inside a character class."""
+    char = chr(byte)
+    if char in "]\\^-":
+        return "\\" + char
+    if 0x20 <= byte < 0x7F:
+        return char
+    return f"\\x{byte:02x}"
+
+
+def render_byte_class(byte_pattern: BytePattern) -> str:
+    """Render one byte position as a regex fragment.
+
+    Fully-constant bytes render as escaped literals; known byte sets use
+    their conventional class name; everything else renders as an explicit
+    range class.
+    """
+    if byte_pattern.is_constant:
+        return _escape_literal(byte_pattern.const_value)
+    possible = frozenset(byte_pattern.possible_bytes())
+    for named_set, name in _NAMED_CLASSES:
+        if possible == named_set:
+            return name
+    return "[" + _render_ranges(sorted(possible)) + "]"
+
+
+def _render_ranges(values: List[int]) -> str:
+    """Render a sorted byte list as compact class ranges."""
+    fragments = []
+    index = 0
+    while index < len(values):
+        start = index
+        while (
+            index + 1 < len(values) and values[index + 1] == values[index] + 1
+        ):
+            index += 1
+        low, high = values[start], values[index]
+        if high - low >= 2:
+            fragments.append(
+                f"{_escape_class_member(low)}-{_escape_class_member(high)}"
+            )
+        else:
+            fragments.extend(
+                _escape_class_member(v) for v in values[start : index + 1]
+            )
+        index += 1
+    return "".join(fragments)
+
+
+def render_regex(pattern: KeyPattern) -> str:
+    """Render a pattern as a regular expression string.
+
+    Runs of identical per-byte fragments collapse into ``{n}``.  A bounded
+    variable tail renders as ``.{0,k}``; an unbounded one as ``.*``.
+
+    Note the quad abstraction widens classes to their bit template: digit
+    positions render as ``[0-?]`` (bytes 0x30-0x3F, the constant high
+    nibble of ASCII digits) rather than ``[0-9]``.
+
+    >>> from repro.core.inference import infer_pattern
+    >>> render_regex(infer_pattern(["000-00", "555-55"]))
+    '[0-?]{3}\\\\-[0-?]{2}'
+    """
+    fragments = [
+        render_byte_class(pattern.byte_pattern(index))
+        for index in range(pattern.body_length)
+    ]
+    rendered = _collapse_runs(fragments)
+    if pattern.max_length is None:
+        rendered += ".*"
+    elif pattern.max_length > pattern.min_length:
+        rendered += f".{{0,{pattern.max_length - pattern.min_length}}}"
+    return rendered
+
+
+def _collapse_runs(fragments: List[str]) -> str:
+    """Collapse repeats: per-fragment ``{n}`` plus simple period detection.
+
+    First looks for a repeating multi-fragment period (e.g. the
+    ``(\\.[0-5]{3}){3}`` shape of IPv4 formats), then collapses remaining
+    immediate repeats with ``{n}``.
+    """
+    collapsed: List[str] = []
+    index = 0
+    while index < len(fragments):
+        # Single-fragment runs come first: "aaaa..." is a{n}, never (a{2}){2}.
+        run_end = index
+        while (
+            run_end + 1 < len(fragments)
+            and fragments[run_end + 1] == fragments[index]
+        ):
+            run_end += 1
+        run_length = run_end - index + 1
+        if run_length >= 2:
+            collapsed.append(f"{fragments[index]}{{{run_length}}}")
+            index = run_end + 1
+            continue
+        # Multi-fragment periods: smallest period with at least two
+        # repetitions and at least four fragments covered (the IPv4-style
+        # "(...){3}" shape).  Smallest period avoids nested groupings.
+        best = None
+        for period in range(2, min(16, (len(fragments) - index) // 2) + 1):
+            unit = fragments[index : index + period]
+            repeats = 1
+            while fragments[
+                index + repeats * period : index + (repeats + 1) * period
+            ] == unit:
+                repeats += 1
+            if repeats >= 2 and period * repeats >= 4:
+                best = (period, repeats)
+                break
+        if best is not None:
+            period, repeats = best
+            unit_str = _collapse_runs(fragments[index : index + period])
+            collapsed.append(f"({unit_str}){{{repeats}}}")
+            index += period * repeats
+            continue
+        collapsed.append(fragments[index])
+        index += 1
+    return "".join(collapsed)

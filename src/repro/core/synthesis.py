@@ -1,0 +1,385 @@
+"""Top-level synthesis: format in, specialized hash functions out.
+
+This is the ``synthesize`` entry of the paper's Figure 7, wrapping the
+whole pipeline::
+
+    regex or example keys
+        → KeyPattern            (inference / regex expansion)
+        → SynthesisPlan         (loads, masks, shifts, skip table)
+        → IR → Python callable  (the executable artifact)
+              → C++ source      (the artifact the paper's tool emits)
+
+Each call produces one of the four families (**Naive**, **OffXor**,
+**Aes**, **Pext**); :func:`synthesize_all_families` produces the full set
+like the paper's ``keysynth`` command line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.codegen.cpp_backend import emit_cpp
+from repro.codegen.ir import build_ir, optimize
+from repro.codegen.python_backend import (
+    HashCallable,
+    compile_source,
+    emit_python,
+)
+from repro.core.analysis import (
+    analyze_fixed_loads,
+    analyze_variable_loads,
+    naive_load_offsets,
+)
+from repro.core.inference import KeyLike, infer_pattern
+from repro.core.masks import (
+    extraction_masks,
+    fold_rotations,
+    mask_bit_counts,
+    pack_shifts,
+)
+from repro.core.pattern import KeyPattern
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SkipTable,
+    SynthesisPlan,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.regex_render import render_regex
+from repro.errors import SynthesisError
+
+FormatSource = Union[str, KeyPattern]
+
+
+@dataclass
+class SynthesizedHash:
+    """A synthesized hash function plus all its artifacts.
+
+    Instances are callable (``bytes -> int``) and usable directly as the
+    hash of the containers in :mod:`repro.containers`.
+
+    Attributes:
+        family: the synthetic family realized.
+        pattern: the key format synthesized for.
+        plan: the declarative plan (loads, masks, shifts).
+        python_source: generated Python source of the function.
+        synthesis_seconds: wall-clock time spent synthesizing (pattern
+            analysis through Python compilation), measured for RQ6.
+    """
+
+    family: HashFamily
+    pattern: KeyPattern = field(repr=False)
+    plan: SynthesisPlan = field(repr=False)
+    python_source: str = field(repr=False)
+    synthesis_seconds: float
+    _callable: HashCallable = field(repr=False)
+    name: str = "sepe_hash"
+
+    def __repr__(self) -> str:
+        length = (
+            self.pattern.body_length
+            if self.pattern.is_fixed_length
+            else f"{self.pattern.min_length}+"
+        )
+        flags = []
+        if self.plan.bijective:
+            flags.append("bijective")
+        if self.plan.final_mix:
+            flags.append("final_mix")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"SynthesizedHash({self.family.value}, "
+            f"format={self.plan.pattern_regex!r}, len={length}, "
+            f"loads={len(self.plan.loads)}{suffix})"
+        )
+
+    def __call__(self, key: bytes) -> int:
+        return self._callable(key)
+
+    @property
+    def function(self) -> HashCallable:
+        """The bare compiled callable (no dataclass indirection)."""
+        return self._callable
+
+    @property
+    def is_bijective(self) -> bool:
+        """Whether distinct conforming keys are guaranteed distinct hashes."""
+        return self.plan.bijective
+
+    def cpp_source(self, target: str = "x86") -> str:
+        """Emit the C++ the paper's tool would ship for this plan."""
+        return emit_cpp(self.plan, target=target)
+
+
+def _resolve_pattern(source: FormatSource) -> KeyPattern:
+    if isinstance(source, KeyPattern):
+        return source
+    if isinstance(source, str):
+        return pattern_from_regex(source)
+    raise TypeError(
+        f"expected a regex string or KeyPattern, got {type(source).__name__}"
+    )
+
+
+def _naive_plan(pattern: KeyPattern, regex: str) -> SynthesisPlan:
+    if pattern.is_fixed_length:
+        offsets = naive_load_offsets(pattern.body_length)
+        return SynthesisPlan(
+            family=HashFamily.NAIVE,
+            key_length=pattern.body_length,
+            loads=tuple(LoadOp(offset) for offset in offsets),
+            skip_table=None,
+            combine=CombineOp.XOR,
+            total_variable_bits=pattern.variable_bit_count(),
+            bijective=False,
+            pattern_regex=regex,
+        )
+    offsets = naive_load_offsets(pattern.body_length)
+    table = SkipTable(
+        initial_offset=offsets[0],
+        skips=tuple(
+            [b - a for a, b in zip(offsets, offsets[1:])] + [8]
+        ),
+    )
+    return SynthesisPlan(
+        family=HashFamily.NAIVE,
+        key_length=None,
+        loads=tuple(LoadOp(offset) for offset in offsets),
+        skip_table=table,
+        combine=CombineOp.XOR,
+        total_variable_bits=pattern.variable_bit_count(),
+        bijective=False,
+        pattern_regex=regex,
+    )
+
+
+def _structured_offsets(
+    pattern: KeyPattern,
+) -> Tuple[List[int], Optional[SkipTable]]:
+    """Load offsets (and skip table for variable formats) per family docs."""
+    if pattern.is_fixed_length:
+        return analyze_fixed_loads(pattern), None
+    table, offsets = analyze_variable_loads(pattern)
+    return offsets, table
+
+
+def _offxor_plan(pattern: KeyPattern, regex: str) -> SynthesisPlan:
+    offsets, table = _structured_offsets(pattern)
+    return SynthesisPlan(
+        family=HashFamily.OFFXOR,
+        key_length=pattern.body_length if pattern.is_fixed_length else None,
+        loads=tuple(LoadOp(offset) for offset in offsets),
+        skip_table=table,
+        combine=CombineOp.XOR,
+        total_variable_bits=pattern.variable_bit_count(),
+        bijective=False,
+        pattern_regex=regex,
+    )
+
+
+def _aes_plan(pattern: KeyPattern, regex: str) -> SynthesisPlan:
+    offsets, table = _structured_offsets(pattern)
+    return SynthesisPlan(
+        family=HashFamily.AES,
+        key_length=pattern.body_length if pattern.is_fixed_length else None,
+        loads=tuple(LoadOp(offset) for offset in offsets),
+        skip_table=table,
+        combine=CombineOp.AESENC,
+        total_variable_bits=pattern.variable_bit_count(),
+        bijective=False,
+        pattern_regex=regex,
+    )
+
+
+def _pext_plan(pattern: KeyPattern, regex: str) -> SynthesisPlan:
+    offsets, table = _structured_offsets(pattern)
+    masks = extraction_masks(pattern, offsets)
+    bits = mask_bit_counts(masks)
+    shifts, bijective = pack_shifts(bits)
+    loads: List[LoadOp] = []
+    if bijective:
+        for offset, mask, shift in zip(offsets, masks, shifts):
+            if mask == 0:
+                continue
+            # Re-pack shifts after dropping empty words below.
+            loads.append(LoadOp(offset, mask=mask, shift=shift))
+        # Shifts were computed including zero-bit words (which contribute
+        # nothing); recompute over the surviving words for tight packing.
+        surviving_bits = [bit for bit in bits if bit]
+        shifts, bijective = pack_shifts(surviving_bits)
+        loads = [
+            LoadOp(load.offset, mask=load.mask, shift=shift)
+            for load, shift in zip(loads, shifts)
+        ]
+        combine = CombineOp.OR
+    else:
+        rotations = fold_rotations(bits)
+        loads = [
+            LoadOp(offset, mask=mask, rotate=rotation)
+            for offset, mask, rotation in zip(offsets, masks, rotations)
+            if mask != 0
+        ]
+        combine = CombineOp.XOR
+    if not loads:
+        # Fully constant format: nothing varies, hash the raw words so
+        # non-conforming keys still disperse.
+        return _offxor_plan(pattern, regex)
+    # Variable-length formats keep the tail xor regardless of family.
+    return SynthesisPlan(
+        family=HashFamily.PEXT,
+        key_length=pattern.body_length if pattern.is_fixed_length else None,
+        loads=tuple(loads),
+        skip_table=table,
+        combine=combine,
+        total_variable_bits=pattern.variable_bit_count(),
+        bijective=bijective and pattern.is_fixed_length,
+        pattern_regex=regex,
+    )
+
+
+_PLAN_BUILDERS = {
+    HashFamily.NAIVE: _naive_plan,
+    HashFamily.OFFXOR: _offxor_plan,
+    HashFamily.AES: _aes_plan,
+    HashFamily.PEXT: _pext_plan,
+}
+
+
+def build_plan(pattern: KeyPattern, family: HashFamily) -> SynthesisPlan:
+    """Build the synthesis plan for ``pattern`` under ``family``.
+
+    Raises:
+        SynthesisError: for bodies shorter than 8 bytes (paper footnote 5:
+            SEPE defaults to the standard hash below one machine word) —
+            use :func:`synthesize_short_key` to force a sub-word plan for
+            worst-case experiments.
+    """
+    if pattern.body_length < 8:
+        raise SynthesisError(
+            f"key body of {pattern.body_length} bytes is below one machine "
+            "word; SEPE does not specialize such formats by default"
+        )
+    regex = render_regex(pattern)
+    return _PLAN_BUILDERS[family](pattern, regex)
+
+
+def synthesize(
+    source: FormatSource,
+    family: HashFamily = HashFamily.PEXT,
+    name: Optional[str] = None,
+    final_mix: bool = False,
+) -> SynthesizedHash:
+    """Synthesize one specialized hash function.
+
+    Args:
+        source: a format regex (the ``keysynth`` path, Figure 5b) or an
+            already-built :class:`KeyPattern`.
+        family: which synthetic family to generate.
+        name: name of the generated function (defaults to
+            ``sepe_<family>_hash``).
+        final_mix: append the murmur-style finalizer — an extension
+            beyond the paper that restores uniformity (Table 2) at a
+            fixed per-call cost; bijective plans stay bijective.
+
+    >>> h = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
+    >>> h(b"123-45-6789") != h(b"123-45-6780")
+    True
+    >>> h.is_bijective
+    True
+    """
+    started = time.perf_counter()
+    pattern = _resolve_pattern(source)
+    plan = build_plan(pattern, family)
+    if final_mix:
+        plan = replace(plan, final_mix=True)
+    function_name = name or f"sepe_{family.value}_hash"
+    ir = optimize(build_ir(plan, name=function_name))
+    python_source = emit_python(ir)
+    compiled = compile_source(python_source, function_name)
+    elapsed = time.perf_counter() - started
+    return SynthesizedHash(
+        family=family,
+        pattern=pattern,
+        plan=plan,
+        python_source=python_source,
+        synthesis_seconds=elapsed,
+        _callable=compiled,
+        name=function_name,
+    )
+
+
+def synthesize_from_keys(
+    keys: Iterable[KeyLike],
+    family: HashFamily = HashFamily.PEXT,
+    name: Optional[str] = None,
+) -> SynthesizedHash:
+    """Synthesize from example keys (the ``keybuilder`` path, Figure 5a)."""
+    return synthesize(infer_pattern(keys), family=family, name=name)
+
+
+def synthesize_all_families(
+    source: FormatSource,
+) -> Dict[HashFamily, SynthesizedHash]:
+    """Synthesize all four families for one format, like ``keysynth``."""
+    pattern = _resolve_pattern(source)
+    return {
+        family: synthesize(pattern, family=family) for family in HashFamily
+    }
+
+
+def synthesize_short_key(
+    source: FormatSource, family: HashFamily = HashFamily.PEXT
+) -> SynthesizedHash:
+    """Force synthesis for a sub-8-byte format (RQ7's worst case).
+
+    The paper stresses SEPE never does this by default; the four-digit
+    experiment of Section 4.7 needs it, so it is exposed explicitly.  The
+    plan is a single partial-width load (plus extraction for Pext).
+    """
+    started = time.perf_counter()
+    pattern = _resolve_pattern(source)
+    if pattern.body_length >= 8:
+        return synthesize(pattern, family=family)
+    if not pattern.is_fixed_length:
+        raise SynthesisError("short-key synthesis requires a fixed length")
+    length = pattern.body_length
+    if length == 0:
+        raise SynthesisError("cannot synthesize for an empty key")
+    mask, _value = pattern.word_const_mask(0, length)
+    variable_mask = ~mask & ((1 << (8 * length)) - 1)
+    if family is HashFamily.PEXT and variable_mask not in (0,):
+        loads = (LoadOp(0, mask=variable_mask, width=length),)
+        combine = CombineOp.OR
+        bijective = True
+    else:
+        loads = (LoadOp(0, width=length),)
+        combine = CombineOp.XOR
+        bijective = family is not HashFamily.AES
+    plan = SynthesisPlan(
+        family=family,
+        key_length=length,
+        loads=loads,
+        skip_table=None,
+        combine=combine if family is not HashFamily.AES else CombineOp.AESENC,
+        total_variable_bits=pattern.variable_bit_count(),
+        bijective=bijective and family is not HashFamily.NAIVE,
+        pattern_regex=render_regex(pattern),
+        short_key=True,
+    )
+    function_name = f"sepe_{family.value}_short_hash"
+    ir = optimize(build_ir(plan, name=function_name))
+    python_source = emit_python(ir)
+    compiled = compile_source(python_source, function_name)
+    elapsed = time.perf_counter() - started
+    return SynthesizedHash(
+        family=family,
+        pattern=pattern,
+        plan=plan,
+        python_source=python_source,
+        synthesis_seconds=elapsed,
+        _callable=compiled,
+        name=function_name,
+    )

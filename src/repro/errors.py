@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro (SEPE) library.
+
+All library-raised exceptions derive from :class:`SepeError`, so callers can
+catch one type to handle any failure originating in this package.
+"""
+
+from __future__ import annotations
+
+
+class SepeError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RegexSyntaxError(SepeError):
+    """Raised when the key-format regular expression cannot be parsed.
+
+    Attributes:
+        pattern: the offending pattern text.
+        position: index into ``pattern`` where parsing failed.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if pattern and position >= 0:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class UnsupportedPatternError(SepeError):
+    """Raised when a parsed pattern uses features synthesis cannot handle.
+
+    SEPE supports a regular-expression subset describing fixed-length byte
+    formats (character classes, literals, bounded repetition).  Unbounded
+    repetition (``*``, ``+``), alternation of different lengths, and
+    backreferences fall outside that subset.
+    """
+
+
+class SynthesisError(SepeError):
+    """Raised when code generation fails for a valid pattern.
+
+    The canonical case is a key shorter than eight bytes: SEPE defaults to
+    the standard library hash for such keys (paper, Section 4.7, footnote 5)
+    and refuses to synthesize a specialized function.
+    """
+
+
+class EmptyKeySetError(SepeError):
+    """Raised when pattern inference is given no example keys."""
+
+
+class KeyFormatError(SepeError):
+    """Raised when a key does not match the format a component expects."""

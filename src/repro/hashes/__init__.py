@@ -1,0 +1,45 @@
+"""Baseline hash functions the paper compares against, built from scratch.
+
+Every baseline of Section 4 is implemented here as a pure-Python port:
+
+- :mod:`repro.hashes.murmur_stl` — **STL**: libstdc++'s murmur-derived
+  ``_Hash_bytes`` (the paper's Figure 1), the default ``std::hash`` for
+  strings.
+- :mod:`repro.hashes.fnv` — **FNV**: libstdc++'s ``_Fnv_hash_bytes``.
+- :mod:`repro.hashes.city` — **City**: Google's CityHash64.
+- :mod:`repro.hashes.abseil` — **Abseil**: the wyhash-derived low-level
+  hash used by ``absl::Hash``.
+- :mod:`repro.hashes.polymur` — Polymur (the paper's Figure 2 motivation).
+- :mod:`repro.hashes.gpt` — **Gpt**: per-format hashes following the
+  paper's ChatGPT prompt recipe (unrolled, separators skipped).
+- :mod:`repro.hashes.gperf` — **Gperf**: a perfect-hash generator in the
+  style of GNU gperf, reproducing its failure mode on open key sets.
+
+All functions share the signature ``(key: bytes) -> int`` and return
+64-bit values; :mod:`repro.hashes.registry` exposes them by the names used
+in the paper's tables.
+"""
+
+from repro.hashes.abseil import abseil_low_level_hash
+from repro.hashes.city import city_hash64
+from repro.hashes.fnv import fnv1a_64
+from repro.hashes.murmur_stl import stl_hash_bytes
+from repro.hashes.polymur import polymur_hash
+from repro.hashes.registry import (
+    BASELINE_NAMES,
+    NamedHash,
+    baseline_hashes,
+    get_hash,
+)
+
+__all__ = [
+    "BASELINE_NAMES",
+    "NamedHash",
+    "abseil_low_level_hash",
+    "baseline_hashes",
+    "city_hash64",
+    "fnv1a_64",
+    "get_hash",
+    "polymur_hash",
+    "stl_hash_bytes",
+]

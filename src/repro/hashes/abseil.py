@@ -1,0 +1,100 @@
+"""Abseil's low-level hash, the paper's **Abseil** baseline.
+
+A port of ``absl/hash/internal/low_level_hash.cc``: the wyhash-derived
+mixer behind ``absl::Hash`` for string types.  The core operation is
+``Mix`` — a 64x64→128-bit multiply folded by xoring its halves — applied
+over 64-byte chunks (two independent lanes), then 16-byte chunks, then a
+length-dependent tail.  Salts are the published wyhash constants.
+
+As with :mod:`repro.hashes.city`, upstream digests cannot be diffed
+offline; tests pin structure and statistical quality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.bits import MASK64
+
+SALT = (
+    0xA0761D6478BD642F,
+    0xE7037ED1A0B428DB,
+    0x8EBC6AF09C88C6E3,
+    0x589965CC75374CC3,
+    0x1D8E4E27C47D124F,
+)
+"""The five 64-bit salts (wyhash's published constants)."""
+
+DEFAULT_SEED = 0x9E3779B97F4A7C15
+"""Default seed: the 64-bit golden ratio, standing in for abseil's
+process-randomized seed (fixed so runs are reproducible)."""
+
+
+def _mix(a: int, b: int) -> int:
+    product = (a & MASK64) * (b & MASK64)
+    return (product & MASK64) ^ (product >> 64)
+
+
+def _fetch64(data: bytes, offset: int) -> int:
+    return int.from_bytes(data[offset : offset + 8], "little")
+
+
+def _fetch32(data: bytes, offset: int) -> int:
+    return int.from_bytes(data[offset : offset + 4], "little")
+
+
+def abseil_low_level_hash(key: bytes, seed: int = DEFAULT_SEED) -> int:
+    """Hash ``key`` with the Abseil low-level hash.
+
+    >>> abseil_low_level_hash(b"x") != abseil_low_level_hash(b"y")
+    True
+    """
+    length = len(key)
+    starting_length = length
+    state = (seed ^ SALT[0]) & MASK64
+    offset = 0
+
+    if length > 64:
+        duplicated = state
+        while length > 64:
+            a = _fetch64(key, offset)
+            b = _fetch64(key, offset + 8)
+            c = _fetch64(key, offset + 16)
+            d = _fetch64(key, offset + 24)
+            e = _fetch64(key, offset + 32)
+            f = _fetch64(key, offset + 40)
+            g = _fetch64(key, offset + 48)
+            h = _fetch64(key, offset + 56)
+            cs0 = _mix(a ^ SALT[1], b ^ state)
+            cs1 = _mix(c ^ SALT[2], d ^ state)
+            state = cs0 ^ cs1
+            ds0 = _mix(e ^ SALT[3], f ^ duplicated)
+            ds1 = _mix(g ^ SALT[4], h ^ duplicated)
+            duplicated = ds0 ^ ds1
+            offset += 64
+            length -= 64
+        state ^= duplicated
+
+    while length > 16:
+        a = _fetch64(key, offset)
+        b = _fetch64(key, offset + 8)
+        state = _mix(a ^ SALT[1], b ^ state)
+        offset += 16
+        length -= 16
+
+    if length > 8:
+        a = _fetch64(key, offset)
+        b = _fetch64(key, offset + length - 8)
+    elif length > 3:
+        a = _fetch32(key, offset)
+        b = _fetch32(key, offset + length - 4)
+    elif length > 0:
+        a = (key[offset] << 16) | (key[offset + length // 2] << 8) | key[
+            offset + length - 1
+        ]
+        b = 0
+    else:
+        a = 0
+        b = 0
+
+    w = _mix(a ^ SALT[1], b ^ state)
+    z = SALT[1] ^ starting_length
+    return _mix(w, z)

@@ -1,0 +1,210 @@
+"""CityHash64, the paper's **City** baseline.
+
+A pure-Python port of Google's ``CityHash64`` (``city.cc``), the
+string-specialized hash Abseil still ships.  The structure — length-class
+dispatch into ``HashLen0to16`` / ``HashLen17to32`` / ``HashLen33to64`` and
+a 64-byte main loop over two 128-bit lanes — is ported faithfully,
+constants included.  Offline we cannot diff against the C++ binary, so
+tests pin self-consistency (determinism, length-class boundaries, and
+avalanche quality) rather than upstream digests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.bits import MASK64
+
+K0 = 0xC3A5C85C97CB3127
+K1 = 0xB492B66FBE98F273
+K2 = 0x9AE16A3B2F90404F
+K_MUL = 0x9DDFEA08EB382D69
+
+
+def _fetch64(data: bytes, offset: int = 0) -> int:
+    return int.from_bytes(data[offset : offset + 8], "little")
+
+
+def _fetch32(data: bytes, offset: int = 0) -> int:
+    return int.from_bytes(data[offset : offset + 4], "little")
+
+
+def _rotate(value: int, shift: int) -> int:
+    if shift == 0:
+        return value & MASK64
+    value &= MASK64
+    return ((value >> shift) | (value << (64 - shift))) & MASK64
+
+
+def _shift_mix(value: int) -> int:
+    value &= MASK64
+    return value ^ (value >> 47)
+
+
+def _bswap64(value: int) -> int:
+    return int.from_bytes((value & MASK64).to_bytes(8, "little"), "big")
+
+
+def _hash128_to_64(low: int, high: int) -> int:
+    a = ((low ^ high) * K_MUL) & MASK64
+    a ^= a >> 47
+    b = ((high ^ a) * K_MUL) & MASK64
+    b ^= b >> 47
+    return (b * K_MUL) & MASK64
+
+
+def _hash_len16(u: int, v: int) -> int:
+    return _hash128_to_64(u, v)
+
+
+def _hash_len16_mul(u: int, v: int, mul: int) -> int:
+    a = ((u ^ v) * mul) & MASK64
+    a ^= a >> 47
+    b = ((v ^ a) * mul) & MASK64
+    b ^= b >> 47
+    return (b * mul) & MASK64
+
+
+def _hash_len0_to16(data: bytes) -> int:
+    length = len(data)
+    if length >= 8:
+        mul = (K2 + length * 2) & MASK64
+        a = (_fetch64(data) + K2) & MASK64
+        b = _fetch64(data, length - 8)
+        c = ((_rotate(b, 37) * mul) + a) & MASK64
+        d = ((_rotate(a, 25) + b) * mul) & MASK64
+        return _hash_len16_mul(c, d, mul)
+    if length >= 4:
+        mul = (K2 + length * 2) & MASK64
+        a = _fetch32(data)
+        return _hash_len16_mul(
+            (length + (a << 3)) & MASK64, _fetch32(data, length - 4), mul
+        )
+    if length > 0:
+        a = data[0]
+        b = data[length >> 1]
+        c = data[length - 1]
+        y = (a + (b << 8)) & MASK64
+        z = (length + (c << 2)) & MASK64
+        return (_shift_mix((y * K2) ^ (z * K0)) * K2) & MASK64
+    return K2
+
+
+def _hash_len17_to32(data: bytes) -> int:
+    length = len(data)
+    mul = (K2 + length * 2) & MASK64
+    a = (_fetch64(data) * K1) & MASK64
+    b = _fetch64(data, 8)
+    c = (_fetch64(data, length - 8) * mul) & MASK64
+    d = (_fetch64(data, length - 16) * K2) & MASK64
+    return _hash_len16_mul(
+        (_rotate((a + b) & MASK64, 43) + _rotate(c, 30) + d) & MASK64,
+        (a + _rotate((b + K2) & MASK64, 18) + c) & MASK64,
+        mul,
+    )
+
+
+def _weak_hash_len32_with_seeds_words(
+    w: int, x: int, y: int, z: int, a: int, b: int
+) -> Tuple[int, int]:
+    a = (a + w) & MASK64
+    b = _rotate((b + a + z) & MASK64, 21)
+    c = a
+    a = (a + x) & MASK64
+    a = (a + y) & MASK64
+    b = (b + _rotate(a, 44)) & MASK64
+    return (a + z) & MASK64, (b + c) & MASK64
+
+
+def _weak_hash_len32_with_seeds(
+    data: bytes, offset: int, a: int, b: int
+) -> Tuple[int, int]:
+    return _weak_hash_len32_with_seeds_words(
+        _fetch64(data, offset),
+        _fetch64(data, offset + 8),
+        _fetch64(data, offset + 16),
+        _fetch64(data, offset + 24),
+        a,
+        b,
+    )
+
+
+def _hash_len33_to64(data: bytes) -> int:
+    length = len(data)
+    mul = (K2 + length * 2) & MASK64
+    a = (_fetch64(data) * K2) & MASK64
+    b = _fetch64(data, 8)
+    c = _fetch64(data, length - 24)
+    d = _fetch64(data, length - 32)
+    e = (_fetch64(data, 16) * K2) & MASK64
+    f = (_fetch64(data, 24) * 9) & MASK64
+    g = _fetch64(data, length - 8)
+    h = (_fetch64(data, length - 16) * mul) & MASK64
+    u = (_rotate((a + g) & MASK64, 43) + ((_rotate(b, 30) + c) * 9)) & MASK64
+    v = ((((a + g) & MASK64) ^ d) + f + 1) & MASK64
+    w = (_bswap64(((u + v) & MASK64) * mul) + h) & MASK64
+    x = (_rotate((e + f) & MASK64, 42) + c) & MASK64
+    y = ((_bswap64(((v + w) & MASK64) * mul) + g) * mul) & MASK64
+    z = (e + f + c) & MASK64
+    a = (_bswap64((((x + z) & MASK64) * mul + y) & MASK64) + b) & MASK64
+    b = (_shift_mix((((z + a) & MASK64) * mul + d + h) & MASK64) * mul) & MASK64
+    return (b + x) & MASK64
+
+
+def city_hash64(key: bytes) -> int:
+    """Hash ``key`` with CityHash64.
+
+    >>> city_hash64(b"hello") == city_hash64(b"hello")
+    True
+    >>> city_hash64(b"hello") != city_hash64(b"hellp")
+    True
+    """
+    length = len(key)
+    if length <= 32:
+        if length <= 16:
+            return _hash_len0_to16(key)
+        return _hash_len17_to32(key)
+    if length <= 64:
+        return _hash_len33_to64(key)
+
+    x = _fetch64(key, length - 40)
+    y = (_fetch64(key, length - 16) + _fetch64(key, length - 56)) & MASK64
+    z = _hash_len16(
+        (_fetch64(key, length - 48) + length) & MASK64,
+        _fetch64(key, length - 24),
+    )
+    v = _weak_hash_len32_with_seeds(key, length - 64, length, z)
+    w = _weak_hash_len32_with_seeds(key, length - 32, (y + K1) & MASK64, x)
+    x = ((x * K1) + _fetch64(key)) & MASK64
+
+    offset = 0
+    remaining = (length - 1) & ~63
+    while True:
+        x = (
+            _rotate((x + y + v[0] + _fetch64(key, offset + 8)) & MASK64, 37)
+            * K1
+        ) & MASK64
+        y = (
+            _rotate((y + v[1] + _fetch64(key, offset + 48)) & MASK64, 42) * K1
+        ) & MASK64
+        x ^= w[1]
+        y = (y + v[0] + _fetch64(key, offset + 40)) & MASK64
+        z = (_rotate((z + w[0]) & MASK64, 33) * K1) & MASK64
+        v = _weak_hash_len32_with_seeds(
+            key, offset, (v[1] * K1) & MASK64, (x + w[0]) & MASK64
+        )
+        w = _weak_hash_len32_with_seeds(
+            key,
+            offset + 32,
+            (z + w[1]) & MASK64,
+            (y + _fetch64(key, offset + 16)) & MASK64,
+        )
+        z, x = x, z
+        offset += 64
+        remaining -= 64
+        if remaining == 0:
+            break
+    return _hash_len16(
+        (_hash_len16(v[0], w[0]) + (_shift_mix(y) * K1) + z) & MASK64,
+        (_hash_len16(v[1], w[1]) + x) & MASK64,
+    )

@@ -1,0 +1,44 @@
+"""FNV-1a, the paper's **FNV** baseline (libstdc++ ``_Fnv_hash_bytes``).
+
+The 64-bit Fowler-Noll-Vo variant: xor each byte into the hash, then
+multiply by the FNV prime.  libstdc++ ships this next to the murmur
+implementation of Figure 1 (``hash_bytes.cc``, line 123).
+"""
+
+from __future__ import annotations
+
+from repro.isa.bits import MASK64
+
+FNV_PRIME_64 = 1099511628211
+"""The 64-bit FNV prime (2^40 + 2^8 + 0xb3)."""
+
+FNV_OFFSET_BASIS_64 = 14695981039346656037
+"""The 64-bit FNV offset basis."""
+
+
+def fnv1a_64(key: bytes, seed: int = FNV_OFFSET_BASIS_64) -> int:
+    """Hash ``key`` with 64-bit FNV-1a.
+
+    >>> fnv1a_64(b"") == FNV_OFFSET_BASIS_64
+    True
+    >>> hex(fnv1a_64(b"a"))
+    '0xaf63dc4c8601ec8c'
+    """
+    hash_value = seed
+    for byte in key:
+        hash_value ^= byte
+        hash_value = (hash_value * FNV_PRIME_64) & MASK64
+    return hash_value
+
+
+def fnv1_64(key: bytes, seed: int = FNV_OFFSET_BASIS_64) -> int:
+    """The multiply-first FNV-1 variant, kept for completeness.
+
+    libstdc++'s ``_Fnv_hash_bytes`` is the 1a (xor-first) variant above;
+    some older callers use FNV-1.
+    """
+    hash_value = seed
+    for byte in key:
+        hash_value = (hash_value * FNV_PRIME_64) & MASK64
+        hash_value ^= byte
+    return hash_value

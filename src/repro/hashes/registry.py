@@ -1,0 +1,83 @@
+"""Registry of hash functions under the names the paper's tables use.
+
+Benchmarks and examples look functions up here so every table and figure
+uses consistent naming: ``STL``, ``Abseil``, ``City``, ``FNV`` for the
+library baselines, ``Gpt``/``Gperf`` for the generated baselines (these
+are per-format or per-keyset and need a factory), and ``Naive``,
+``OffXor``, ``Aes``, ``Pext`` for the synthetic families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.hashes.abseil import abseil_low_level_hash
+from repro.hashes.city import city_hash64
+from repro.hashes.fnv import fnv1a_64
+from repro.hashes.murmur_stl import stl_hash_bytes
+from repro.hashes.polymur import polymur_hash
+
+HashCallable = Callable[[bytes], int]
+
+
+@dataclass(frozen=True)
+class NamedHash:
+    """A hash function with its paper name and provenance note."""
+
+    name: str
+    function: HashCallable
+    description: str
+
+    def __call__(self, key: bytes) -> int:
+        return self.function(key)
+
+
+_BASELINES: Dict[str, NamedHash] = {
+    "STL": NamedHash(
+        "STL",
+        stl_hash_bytes,
+        "libstdc++ murmur-derived _Hash_bytes (paper Figure 1)",
+    ),
+    "FNV": NamedHash(
+        "FNV",
+        fnv1a_64,
+        "libstdc++ _Fnv_hash_bytes (64-bit FNV-1a)",
+    ),
+    "City": NamedHash(
+        "City",
+        city_hash64,
+        "Google CityHash64 (Abseil's string hash)",
+    ),
+    "Abseil": NamedHash(
+        "Abseil",
+        abseil_low_level_hash,
+        "Abseil low-level hash (wyhash-derived)",
+    ),
+    "Polymur": NamedHash(
+        "Polymur",
+        polymur_hash,
+        "Polymur-style universal hash (paper Figure 2)",
+    ),
+}
+
+BASELINE_NAMES: List[str] = ["Abseil", "City", "FNV", "STL"]
+"""The four library baselines of Table 1, in its alphabetical order."""
+
+
+def baseline_hashes() -> Dict[str, NamedHash]:
+    """All registered baseline functions, keyed by paper name."""
+    return dict(_BASELINES)
+
+
+def get_hash(name: str) -> NamedHash:
+    """Look up a baseline by paper name (case-insensitive).
+
+    Raises:
+        KeyError: with the known names listed, for typo-friendly errors.
+    """
+    for key, value in _BASELINES.items():
+        if key.lower() == name.lower():
+            return value
+    known = ", ".join(sorted(_BASELINES))
+    raise KeyError(f"unknown hash {name!r}; known baselines: {known}")

@@ -1,0 +1,45 @@
+"""Software implementations of the machine instructions SEPE relies on.
+
+The paper's generated C++ uses x86 ``pext`` (parallel bit extract), the
+``aesenc`` AES-round instruction, and unaligned 64-bit little-endian loads.
+None of those are available to pure Python, so this package provides
+bit-exact software equivalents:
+
+- :mod:`repro.isa.bits` — ``pext``/``pdep``, popcount, rotations and the
+  mask-run decomposition SEPE's Python backend uses to make constant-mask
+  extraction fast.
+- :mod:`repro.isa.aes` — one full AES round (SubBytes, ShiftRows,
+  MixColumns, AddRoundKey) over a 128-bit integer state, matching the
+  semantics of x86 ``aesenc`` / aarch64 ``AESE + AESMC`` as used by the
+  paper's **Aes** hash family.
+- :mod:`repro.isa.memory` — ``load_u64_le``, partial-word loads, and the
+  ``shift_mix`` helper from libstdc++'s murmur implementation.
+"""
+
+from repro.isa.aes import aesenc
+from repro.isa.bits import (
+    MASK64,
+    mask_to_runs,
+    pdep,
+    pext,
+    pext_via_runs,
+    popcount,
+    rotl64,
+    rotr64,
+)
+from repro.isa.memory import load_bytes, load_u64_le, shift_mix
+
+__all__ = [
+    "MASK64",
+    "aesenc",
+    "load_bytes",
+    "load_u64_le",
+    "mask_to_runs",
+    "pdep",
+    "pext",
+    "pext_via_runs",
+    "popcount",
+    "rotl64",
+    "rotr64",
+    "shift_mix",
+]

@@ -1,0 +1,61 @@
+"""Word-level memory operations used by generated and baseline hashes.
+
+These mirror the helpers in libstdc++'s ``hash_bytes.cc`` (the STL murmur
+implementation of the paper's Figure 1) and the ``load_u64_le`` used by the
+paper's generated C++ (Figure 5c).  Keys are Python ``bytes``; machine words
+are 64-bit little-endian unsigned integers.
+"""
+
+from __future__ import annotations
+
+from repro.isa.bits import MASK64
+
+
+def load_u64_le(data: bytes, offset: int = 0) -> int:
+    """Load eight bytes starting at ``offset`` as a little-endian u64.
+
+    Mirrors the unaligned load in the paper's generated functions
+    (``load_u64_le(key.c_str() + off)``).  Raises :class:`ValueError` when
+    fewer than eight bytes are available, because the C++ equivalent would
+    read out of bounds — generated plans must never do that.
+    """
+    if offset < 0:
+        raise ValueError(f"negative offset: {offset}")
+    if offset + 8 > len(data):
+        raise ValueError(
+            f"load_u64_le out of bounds: offset {offset} + 8 > len {len(data)}"
+        )
+    return int.from_bytes(data[offset : offset + 8], "little")
+
+
+def load_u32_le(data: bytes, offset: int = 0) -> int:
+    """Load four bytes starting at ``offset`` as a little-endian u32."""
+    if offset < 0:
+        raise ValueError(f"negative offset: {offset}")
+    if offset + 4 > len(data):
+        raise ValueError(
+            f"load_u32_le out of bounds: offset {offset} + 4 > len {len(data)}"
+        )
+    return int.from_bytes(data[offset : offset + 4], "little")
+
+
+def load_bytes(data: bytes, offset: int, count: int) -> int:
+    """Load ``count`` (1..7) trailing bytes as a little-endian integer.
+
+    This is libstdc++'s ``load_bytes`` helper, used for the unaligned tail
+    of a key in Figure 1, line 13.
+    """
+    if not 0 < count < 8:
+        raise ValueError(f"load_bytes count must be in 1..7, got {count}")
+    if offset < 0 or offset + count > len(data):
+        raise ValueError(
+            f"load_bytes out of bounds: offset {offset}, count {count}, "
+            f"len {len(data)}"
+        )
+    return int.from_bytes(data[offset : offset + count], "little")
+
+
+def shift_mix(value: int) -> int:
+    """libstdc++'s ``shift_mix``: ``v ^ (v >> 47)`` on 64 bits."""
+    value &= MASK64
+    return value ^ (value >> 47)

@@ -1,0 +1,43 @@
+"""Workload generation: the paper's key formats, distributions and driver.
+
+- :mod:`repro.keygen.keyspec` — the eight key formats of Section 4 (SSN,
+  CPF, MAC, IPv4, IPv6, INTS, URL1, URL2) as index→key codecs.
+- :mod:`repro.keygen.distributions` — incremental (ascending), uniform
+  and normal draws over a format's key space.
+- :mod:`repro.keygen.generator` — key streams combining the two.
+- :mod:`repro.keygen.driver` — the benchmark driver: affectations
+  (generate a key, then insert/search/erase) in batched or interweaved
+  mode, with the paper's probability triples.
+"""
+
+from repro.keygen.adversarial import collision_ratio, xor_attack_for
+from repro.keygen.distributions import Distribution, make_index_stream
+from repro.keygen.extended import EXTENDED_KEY_TYPES, extended_key_spec
+from repro.keygen.driver import (
+    AffectationResult,
+    DriverConfig,
+    ExecutionMode,
+    ProbabilityMix,
+    run_driver,
+)
+from repro.keygen.generator import KeyGenerator, generate_keys
+from repro.keygen.keyspec import KEY_TYPES, KeySpec, key_spec
+
+__all__ = [
+    "AffectationResult",
+    "Distribution",
+    "DriverConfig",
+    "EXTENDED_KEY_TYPES",
+    "ExecutionMode",
+    "KEY_TYPES",
+    "collision_ratio",
+    "extended_key_spec",
+    "xor_attack_for",
+    "KeyGenerator",
+    "KeySpec",
+    "ProbabilityMix",
+    "generate_keys",
+    "key_spec",
+    "make_index_stream",
+    "run_driver",
+]

@@ -1,0 +1,179 @@
+"""The benchmark driver: affectations over a hash container (Section 4).
+
+An *affectation* is the paper's unit of work: generate a key, then
+perform one operation (insert, search or erase) on the container.  The
+driver supports the paper's two execution modes:
+
+- **batched** — all insertions first, then all searches, then all
+  eliminations, in equal thirds of the affectation budget;
+- **interweaved** — the first half of the budget inserts; the second
+  half draws operations at random with probabilities ``(P_i, P_s)`` for
+  insert/search (erase gets the remainder).  The paper allows exactly
+  three probability mixes: (0.7, 0.2), (0.6, 0.2), (0.4, 0.3).
+
+Keys come from a bounded pool of ``spread`` distinct keys (500, 2,000 or
+10,000 in the paper), drawn per-affectation with replacement.
+
+Timing: ``elapsed_seconds`` wraps the whole affectation loop — this is
+the paper's B-Time.  The pure hashing time (H-Time) is measured
+separately by :func:`repro.bench.runner.measure_hash_time`, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.containers.base import HashTableBase
+from repro.containers.unordered_map import UnorderedMap
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import KeyGenerator
+from repro.keygen.keyspec import KeySpec
+
+HashCallable = Callable[[bytes], int]
+
+
+class ExecutionMode(enum.Enum):
+    """Batched vs interweaved operation scheduling."""
+
+    BATCHED = "batched"
+    INTERWEAVED = "interweaved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProbabilityMix:
+    """An interweaved-mode probability pair ``(P_i, P_s)``."""
+
+    insert: float
+    search: float
+
+    def __post_init__(self) -> None:
+        if self.insert < 0 or self.search < 0:
+            raise ValueError("probabilities must be non-negative")
+        if self.insert + self.search > 1.0:
+            raise ValueError("P_i + P_s must leave room for removals")
+
+    @property
+    def erase(self) -> float:
+        return 1.0 - self.insert - self.search
+
+
+ALLOWED_MIXES: Tuple[ProbabilityMix, ...] = (
+    ProbabilityMix(0.7, 0.2),
+    ProbabilityMix(0.6, 0.2),
+    ProbabilityMix(0.4, 0.3),
+)
+"""The three probability mixes the paper permits."""
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """One experiment parameterization (a cell of the paper's grid)."""
+
+    key_spec: KeySpec
+    distribution: Distribution = Distribution.NORMAL
+    container_type: Type[HashTableBase] = UnorderedMap
+    mode: ExecutionMode = ExecutionMode.BATCHED
+    mix: ProbabilityMix = ALLOWED_MIXES[0]
+    affectations: int = 10_000
+    spread: int = 10_000
+    seed: int = 0
+
+
+@dataclass
+class AffectationResult:
+    """What one driver run produced.
+
+    Attributes:
+        elapsed_seconds: wall-clock time of the affectation loop (B-Time).
+        inserts / searches / erases: operation counts actually performed.
+        bucket_collisions: the container's B-Coll after the run.
+        true_collisions: distinct stored keys sharing a hash value.
+        final_size: elements left in the container.
+        bucket_count: final bucket count.
+    """
+
+    elapsed_seconds: float
+    inserts: int
+    searches: int
+    erases: int
+    bucket_collisions: int
+    true_collisions: int
+    final_size: int
+    bucket_count: int
+
+
+def run_driver(
+    hash_function: HashCallable, config: DriverConfig
+) -> AffectationResult:
+    """Run one experiment: build the container, run the affectation loop.
+
+    The key pool and the operation schedule are generated *before* the
+    timed region, so ``elapsed_seconds`` covers hashing plus container
+    work only — the quantity Figure 13 plots.
+    """
+    generator = KeyGenerator(
+        config.key_spec, config.distribution, seed=config.seed
+    )
+    pool = generator.distinct_pool(config.spread)
+    rng = random.Random(config.seed + 0x5EED)
+    schedule = _build_schedule(config, pool, rng)
+    container = config.container_type(hash_function)
+
+    inserts = searches = erases = 0
+    started = time.perf_counter()
+    for operation, key in schedule:
+        if operation == 0:
+            container.insert(key, None)
+            inserts += 1
+        elif operation == 1:
+            container.find(key)
+            searches += 1
+        else:
+            container.erase(key)
+            erases += 1
+    elapsed = time.perf_counter() - started
+
+    return AffectationResult(
+        elapsed_seconds=elapsed,
+        inserts=inserts,
+        searches=searches,
+        erases=erases,
+        bucket_collisions=container.bucket_collisions(),
+        true_collisions=container.true_collisions(),
+        final_size=len(container),
+        bucket_count=container.bucket_count,
+    )
+
+
+def _build_schedule(
+    config: DriverConfig, pool: List[bytes], rng: random.Random
+) -> List[Tuple[int, bytes]]:
+    """Materialize the (operation, key) sequence for a run."""
+    total = config.affectations
+    draw = lambda: pool[rng.randrange(len(pool))]  # noqa: E731
+    schedule: List[Tuple[int, bytes]] = []
+    if config.mode is ExecutionMode.BATCHED:
+        third = total // 3
+        remainder = total - 2 * third
+        schedule.extend((0, draw()) for _ in range(remainder))
+        schedule.extend((1, draw()) for _ in range(third))
+        schedule.extend((2, draw()) for _ in range(third))
+        return schedule
+    half = total // 2
+    schedule.extend((0, draw()) for _ in range(half))
+    for _ in range(total - half):
+        roll = rng.random()
+        if roll < config.mix.insert:
+            schedule.append((0, draw()))
+        elif roll < config.mix.insert + config.mix.search:
+            schedule.append((1, draw()))
+        else:
+            schedule.append((2, draw()))
+    return schedule

@@ -1,0 +1,119 @@
+"""Extended key formats beyond the paper's evaluation set.
+
+The paper's introduction motivates specialization with "social security
+numbers, plate numbers, MAC addresses, etc." but evaluates only eight
+formats.  This module supplies more of the "etc." as ready-made
+:class:`~repro.keygen.keyspec.KeySpec` codecs, both to exercise the
+synthesizer on wider structure (mixed letter/digit fields, hex with
+fixed version nibbles) and to serve as realistic example workloads:
+
+- ``PLATE``   — Mercosur-style license plates ``AAA1A11``.
+- ``UUID4``   — canonical UUIDv4 text: fixed version nibble '4' and a
+  constrained variant nibble, inside 36 bytes of hex and dashes.
+- ``ISBN13``  — ``978-d-dd-dddddd-d`` with the constant GS1 prefix.
+- ``E164``    — ``+1-ddd-ddd-dddd`` North-American phone numbers.
+- ``IBAN_DE`` — German IBANs: constant country code + 20 digits.
+
+All are fixed-length and synthesizable; tests assert which ones Pext can
+pack bijectively (UUID4's 120+ variable bits cannot fit 64; plates can).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.keygen.keyspec import KeySpec
+
+_UPPER = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _encode_plate(index: int) -> bytes:
+    # AAA 1 A 11 : three letters, digit, letter, two digits.
+    index, d2 = divmod(index, 100)
+    index, letter4 = divmod(index, 26)
+    index, d1 = divmod(index, 10)
+    index, letter3 = divmod(index, 26)
+    index, letter2 = divmod(index, 26)
+    letter1 = index % 26
+    return (
+        f"{_UPPER[letter1]}{_UPPER[letter2]}{_UPPER[letter3]}"
+        f"{d1}{_UPPER[letter4]}{d2:02d}"
+    ).encode()
+
+
+def _encode_uuid4(index: int) -> bytes:
+    # 30 free hex digits; version nibble fixed to 4, variant to 'a'.
+    digits = f"{index:030x}"
+    return (
+        f"{digits[:8]}-{digits[8:12]}-4{digits[12:15]}-"
+        f"a{digits[15:18]}-{digits[18:30]}"
+    ).encode()
+
+
+def _encode_isbn13(index: int) -> bytes:
+    digits = f"{index:010d}"
+    return (
+        f"978-{digits[0]}-{digits[1:3]}-{digits[3:9]}-{digits[9]}"
+    ).encode()
+
+
+def _encode_e164(index: int) -> bytes:
+    digits = f"{index:010d}"
+    return f"+1-{digits[:3]}-{digits[3:6]}-{digits[6:]}".encode()
+
+
+def _encode_iban_de(index: int) -> bytes:
+    return f"DE{index:020d}".encode()
+
+
+EXTENDED_KEY_TYPES: Dict[str, KeySpec] = {
+    "PLATE": KeySpec(
+        "PLATE",
+        r"[A-Z]{3}[0-9][A-Z][0-9]{2}",
+        7,
+        26**4 * 10**3,
+        _encode_plate,
+    ),
+    "UUID4": KeySpec(
+        "UUID4",
+        r"[0-9a-f]{8}-[0-9a-f]{4}-4[0-9a-f]{3}-a[0-9a-f]{3}-[0-9a-f]{12}",
+        36,
+        16**30,
+        _encode_uuid4,
+    ),
+    "ISBN13": KeySpec(
+        "ISBN13",
+        r"978-[0-9]-[0-9]{2}-[0-9]{6}-[0-9]",
+        17,
+        10**10,
+        _encode_isbn13,
+    ),
+    "E164": KeySpec(
+        "E164",
+        r"\+1-[0-9]{3}-[0-9]{3}-[0-9]{4}",
+        15,
+        10**10,
+        _encode_e164,
+    ),
+    "IBAN_DE": KeySpec(
+        "IBAN_DE",
+        r"DE[0-9]{20}",
+        22,
+        10**20,
+        _encode_iban_de,
+    ),
+}
+"""Extended formats, keyed by name; disjoint from the paper's eight."""
+
+
+def extended_key_spec(name: str) -> KeySpec:
+    """Look up an extended format by name (case-insensitive).
+
+    Raises:
+        KeyError: listing the known extended names.
+    """
+    spec = EXTENDED_KEY_TYPES.get(name.upper())
+    if spec is None:
+        known = ", ".join(EXTENDED_KEY_TYPES)
+        raise KeyError(f"unknown extended key type {name!r}; known: {known}")
+    return spec

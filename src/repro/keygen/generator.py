@@ -1,0 +1,93 @@
+"""Key streams: a format plus a distribution, materialized as bytes.
+
+:class:`KeyGenerator` is the object the benchmark driver consumes: an
+infinite iterator of conforming keys, with a bounded-pool variant
+implementing the paper's *spread* parameter (experiments draw their
+10,000 affectations from pools of 500, 2,000 or 10,000 distinct keys).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Union
+
+from repro.keygen.distributions import Distribution, make_index_stream
+from repro.keygen.keyspec import KeySpec, key_spec
+
+
+class KeyGenerator:
+    """An infinite stream of keys of one format under one distribution.
+
+    Args:
+        spec: key format, by :class:`KeySpec` or paper name.
+        distribution: which distribution indexes are drawn from.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        spec: Union[KeySpec, str],
+        distribution: Distribution = Distribution.UNIFORM,
+        seed: int = 0,
+    ):
+        self.spec = key_spec(spec) if isinstance(spec, str) else spec
+        self.distribution = distribution
+        self.seed = seed
+        self._indexes = make_index_stream(
+            distribution, self.spec.space_size, seed=seed
+        )
+
+    def __iter__(self) -> Iterator[bytes]:
+        return self
+
+    def __next__(self) -> bytes:
+        return self.spec.encode(next(self._indexes))
+
+    def take(self, count: int) -> List[bytes]:
+        """The next ``count`` keys as a list."""
+        return list(itertools.islice(self, count))
+
+    def distinct_pool(self, spread: int) -> List[bytes]:
+        """A pool of ``spread`` *distinct* keys (the driver's spread knob).
+
+        Draws from the stream until the pool is full, skipping duplicate
+        draws; incremental streams never duplicate within a cycle.
+
+        Raises:
+            ValueError: when the key space is smaller than ``spread``.
+        """
+        if spread > self.spec.space_size:
+            raise ValueError(
+                f"cannot draw {spread} distinct keys from a space of "
+                f"{self.spec.space_size}"
+            )
+        pool: List[bytes] = []
+        seen = set()
+        for key in self:
+            if key not in seen:
+                seen.add(key)
+                pool.append(key)
+                if len(pool) == spread:
+                    break
+        return pool
+
+
+def generate_keys(
+    key_type: str,
+    count: int,
+    distribution: Distribution = Distribution.UNIFORM,
+    seed: int = 0,
+) -> List[bytes]:
+    """Convenience: ``count`` keys of ``key_type`` under ``distribution``.
+
+    >>> generate_keys("SSN", 2, Distribution.INCREMENTAL)
+    [b'000-00-0000', b'000-00-0001']
+    """
+    return KeyGenerator(key_type, distribution, seed=seed).take(count)
+
+
+def sample_pool(pool: List[bytes], count: int, seed: int = 0) -> List[bytes]:
+    """Draw ``count`` keys from a pool with replacement, deterministically."""
+    rng = random.Random(seed)
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]

@@ -1,0 +1,175 @@
+"""The eight key formats of the paper's evaluation (Section 4).
+
+Each format is a :class:`KeySpec`: a bijection between ``[0, space_size)``
+and the conforming key strings, so distributions are defined over indexes
+and encoded on demand.  The formats and their regexes are taken verbatim
+from the paper's "Keys" list:
+
+========  ==========================================  ======  ===========
+name      format                                      length  space size
+========  ==========================================  ======  ===========
+SSN       ``\\d{3}-\\d{2}-\\d{4}``                        11      10^9
+CPF       ``\\d{3}\\.\\d{3}\\.\\d{3}-\\d{2}``                14      10^11
+MAC       ``([0-9a-f]{2}-){5}[0-9a-f]{2}``            17      16^12
+IPV4      ``(([0-9]{3})\\.){3}[0-9]{3}``                15      10^12
+IPV6      ``([0-9a-f]{4}:){7}[0-9a-f]{4}``            39      16^32
+INTS      ``[0-9]{100}``                              100     10^100
+URL1      23-char constant + ``[a-z0-9]{20}\\.html``   48      36^20
+URL2      36-char constant + ``[a-z0-9]{20}\\.html``   61      36^20
+========  ==========================================  ======  ===========
+
+Note the paper's IPv4 keys are *fixed-length*: every octet group is
+exactly three digits ranging 000-999, not a numeric 0-255 octet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+_BASE36 = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+URL1_PREFIX = "https://www.example.com"
+"""The 23-character constant prefix of URL1 keys."""
+
+URL2_PREFIX = "https://www.example.com/en/articles/"
+"""The 36-character constant prefix of URL2 keys."""
+
+assert len(URL1_PREFIX) == 23
+assert len(URL2_PREFIX) == 36
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    """One key format: a codec between indexes and key strings.
+
+    Attributes:
+        name: the paper's name for the format (``SSN``, ``MAC``, ...).
+        regex: the format regex, as listed in Section 4.
+        length: fixed key length in bytes.
+        space_size: number of distinct conforming keys.
+        encode: index in ``[0, space_size)`` → key ``bytes``.
+    """
+
+    name: str
+    regex: str
+    length: int
+    space_size: int
+    encode: Callable[[int], bytes]
+
+    def encode_checked(self, index: int) -> bytes:
+        """Encode with bounds checking (``encode`` itself is hot-path)."""
+        if not 0 <= index < self.space_size:
+            raise ValueError(
+                f"index {index} outside key space of {self.name} "
+                f"(size {self.space_size})"
+            )
+        key = self.encode(index)
+        if len(key) != self.length:
+            raise AssertionError(
+                f"{self.name} encoder produced {len(key)} bytes, "
+                f"expected {self.length}"
+            )
+        return key
+
+
+def _encode_ssn(index: int) -> bytes:
+    digits = f"{index:09d}"
+    return f"{digits[:3]}-{digits[3:5]}-{digits[5:]}".encode()
+
+
+def _encode_cpf(index: int) -> bytes:
+    digits = f"{index:011d}"
+    return (
+        f"{digits[:3]}.{digits[3:6]}.{digits[6:9]}-{digits[9:]}".encode()
+    )
+
+
+def _encode_mac(index: int) -> bytes:
+    digits = f"{index:012x}"
+    return "-".join(
+        digits[position : position + 2] for position in range(0, 12, 2)
+    ).encode()
+
+
+def _encode_ipv4(index: int) -> bytes:
+    digits = f"{index:012d}"
+    return ".".join(
+        digits[position : position + 3] for position in range(0, 12, 3)
+    ).encode()
+
+
+def _encode_ipv6(index: int) -> bytes:
+    digits = f"{index:032x}"
+    return ":".join(
+        digits[position : position + 4] for position in range(0, 32, 4)
+    ).encode()
+
+
+def _encode_ints(index: int) -> bytes:
+    return f"{index:0100d}".encode()
+
+
+def _encode_base36_token(index: int) -> str:
+    chars: List[str] = []
+    for _ in range(20):
+        index, digit = divmod(index, 36)
+        chars.append(_BASE36[digit])
+    return "".join(reversed(chars))
+
+
+def _encode_url1(index: int) -> bytes:
+    return (URL1_PREFIX + _encode_base36_token(index) + ".html").encode()
+
+
+def _encode_url2(index: int) -> bytes:
+    return (URL2_PREFIX + _encode_base36_token(index) + ".html").encode()
+
+
+KEY_TYPES: Dict[str, KeySpec] = {
+    "SSN": KeySpec("SSN", r"\d{3}-\d{2}-\d{4}", 11, 10**9, _encode_ssn),
+    "CPF": KeySpec(
+        "CPF", r"\d{3}\.\d{3}\.\d{3}-\d{2}", 14, 10**11, _encode_cpf
+    ),
+    "MAC": KeySpec(
+        "MAC", r"([0-9a-f]{2}-){5}[0-9a-f]{2}", 17, 16**12, _encode_mac
+    ),
+    "IPV4": KeySpec(
+        "IPV4", r"(([0-9]{3})\.){3}[0-9]{3}", 15, 10**12, _encode_ipv4
+    ),
+    "IPV6": KeySpec(
+        "IPV6", r"([0-9a-f]{4}:){7}[0-9a-f]{4}", 39, 16**32, _encode_ipv6
+    ),
+    "INTS": KeySpec("INTS", r"[0-9]{100}", 100, 10**100, _encode_ints),
+    "URL1": KeySpec(
+        "URL1",
+        r"https://www\.example\.com[a-z0-9]{20}\.html",
+        48,
+        36**20,
+        _encode_url1,
+    ),
+    "URL2": KeySpec(
+        "URL2",
+        r"https://www\.example\.com/en/articles/[a-z0-9]{20}\.html",
+        61,
+        36**20,
+        _encode_url2,
+    ),
+}
+"""All eight formats, keyed by the paper's names."""
+
+KEY_TYPE_NAMES = tuple(KEY_TYPES)
+"""Format names in the paper's listing order."""
+
+
+def key_spec(name: str) -> KeySpec:
+    """Look up a format by name (case-insensitive).
+
+    Raises:
+        KeyError: listing the known names.
+    """
+    spec = KEY_TYPES.get(name.upper())
+    if spec is None:
+        known = ", ".join(KEY_TYPES)
+        raise KeyError(f"unknown key type {name!r}; known: {known}")
+    return spec

@@ -1,0 +1,57 @@
+"""Tests for generated-code size measurement."""
+
+from repro.bench.code_size import (
+    _statement_count,
+    measure_code_size,
+    size_scaling,
+)
+from repro.core.plan import HashFamily
+
+
+class TestStatementCount:
+    def test_skips_blank_and_braces(self):
+        source = "int f() {\n\n    return 1;\n}\n"
+        assert _statement_count(source) == 2  # signature+brace, return
+
+    def test_skips_comments(self):
+        source = "// comment\n# comment\nx = 1\n"
+        assert _statement_count(source) == 1
+
+
+class TestMeasure:
+    def test_rows_per_format_family(self):
+        rows = measure_code_size(key_types=("SSN",))
+        assert len(rows) == 4  # four families
+        assert {row["family"] for row in rows} == {
+            "naive", "offxor", "aes", "pext",
+        }
+
+    def test_families_filter(self):
+        rows = measure_code_size(
+            key_types=("SSN",), families=[HashFamily.NAIVE]
+        )
+        assert len(rows) == 1
+
+    def test_pext_has_no_aarch64(self):
+        rows = measure_code_size(
+            key_types=("SSN",), families=[HashFamily.PEXT]
+        )
+        assert rows[0]["aarch64 bytes"] == 0
+
+    def test_aes_aarch64_exists_and_is_bulkier(self):
+        rows = measure_code_size(
+            key_types=("SSN",), families=[HashFamily.AES]
+        )
+        assert rows[0]["aarch64 bytes"] > rows[0]["x86 bytes"]
+
+
+class TestScaling:
+    def test_monotone_growth(self):
+        rows = size_scaling(exponents=(4, 6, 8))
+        sizes = [row["cpp bytes"] for row in rows]
+        assert sizes == sorted(sizes)
+        assert rows[0]["key bytes"] == 16
+
+    def test_loads_track_key_size(self):
+        rows = size_scaling(exponents=(4, 5))
+        assert rows[1]["loads"] == 2 * rows[0]["loads"]

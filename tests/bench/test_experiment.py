@@ -1,0 +1,68 @@
+"""Tests for the experiment grid."""
+
+from repro.bench.experiment import (
+    ExperimentSpec,
+    experiment_grid,
+    grid_size_per_key_type,
+)
+from repro.containers import CONTAINER_TYPES
+from repro.keygen.driver import ExecutionMode
+
+
+class TestGridSizes:
+    def test_full_grid_is_paper_144(self):
+        """4 containers x 3 distributions x 3 spreads x 4 modes = 144,
+        the paper's experiment count."""
+        assert grid_size_per_key_type(reduced=False) == 144
+
+    def test_reduced_grid(self):
+        assert grid_size_per_key_type(reduced=True) == 12
+
+    def test_all_key_types_by_default(self):
+        cells = experiment_grid(reduced=True)
+        names = {cell.key_spec.name for cell in cells}
+        assert len(names) == 8
+
+    def test_key_type_filter(self):
+        cells = experiment_grid(key_types=["SSN", "MAC"], reduced=True)
+        assert {cell.key_spec.name for cell in cells} == {"SSN", "MAC"}
+
+
+class TestGridContents:
+    def test_full_grid_covers_all_containers(self):
+        cells = experiment_grid(key_types=["SSN"], reduced=False)
+        assert {cell.container_name for cell in cells} == set(CONTAINER_TYPES)
+
+    def test_full_grid_covers_modes(self):
+        cells = experiment_grid(key_types=["SSN"], reduced=False)
+        batched = [
+            cell for cell in cells if cell.mode is ExecutionMode.BATCHED
+        ]
+        interweaved = [
+            cell for cell in cells if cell.mode is ExecutionMode.INTERWEAVED
+        ]
+        assert len(batched) * 3 == len(interweaved)
+
+    def test_full_grid_spreads(self):
+        cells = experiment_grid(key_types=["SSN"], reduced=False)
+        assert {cell.spread for cell in cells} == {500, 2000, 10_000}
+
+    def test_cells_unique(self):
+        cells = experiment_grid(key_types=["SSN"], reduced=False)
+        assert len(set(cells)) == len(cells)
+
+
+class TestExperimentSpec:
+    def test_driver_config_materialization(self):
+        cell = experiment_grid(key_types=["SSN"], reduced=True)[0]
+        config = cell.driver_config(affectations=123, seed=9)
+        assert config.affectations == 123
+        assert config.seed == 9
+        assert config.key_spec.name == "SSN"
+        assert config.container_type is cell.container_type
+
+    def test_label_readable(self):
+        cell = experiment_grid(key_types=["MAC"], reduced=True)[0]
+        label = cell.label()
+        assert "MAC" in label
+        assert "unordered" in label

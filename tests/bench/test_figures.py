@@ -1,0 +1,126 @@
+"""Tests for the figure generators (tiny scale)."""
+
+import pytest
+
+from repro.bench.figures import (
+    figure13,
+    figure16,
+    figure17_18,
+    figure18_four_digits,
+    figure19,
+    figure20,
+    synthesis_linearity,
+)
+
+
+class TestFigure13:
+    def test_series_structure(self):
+        series = figure13(key_types=["SSN"], samples=1, affectations=300)
+        assert "STL" in series and "Pext" in series
+        # reduced grid = 12 cells, 1 sample each.
+        assert all(len(samples) == 12 for samples in series.values())
+
+
+class TestFigure16:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return figure16(exponents=(4, 6, 8, 10), repeats=1)
+
+    def test_families_present(self, series):
+        assert set(series) == {"offxor", "aes", "pext"}
+
+    def test_times_grow_with_size(self, series):
+        for points in series.values():
+            sizes = [size for size, _ in points]
+            assert sizes == sorted(sizes)
+
+    def test_linearity(self):
+        series = figure16(exponents=(4, 6, 8, 10, 12), repeats=2)
+        correlations = synthesis_linearity(series)
+        # RQ6: synthesis time is linear in key size (paper: r >= 0.993).
+        for family, r in correlations.items():
+            assert r > 0.9, (family, r)
+
+
+class TestFigure17and18:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        return figure17_18(
+            key_types=["SSN"],
+            keys_per_type=2000,
+            discard_steps=(0, 16, 32, 48),
+        )
+
+    def test_structure(self, sweeps):
+        bucket_series, true_series = sweeps
+        assert set(bucket_series) == set(true_series)
+        for points in bucket_series.values():
+            assert [x for x, _ in points] == [0, 16, 32, 48]
+
+    def test_naive_degrades_with_discard(self, sweeps):
+        """RQ7: Naive/OffXor suffer increasing collisions as low bits are
+        discarded; baselines resist."""
+        bucket_series, _ = sweeps
+        naive = dict(bucket_series["Naive"])
+        stl = dict(bucket_series["STL"])
+        assert naive[48] > naive[0]
+        assert naive[48] > stl[48] * 2
+
+    def test_true_collisions_monotone(self, sweeps):
+        _, true_series = sweeps
+        for name, points in true_series.items():
+            counts = [count for _, count in points]
+            assert counts == sorted(counts), name
+
+
+class TestFourDigitWorstCase:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure18_four_digits(discard_bits=32)
+
+    def test_msb_indexing_hurts_pext(self, results):
+        """Section 4.7: with the 32 MSBs indexing buckets, Pext loses all
+        10,000 four-digit keys to true collisions."""
+        assert results["Pext"]["msb_true_collisions"] == 9999
+
+    def test_lsb_indexing_equalizes(self, results):
+        """With the 32 LSBs, Pext and STL behave identically: both keep
+        every key distinct in the low half."""
+        assert results["Pext"]["lsb_true_collisions"] == 0
+        assert results["STL"]["lsb_true_collisions"] == (
+            results["STL"]["lsb_true_collisions"]
+        )
+
+    def test_stl_resists_msb(self, results):
+        assert (
+            results["STL"]["msb_true_collisions"]
+            < results["Pext"]["msb_true_collisions"]
+        )
+
+
+class TestFigure19:
+    def test_series_structure(self):
+        series = figure19(exponents=(4, 6), keys_per_size=20, repeats=1)
+        assert "Pext" in series and "STL" in series
+        for points in series.values():
+            assert [size for size, _ in points] == [16, 64]
+
+    def test_times_grow_linearly_ish(self):
+        series = figure19(exponents=(4, 8), keys_per_size=30, repeats=2)
+        for name, points in series.items():
+            small, large = points[0][1], points[1][1]
+            assert large > small, name  # 16x the bytes must cost more
+
+
+class TestFigure20:
+    def test_containers_present(self):
+        series = figure20(
+            key_types=["SSN"], samples=1, affectations=400, spread=200
+        )
+        assert set(series) == {
+            "unordered_map",
+            "unordered_set",
+            "unordered_multimap",
+            "unordered_multiset",
+        }
+        assert all(len(samples) == 5 for samples in series.values())

@@ -1,0 +1,59 @@
+"""Tests for the full-evaluation orchestrator (smoke scale)."""
+
+import pytest
+
+from repro.bench.full_run import SCALES, run_all
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"smoke", "reduced", "paper"}
+
+    def test_paper_scale_matches_paper(self):
+        paper = SCALES["paper"]
+        assert paper.samples == 10
+        assert paper.affectations == 10_000
+        assert paper.uniformity_keys == 100_000
+        assert len(paper.key_types) == 8
+
+    def test_unknown_scale_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_all(scale="gigantic", out_dir=str(tmp_path))
+
+
+class TestSmokeRun:
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("out")
+        progress = []
+        result = run_all(
+            scale="smoke",
+            out_dir=str(out),
+            progress=progress.append,
+        )
+        return result, out, progress
+
+    def test_all_artifacts_present(self, reports):
+        result, _out, _progress = reports
+        expected = {
+            "table1", "table2", "table3",
+            "figure13", "figure15", "figure16", "figure17", "figure18",
+            "figure19", "figure20", "code_size",
+        }
+        assert set(result) == expected
+
+    def test_files_written(self, reports):
+        result, out, _progress = reports
+        for name in result:
+            path = out / f"{name}.txt"
+            assert path.exists()
+            assert path.read_text() == result[name]
+
+    def test_progress_callback_fired(self, reports):
+        result, _out, progress = reports
+        assert sorted(progress) == sorted(result)
+
+    def test_reports_nonempty_and_titled(self, reports):
+        result, _out, _progress = reports
+        assert "Table 1 (smoke scale)" in result["table1"]
+        assert all(len(text) > 100 for text in result.values())

@@ -1,0 +1,60 @@
+"""Tests for container memory accounting."""
+
+import pytest
+
+from repro.bench.memory import container_footprint, footprint_comparison
+from repro.containers import UnorderedMap
+from repro.containers.bijective import BijectiveMap
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+class TestFootprint:
+    def test_rejects_non_containers(self):
+        with pytest.raises(TypeError):
+            container_footprint({"not": "a container"})
+
+    def test_counts_nodes_and_keys(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.insert(b"0123456789", "value")
+        footprint = container_footprint(table)
+        assert footprint["nodes"] == 1
+        assert footprint["key_payload_bytes"] == 10
+        assert footprint["total_bytes"] > 0
+
+    def test_grows_with_content(self):
+        table = UnorderedMap(stl_hash_bytes)
+        before = container_footprint(table)["total_bytes"]
+        for index in range(500):
+            table.insert(f"key-{index:06d}".encode(), None)
+        after = container_footprint(table)["total_bytes"]
+        assert after > before
+
+
+class TestBijectiveSavings:
+    def test_key_payload_is_zero(self):
+        pext = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        table = BijectiveMap(pext)
+        keys = generate_keys("SSN", 500, Distribution.UNIFORM, seed=1)
+        for key in keys:
+            table.insert(key, None)
+        footprint = container_footprint(table)
+        assert footprint["key_payload_bytes"] == 0
+        assert footprint["nodes"] == len(set(keys))
+
+    def test_comparison_shows_savings(self):
+        pext = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        keys = generate_keys("SSN", 1000, Distribution.UNIFORM, seed=2)
+        reference = UnorderedMap(pext.function)
+        specialized = BijectiveMap(pext)
+        for key in keys:
+            reference.insert(key, None)
+            specialized.insert(key, None)
+        comparison = footprint_comparison(reference, specialized)
+        assert comparison["saved_bytes"] > 0
+        assert comparison["specialized_key_bytes"] == 0
+        assert comparison["reference_key_bytes"] == 11 * len(set(keys))
+        assert 0 < comparison["saved_fraction"] < 1

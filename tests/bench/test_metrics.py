@@ -1,0 +1,147 @@
+"""Tests for the evaluation statistics."""
+
+import math
+import random
+
+import pytest
+
+from repro.bench.metrics import (
+    chi_square_p_value,
+    chi_square_uniformity,
+    collisions_by_key_type,
+    geometric_mean,
+    mann_whitney_u,
+    normalized_chi_square,
+    pearson_correlation,
+    summarize,
+    total_collisions,
+)
+
+
+class TestGeometricMean:
+    def test_single(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_known(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 8, 4]) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_zero_floored(self):
+        assert geometric_mean([0.0, 1.0]) > 0
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) <= sum(values) / 3
+
+
+class TestCollisions:
+    def test_no_collisions(self):
+        assert total_collisions(lambda key: int(key), [b"1", b"2", b"3"]) == 0
+
+    def test_all_collide(self):
+        assert total_collisions(lambda key: 7, [b"1", b"2", b"3"]) == 2
+
+    def test_duplicate_keys_not_counted(self):
+        assert total_collisions(lambda key: int(key), [b"1", b"1", b"2"]) == 0
+
+    def test_by_key_type(self):
+        functions = {"good": lambda key: int(key), "bad": lambda key: 0}
+        result = collisions_by_key_type(functions, [b"1", b"2", b"3"])
+        assert result == {"good": 0, "bad": 2}
+
+
+class TestChiSquare:
+    def test_uniform_random_low(self):
+        rng = random.Random(1)
+        keys = [str(i).encode() for i in range(20_000)]
+        values = {key: rng.randrange(1 << 64) for key in keys}
+        statistic = chi_square_uniformity(
+            lambda key: values[key], keys, bins=64
+        )
+        # Expected chi-square ~ bins for a uniform sample.
+        assert statistic < 3 * 64
+
+    def test_constant_hash_maximal(self):
+        keys = [str(i).encode() for i in range(1000)]
+        statistic = chi_square_uniformity(lambda key: 0, keys, bins=64)
+        assert statistic == pytest.approx(1000 * 63, rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(lambda key: 0, [], bins=16)
+
+    def test_normalized_reference_is_one(self):
+        keys = [str(i).encode() for i in range(2000)]
+        rng = random.Random(2)
+        values = {key: rng.randrange(1 << 64) for key in keys}
+        suite = {
+            "STL": lambda key: values[key],
+            "Bad": lambda key: 1,
+        }
+        normalized = normalized_chi_square(suite, keys, bins=64)
+        assert normalized["STL"] == pytest.approx(1.0)
+        assert normalized["Bad"] > 10
+
+    def test_normalized_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalized_chi_square({"X": lambda key: 0}, [b"a"], bins=4)
+
+    def test_p_value_accepts_uniform(self):
+        rng = random.Random(3)
+        keys = [str(i).encode() for i in range(5000)]
+        values = {key: rng.randrange(1 << 64) for key in keys}
+        p_value = chi_square_p_value(lambda key: values[key], keys, bins=64)
+        assert p_value > 0.01
+
+    def test_p_value_rejects_constant(self):
+        keys = [str(i).encode() for i in range(1000)]
+        assert chi_square_p_value(lambda key: 5, keys, bins=64) < 1e-6
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mann_whitney_u(a, a) > 0.5
+
+    def test_disjoint_samples_significant(self):
+        a = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5]
+        b = [9.0, 9.1, 9.2, 9.3, 9.4, 9.5]
+        assert mann_whitney_u(a, b) < 0.05
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0, 3.0])
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0, 4.0, 6.0, 8.0]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_anti_correlated(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,74 @@
+"""Tests for text rendering of results."""
+
+import pytest
+
+from repro.bench.report import (
+    render_boxplot,
+    render_series,
+    render_speedups,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no data)" in render_table([])
+
+    def test_alignment_and_title(self):
+        rows = [
+            {"Function": "STL", "value": 1.5},
+            {"Function": "Pext", "value": 10.25},
+        ]
+        text = render_table(rows, title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "Function" in lines[1]
+        assert "STL" in text and "Pext" in text
+
+    def test_int_formatting_with_separators(self):
+        text = render_table([{"n": 55502}])
+        assert "55,502" in text
+
+    def test_small_floats_scientific(self):
+        text = render_table([{"t": 0.000069}])
+        assert "e-" in text
+
+
+class TestRenderBoxplot:
+    def test_summary_columns(self):
+        series = {"STL": [1.0, 2.0, 3.0], "Pext": [0.5, 0.6]}
+        text = render_boxplot(series, unit="ms", scale=1000.0)
+        assert "median (ms)" in text
+        assert "STL" in text and "Pext" in text
+
+    def test_scaling(self):
+        text = render_boxplot({"X": [0.002]}, unit="ms", scale=1000.0)
+        assert "2" in text
+
+
+class TestRenderSeries:
+    def test_wide_layout(self):
+        series = {"Pext": [(16, 0.001), (32, 0.002)]}
+        text = render_series(series)
+        assert "16" in text and "32" in text
+
+    def test_empty(self):
+        assert "(no data)" in render_series({})
+
+
+class TestRenderSpeedups:
+    def test_reference_required(self):
+        with pytest.raises(KeyError):
+            render_speedups({"A": [1.0]}, reference="STL")
+
+    def test_speedup_computation(self):
+        series = {"STL": [2.0, 2.0], "Fast": [1.0, 1.0]}
+        text = render_speedups(series, reference="STL")
+        assert "2.000" in text  # Fast is 2x
+
+    def test_sorted_fastest_first(self):
+        series = {"STL": [2.0], "Fast": [0.5], "Slow": [8.0]}
+        text = render_speedups(series, reference="STL")
+        fast_pos = text.index("Fast")
+        slow_pos = text.index("Slow")
+        assert fast_pos < slow_pos

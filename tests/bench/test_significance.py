@@ -1,0 +1,64 @@
+"""Tests for the Mann-Whitney significance matrix."""
+
+import random
+
+import pytest
+
+from repro.bench.significance import (
+    equivalent_pairs,
+    matrix_rows,
+    p_value_matrix,
+    significant_pairs,
+)
+
+
+@pytest.fixture
+def series():
+    rng = random.Random(7)
+    fast = [0.001 + rng.random() * 0.0001 for _ in range(20)]
+    fast_twin = [0.001 + rng.random() * 0.0001 for _ in range(20)]
+    slow = [0.01 + rng.random() * 0.0001 for _ in range(20)]
+    return {"fast": fast, "fast_twin": fast_twin, "slow": slow}
+
+
+class TestMatrix:
+    def test_diagonal_is_one(self, series):
+        matrix = p_value_matrix(series)
+        for name in series:
+            assert matrix[name][name] == 1.0
+
+    def test_symmetric(self, series):
+        matrix = p_value_matrix(series)
+        for a in series:
+            for b in series:
+                assert matrix[a][b] == matrix[b][a]
+
+    def test_detects_difference(self, series):
+        matrix = p_value_matrix(series)
+        assert matrix["fast"]["slow"] < 0.05
+
+    def test_accepts_equivalence(self, series):
+        matrix = p_value_matrix(series)
+        assert matrix["fast"]["fast_twin"] >= 0.05
+
+
+class TestPairLists:
+    def test_partition(self, series):
+        names = sorted(series)
+        total_pairs = len(names) * (len(names) - 1) // 2
+        equivalent = equivalent_pairs(series)
+        significant = significant_pairs(series)
+        assert len(equivalent) + len(significant) == total_pairs
+
+    def test_expected_members(self, series):
+        equivalent = {(a, b) for a, b, _ in equivalent_pairs(series)}
+        assert ("fast", "fast_twin") in equivalent
+        significant = {(a, b) for a, b, _ in significant_pairs(series)}
+        assert ("fast", "slow") in significant
+
+
+class TestRows:
+    def test_renderable(self, series):
+        rows = matrix_rows(series)
+        assert len(rows) == 3
+        assert set(rows[0]) == {"vs", "fast", "fast_twin", "slow"}

@@ -1,0 +1,67 @@
+"""Tests for the per-key-type hash suites."""
+
+import pytest
+
+from repro.bench.suite import (
+    SYNTHETIC_NAMES,
+    TABLE1_ORDER,
+    make_gperf_hash,
+    make_hash_suite,
+    synthesize_suite,
+)
+from repro.keygen.keyspec import KEY_TYPES, key_spec
+
+
+class TestSyntheticSuite:
+    def test_x86_has_four_families(self):
+        suite = synthesize_suite(key_spec("SSN"))
+        assert set(suite) == set(SYNTHETIC_NAMES)
+
+    def test_aarch64_drops_pext(self):
+        suite = synthesize_suite(key_spec("SSN"), arch="aarch64")
+        assert "Pext" not in suite
+        assert set(suite) == {"Naive", "OffXor", "Aes"}
+
+    def test_functions_callable(self, ssn_keys):
+        suite = synthesize_suite(key_spec("SSN"))
+        for name, function in suite.items():
+            assert isinstance(function(ssn_keys[0]), int), name
+
+
+class TestFullSuite:
+    def test_table1_functions_present(self):
+        suite = make_hash_suite("SSN")
+        assert set(suite) == set(TABLE1_ORDER)
+
+    def test_include_filter(self):
+        suite = make_hash_suite("SSN", include=["STL", "Pext"])
+        assert set(suite) == {"STL", "Pext"}
+
+    def test_include_skips_gperf_generation(self):
+        # Must be fast: no gperf search when it is excluded.
+        suite = make_hash_suite("SSN", include=["STL"])
+        assert set(suite) == {"STL"}
+
+    def test_gpt_is_format_specific(self):
+        ssn_suite = make_hash_suite("SSN", include=["Gpt"])
+        mac_suite = make_hash_suite("MAC", include=["Gpt"])
+        assert ssn_suite["Gpt"] is not mac_suite["Gpt"]
+
+    @pytest.mark.parametrize("name", ["SSN", "MAC", "URL1"])
+    def test_all_functions_hash_conforming_keys(self, name, key_samples):
+        suite = make_hash_suite(name)
+        for function_name, function in suite.items():
+            value = function(key_samples[name][0])
+            assert isinstance(value, int), function_name
+
+
+class TestGperfFactory:
+    def test_trained_on_requested_count(self):
+        function = make_gperf_hash(key_spec("SSN"), training_keys=50)
+        assert len(function.keywords) == 50
+
+    def test_deterministic_by_seed(self):
+        a = make_gperf_hash(key_spec("SSN"), seed=1, training_keys=30)
+        b = make_gperf_hash(key_spec("SSN"), seed=1, training_keys=30)
+        assert a.asso == b.asso
+        assert a.positions == b.positions

@@ -1,0 +1,108 @@
+"""Tests for the table generators (tiny scale)."""
+
+import pytest
+
+from repro.bench.suite import TABLE1_ORDER
+from repro.bench.tables import table1, table2, table3
+
+
+@pytest.fixture(scope="module")
+def tiny_table1():
+    return table1(
+        key_types=["SSN"],
+        samples=1,
+        affectations=500,
+        collision_keys=500,
+        h_time_keys=500,
+    )
+
+
+class TestTable1:
+    def test_row_per_function(self, tiny_table1):
+        names = [row["Function"] for row in tiny_table1]
+        assert names == list(TABLE1_ORDER)
+
+    def test_columns(self, tiny_table1):
+        assert set(tiny_table1[0]) == {
+            "Function", "B-Time (ms)", "H-Time (ms)", "B-Coll", "T-Coll",
+        }
+
+    def test_times_positive(self, tiny_table1):
+        for row in tiny_table1:
+            assert row["B-Time (ms)"] > 0
+            assert row["H-Time (ms)"] > 0
+
+    def test_gperf_collides_most(self, tiny_table1):
+        by_name = {row["Function"]: row for row in tiny_table1}
+        assert by_name["Gperf"]["T-Coll"] > 100
+        assert by_name["Pext"]["T-Coll"] == 0
+        assert by_name["STL"]["T-Coll"] == 0
+
+    def test_aarch64_mode_drops_pext(self):
+        rows = table1(
+            key_types=["SSN"],
+            samples=1,
+            affectations=300,
+            collision_keys=300,
+            h_time_keys=300,
+            arch="aarch64",
+        )
+        names = {row["Function"] for row in rows}
+        assert "Pext" not in names
+        assert "Naive" in names
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2(key_types=["SSN"], keys_per_type=5000, bins=64)
+
+    def test_stl_normalized_to_one(self, rows):
+        by_name = {row["Function"]: row for row in rows}
+        for column in ("Inc", "Normal", "Uniform"):
+            assert by_name["STL"][column] == pytest.approx(1.0)
+
+    def test_library_baselines_near_one(self, rows):
+        by_name = {row["Function"]: row for row in rows}
+        for name in ("City", "Abseil"):
+            for column in ("Normal", "Uniform"):
+                assert by_name[name][column] < 5.0
+
+    def test_synthetics_less_uniform(self, rows):
+        """Table 2's headline: synthetic functions are considerably less
+        uniform than STL."""
+        by_name = {row["Function"]: row for row in rows}
+        assert by_name["Naive"]["Uniform"] > 10
+        assert by_name["OffXor"]["Uniform"] > 10
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3(
+            key_types=["SSN"],
+            samples=1,
+            affectations=400,
+            collision_keys=400,
+        )
+
+    def test_columns_per_distribution(self, rows):
+        expected = {
+            "Function",
+            "BT Inc (ms)", "TC Inc",
+            "BT Normal (ms)", "TC Normal",
+            "BT Uniform (ms)", "TC Uniform",
+        }
+        assert set(rows[0]) == expected
+
+    def test_pext_zero_collisions_all_distributions(self, rows):
+        """Table 3: only Pext achieves 0 collisions across all
+        distributions."""
+        by_name = {row["Function"]: row for row in rows}
+        for column in ("TC Inc", "TC Normal", "TC Uniform"):
+            assert by_name["Pext"][column] == 0
+
+    def test_gperf_collides_everywhere(self, rows):
+        by_name = {row["Function"]: row for row in rows}
+        for column in ("TC Inc", "TC Normal", "TC Uniform"):
+            assert by_name["Gperf"][column] > 50

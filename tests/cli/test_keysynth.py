@@ -1,0 +1,55 @@
+"""Tests for the keysynth CLI."""
+
+import pytest
+
+from repro.cli.keysynth import run
+
+
+class TestKeysynth:
+    def test_default_emits_pext_and_offxor_cpp(self, capsys):
+        assert run([r"\d{3}-\d{2}-\d{4}"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesizedPextHash" in out
+        assert "synthesizedOffxorHash" in out
+        assert "_pext_u64" in out
+
+    def test_single_family(self, capsys):
+        assert run([r"\d{3}-\d{2}-\d{4}", "--family", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesizedNaiveHash" in out
+        assert "Pext" not in out
+
+    def test_python_emission(self, capsys):
+        assert run(
+            [r"\d{3}-\d{2}-\d{4}", "--family", "offxor", "--emit", "python"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "def sepe_offxor_hash" in out
+
+    def test_aarch64_target(self, capsys):
+        assert run(
+            [r"\d{3}-\d{2}-\d{4}", "--family", "aes", "--target", "aarch64"]
+        ) == 0
+        assert "arm_neon.h" in capsys.readouterr().out
+
+    def test_pext_on_aarch64_fails(self, capsys):
+        assert run(
+            [r"\d{3}-\d{2}-\d{4}", "--family", "pext", "--target", "aarch64"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_regex_fails(self, capsys):
+        assert run(["[unclosed", "--family", "pext"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_short_format_fails_gracefully(self, capsys):
+        assert run([r"\d{4}", "--family", "pext"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_final_mix_flag_reaches_cpp(self, capsys):
+        assert run(
+            [r"\d{3}-\d{2}-\d{4}", "--family", "offxor", "--final-mix"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hash ^= hash >> 47;" in out

@@ -1,0 +1,84 @@
+"""Tests for the umbrella sepe CLI."""
+
+import pytest
+
+from repro.cli.main import run
+
+
+class TestInfer:
+    def test_infer_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "keys.txt"
+        path.write_text("ab\ncd\n")
+        assert run(["infer", str(path)]) == 0
+        assert capsys.readouterr().out.strip() != ""
+
+
+class TestSynth:
+    def test_synth_subcommand(self, capsys):
+        assert run(["synth", r"\d{3}-\d{2}-\d{4}", "--family", "pext"]) == 0
+        assert "synthesizedPextHash" in capsys.readouterr().out
+
+    def test_synth_python(self, capsys):
+        assert run(
+            ["synth", r"\d{10}", "--family", "naive", "--emit", "python"]
+        ) == 0
+        assert "def sepe_naive_hash" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert run(["demo", "SSN", "--keys", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "STL" in out and "Pext" in out
+        assert "collisions" in out
+
+    def test_demo_unknown_key_type(self, capsys):
+        assert run(["demo", "NOPE"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestListFormats:
+    def test_lists_both_catalogs(self, capsys):
+        assert run(["list-formats"]) == 0
+        out = capsys.readouterr().out
+        assert "SSN" in out and "MAC" in out and "INTS" in out
+        assert "UUID4" in out and "PLATE" in out
+
+
+class TestValidate:
+    def test_validate_pext(self, capsys):
+        assert run(["validate", r"\d{3}-\d{2}-\d{4}", "--family", "pext",
+                    "--sample", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "bijection claimed: True" in out
+        assert "collision rate:    0.000000" in out
+
+    def test_validate_final_mix_improves_avalanche(self, capsys):
+        assert run(["validate", r"\d{3}-\d{2}-\d{4}", "--family", "offxor",
+                    "--final-mix", "--sample", "300"]) == 0
+        out = capsys.readouterr().out
+        avalanche = float(out.split("avalanche score:")[1].split()[0])
+        assert avalanche > 0.3
+
+    def test_validate_bad_family(self, capsys):
+        assert run(["validate", r"\d{10}", "--family", "bogus"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_validate_bad_regex(self, capsys):
+        assert run(["validate", "[oops", "--family", "pext"]) == 1
+
+
+class TestBench:
+    def test_bench_table1_tiny(self, capsys):
+        assert run(
+            ["bench", "1", "--key-types", "SSN", "--samples", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Pext" in out
+
+    def test_bench_table2_tiny(self, capsys):
+        assert run(
+            ["bench", "2", "--key-types", "SSN", "--keys", "3000"]
+        ) == 0
+        assert "Table 2" in capsys.readouterr().out

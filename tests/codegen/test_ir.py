@@ -1,0 +1,139 @@
+"""Tests for the IR builder and optimizer."""
+
+import pytest
+
+from repro.codegen.ir import IRFunction, Instr, build_ir, optimize
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SkipTable,
+    SynthesisPlan,
+)
+from repro.errors import SynthesisError
+
+
+def simple_plan(**overrides):
+    defaults = dict(
+        family=HashFamily.OFFXOR,
+        key_length=16,
+        loads=(LoadOp(0), LoadOp(8)),
+        skip_table=None,
+        combine=CombineOp.XOR,
+        total_variable_bits=128,
+        bijective=False,
+    )
+    defaults.update(overrides)
+    return SynthesisPlan(**defaults)
+
+
+class TestIRFunction:
+    def test_fresh_names_unique(self):
+        func = IRFunction("f", simple_plan())
+        names = {func.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_emit_appends(self):
+        func = IRFunction("f", simple_plan())
+        dest = func.emit("const", (1,))
+        assert func.instrs[-1] == Instr("const", dest, (1,))
+
+    def test_result_none_without_ret(self):
+        func = IRFunction("f", simple_plan())
+        assert func.result is None
+
+    def test_result_after_ret(self):
+        func = IRFunction("f", simple_plan())
+        dest = func.emit("const", (1,))
+        func.emit_ret(dest)
+        assert func.result == dest
+
+
+class TestBuildIR:
+    def test_xor_plan_structure(self):
+        func = build_ir(simple_plan())
+        opcodes = [instr.opcode for instr in func.instrs]
+        assert opcodes == ["load64", "load64", "xor", "ret"]
+
+    def test_or_combine(self):
+        plan = simple_plan(combine=CombineOp.OR)
+        func = build_ir(plan)
+        assert any(instr.opcode == "or" for instr in func.instrs)
+
+    def test_pext_emitted_for_masks(self):
+        plan = simple_plan(
+            loads=(LoadOp(0, mask=0x0F0F), LoadOp(8, mask=0xF0F0, shift=8)),
+        )
+        func = build_ir(plan)
+        opcodes = [instr.opcode for instr in func.instrs]
+        assert opcodes.count("pext") == 2
+        assert "shl" in opcodes
+
+    def test_zero_mask_load_skipped(self):
+        plan = simple_plan(loads=(LoadOp(0, mask=0), LoadOp(8, mask=0xFF)))
+        func = build_ir(plan)
+        assert sum(1 for i in func.instrs if i.opcode == "load64") == 1
+
+    def test_full_mask_no_pext(self):
+        plan = simple_plan(loads=(LoadOp(0, mask=(1 << 64) - 1),))
+        func = build_ir(plan)
+        assert all(instr.opcode != "pext" for instr in func.instrs)
+
+    def test_rotate_emitted(self):
+        plan = simple_plan(loads=(LoadOp(0, rotate=13), LoadOp(8)))
+        func = build_ir(plan)
+        assert any(instr.opcode == "rotl" for instr in func.instrs)
+
+    def test_aes_plan(self):
+        plan = simple_plan(combine=CombineOp.AESENC)
+        func = build_ir(plan)
+        opcodes = [instr.opcode for instr in func.instrs]
+        assert "aes_absorb" in opcodes
+        assert "aes_fold" in opcodes
+
+    def test_aes_odd_word_count_self_pairs(self):
+        plan = simple_plan(
+            combine=CombineOp.AESENC, loads=(LoadOp(0),), key_length=8
+        )
+        func = build_ir(plan)
+        absorbs = [i for i in func.instrs if i.opcode == "aes_absorb"]
+        assert len(absorbs) == 1
+        # lo and hi of the absorbed pair are the same register.
+        assert absorbs[0].args[1] == absorbs[0].args[2]
+
+    def test_variable_length_tail(self):
+        table = SkipTable(initial_offset=0, skips=(8,))
+        plan = simple_plan(
+            key_length=None, loads=(LoadOp(0),), skip_table=table
+        )
+        func = build_ir(plan)
+        assert any(instr.opcode == "tail_xor" for instr in func.instrs)
+
+    def test_empty_plan_rejected(self):
+        plan = simple_plan(loads=())
+        with pytest.raises(SynthesisError):
+            build_ir(plan)
+
+
+class TestOptimize:
+    def test_removes_dead_code(self):
+        func = IRFunction("f", simple_plan())
+        live = func.emit("const", (1,))
+        func.emit("const", (2,))  # dead
+        func.emit_ret(live)
+        optimized = optimize(func)
+        assert len(optimized.instrs) == 2
+
+    def test_keeps_transitive_dependencies(self):
+        func = IRFunction("f", simple_plan())
+        a = func.emit("const", (1,))
+        b = func.emit("shl", (a, 4))
+        func.emit_ret(b)
+        optimized = optimize(func)
+        assert len(optimized.instrs) == 3
+
+    def test_idempotent(self):
+        func = build_ir(simple_plan())
+        once = optimize(func)
+        twice = optimize(once)
+        assert [str(i) for i in once.instrs] == [str(i) for i in twice.instrs]

@@ -1,0 +1,108 @@
+"""Property tests over randomly generated plans.
+
+Synthesis only ever produces well-formed plans of a few shapes; these
+tests drive the codegen stack (serializer, Python backend, interpreter)
+with *arbitrary* valid plans from a hypothesis strategy, so invariants
+hold for every plan a future analysis pass might produce, not just
+today's.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.interp import interpret
+from repro.codegen.ir import build_ir, optimize
+from repro.codegen.python_backend import compile_plan
+from repro.codegen.serialize import dumps, loads
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SynthesisPlan,
+)
+
+KEY_LENGTH = 32
+MASK64 = (1 << 64) - 1
+
+
+@st.composite
+def random_plan(draw):
+    """A valid fixed-length plan over 32-byte keys."""
+    combine = draw(
+        st.sampled_from([CombineOp.XOR, CombineOp.OR, CombineOp.AESENC])
+    )
+    load_count = draw(st.integers(min_value=1, max_value=4))
+    loads = []
+    for _ in range(load_count):
+        offset = draw(st.integers(min_value=0, max_value=KEY_LENGTH - 8))
+        if combine is CombineOp.AESENC:
+            loads.append(LoadOp(offset))
+            continue
+        mask = draw(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=1, max_value=MASK64),
+            )
+        )
+        transform = draw(st.sampled_from(["none", "shift", "rotate"]))
+        shift = rotate = 0
+        if transform == "shift":
+            shift = draw(st.integers(min_value=0, max_value=63))
+        elif transform == "rotate":
+            rotate = draw(st.integers(min_value=0, max_value=63))
+        loads.append(LoadOp(offset, mask=mask, shift=shift, rotate=rotate))
+    return SynthesisPlan(
+        family=draw(
+            st.sampled_from(
+                [HashFamily.NAIVE, HashFamily.OFFXOR, HashFamily.PEXT]
+            )
+        )
+        if combine is not CombineOp.AESENC
+        else HashFamily.AES,
+        key_length=KEY_LENGTH,
+        loads=tuple(loads),
+        skip_table=None,
+        combine=combine,
+        total_variable_bits=draw(st.integers(min_value=0, max_value=256)),
+        bijective=False,
+        pattern_regex="<random>",
+        final_mix=draw(st.booleans()),
+    )
+
+
+class TestRandomPlans:
+    @given(random_plan())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_roundtrip(self, plan):
+        assert loads(dumps(plan)) == plan
+
+    @given(random_plan(), st.binary(min_size=KEY_LENGTH,
+                                    max_size=KEY_LENGTH))
+    @settings(max_examples=60, deadline=None)
+    def test_backend_matches_interpreter(self, plan, key):
+        compiled = compile_plan(plan, name="f")
+        func = optimize(build_ir(plan, name="f"))
+        assert compiled(key) == interpret(func, key)
+
+    @given(random_plan(), st.binary(min_size=KEY_LENGTH,
+                                    max_size=KEY_LENGTH))
+    @settings(max_examples=60, deadline=None)
+    def test_output_in_64_bit_range(self, plan, key):
+        compiled = compile_plan(plan, name="f")
+        assert 0 <= compiled(key) <= MASK64
+
+    @given(random_plan(), st.binary(min_size=KEY_LENGTH,
+                                    max_size=KEY_LENGTH))
+    @settings(max_examples=40, deadline=None)
+    def test_serialized_plan_compiles_identically(self, plan, key):
+        original = compile_plan(plan, name="f")
+        rebuilt = compile_plan(loads(dumps(plan)), name="f")
+        assert original(key) == rebuilt(key)
+
+    @given(random_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_optimizer_preserves_semantics(self, plan):
+        key = bytes(range(KEY_LENGTH))
+        raw = build_ir(plan, name="f")
+        optimized = optimize(build_ir(plan, name="f"))
+        assert interpret(raw, key) == interpret(optimized, key)

@@ -1,0 +1,105 @@
+"""Tests for plan serialization."""
+
+import json
+
+import pytest
+
+from repro.codegen.serialize import (
+    FORMAT_VERSION,
+    compile_serialized,
+    dumps,
+    loads,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+ALL_FORMATS = list(KEY_TYPES)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ALL_FORMATS)
+    @pytest.mark.parametrize("family", list(HashFamily))
+    def test_plan_roundtrip_equality(self, name, family, synthesized_all):
+        plan = synthesized_all[name][family].plan
+        assert loads(dumps(plan)) == plan
+
+    def test_final_mix_preserved(self):
+        plan = synthesize(
+            r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT, final_mix=True
+        ).plan
+        assert loads(dumps(plan)).final_mix
+
+    def test_variable_length_preserved(self):
+        plan = synthesize(r"abcdefgh[0-9]{4}.*", HashFamily.OFFXOR).plan
+        rebuilt = loads(dumps(plan))
+        assert rebuilt.skip_table == plan.skip_table
+        assert rebuilt.key_length is None
+
+    def test_compiled_functions_agree(self, key_samples):
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        rebuilt = compile_serialized(dumps(synthesized.plan))
+        for key in key_samples["SSN"][:100]:
+            assert rebuilt(key) == synthesized(key)
+
+    def test_payload_is_stable_json(self):
+        plan = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT).plan
+        assert dumps(plan) == dumps(loads(dumps(plan)))
+
+
+class TestValidation:
+    def test_version_checked(self):
+        plan = synthesize(KEY_TYPES["SSN"].regex, HashFamily.NAIVE).plan
+        data = plan_to_dict(plan)
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(SynthesisError):
+            plan_from_dict(data)
+
+    def test_invalid_json(self):
+        with pytest.raises(SynthesisError):
+            loads("{not json")
+
+    def test_non_object_json(self):
+        with pytest.raises(SynthesisError):
+            loads("[1, 2, 3]")
+
+    def test_missing_field(self):
+        plan = synthesize(KEY_TYPES["SSN"].regex, HashFamily.NAIVE).plan
+        data = plan_to_dict(plan)
+        del data["loads"]
+        with pytest.raises(SynthesisError):
+            plan_from_dict(data)
+
+    def test_tampered_load_rejected_by_plan_validation(self):
+        """An out-of-bounds load injected into the payload must be caught
+        by the plan dataclass, not silently compiled."""
+        plan = synthesize(KEY_TYPES["SSN"].regex, HashFamily.NAIVE).plan
+        data = plan_to_dict(plan)
+        data["loads"][0]["offset"] = 9999
+        with pytest.raises(SynthesisError):
+            plan_from_dict(data)
+
+    def test_bad_family_value(self):
+        plan = synthesize(KEY_TYPES["SSN"].regex, HashFamily.NAIVE).plan
+        data = plan_to_dict(plan)
+        data["family"] = "quantum"
+        with pytest.raises(SynthesisError):
+            plan_from_dict(data)
+
+
+class TestUseCase:
+    def test_cache_workflow(self, tmp_path):
+        """The intended flow: synthesize once, persist, reload elsewhere."""
+        cache_file = tmp_path / "ssn_pext.json"
+        original = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        cache_file.write_text(dumps(original.plan))
+
+        # "Another process": no synthesis, just compile the cached plan.
+        restored = compile_serialized(cache_file.read_text(), name="cached")
+        keys = generate_keys("SSN", 200, Distribution.UNIFORM, seed=9)
+        assert all(restored(key) == original(key) for key in keys)

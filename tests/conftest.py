@@ -1,0 +1,46 @@
+"""Shared fixtures: key samples and synthesized suites, cached per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+
+@pytest.fixture(scope="session")
+def key_samples():
+    """500 uniform keys per paper format, deterministic."""
+    return {
+        name: generate_keys(name, 500, Distribution.UNIFORM, seed=42)
+        for name in KEY_TYPES
+    }
+
+
+@pytest.fixture(scope="session")
+def ssn_keys(key_samples):
+    return key_samples["SSN"]
+
+
+@pytest.fixture(scope="session")
+def synthesized_ssn():
+    """All four families for the SSN format."""
+    return {
+        family: synthesize(KEY_TYPES["SSN"].regex, family)
+        for family in HashFamily
+    }
+
+
+@pytest.fixture(scope="session")
+def synthesized_all():
+    """All four families for every paper format (session-cached: this is
+    32 synthesis runs)."""
+    return {
+        name: {
+            family: synthesize(spec.regex, family) for family in HashFamily
+        }
+        for name, spec in KEY_TYPES.items()
+    }

@@ -1,0 +1,125 @@
+"""Tests for the bijective (key-less) containers — the future-work
+specialized data structure."""
+
+import pytest
+
+from repro.containers import UnorderedMap
+from repro.containers.bijective import BijectiveMap, BijectiveSet
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+SSN = r"\d{3}-\d{2}-\d{4}"
+
+
+@pytest.fixture(scope="module")
+def pext_ssn():
+    return synthesize(SSN, HashFamily.PEXT)
+
+
+class TestConstruction:
+    def test_accepts_bijective_synthesized(self, pext_ssn):
+        table = BijectiveMap(pext_ssn)
+        assert len(table) == 0
+
+    def test_rejects_non_bijective(self):
+        offxor = synthesize(SSN, HashFamily.OFFXOR)
+        with pytest.raises(SynthesisError):
+            BijectiveMap(offxor)
+
+    def test_rejects_bare_callable_by_default(self):
+        with pytest.raises(SynthesisError):
+            BijectiveMap(lambda key: int(key))
+
+    def test_trust_override(self):
+        table = BijectiveMap(lambda key: int(key), trust_bijective=True)
+        table.insert(b"42", "answer")
+        assert table.find(b"42") == "answer"
+
+
+class TestMapSemantics:
+    def test_insert_find_erase(self, pext_ssn):
+        table = BijectiveMap(pext_ssn)
+        assert table.insert(b"123-45-6789", "Ada")
+        assert table.find(b"123-45-6789") == "Ada"
+        assert not table.insert(b"123-45-6789", "dup")
+        assert table.erase(b"123-45-6789") == 1
+        assert table.find(b"123-45-6789") is None
+
+    def test_contains(self, pext_ssn):
+        table = BijectiveMap(pext_ssn)
+        table.insert(b"000-11-2222", None)
+        assert b"000-11-2222" in table
+        assert b"000-11-2223" not in table
+
+    def test_rehash_preserves_everything(self, pext_ssn):
+        table = BijectiveMap(pext_ssn)
+        keys = generate_keys("SSN", 2000, Distribution.UNIFORM, seed=1)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        assert table.bucket_count > 13
+        for index, key in enumerate(keys):
+            assert table.find(key) == index
+
+    def test_no_false_positives_on_conforming_keys(self, pext_ssn):
+        """The bijection guarantee: absent conforming keys never hit."""
+        table = BijectiveMap(pext_ssn)
+        keys = generate_keys("SSN", 3000, Distribution.UNIFORM, seed=2)
+        stored, absent = keys[:1500], keys[1500:]
+        absent = [key for key in absent if key not in set(stored)]
+        for key in stored:
+            table.insert(key, None)
+        for key in absent:
+            assert key not in table
+
+    def test_matches_unordered_map_behaviour(self, pext_ssn):
+        """On conforming keys the two containers agree operation for
+        operation — the specialization only drops key storage."""
+        reference = UnorderedMap(pext_ssn.function)
+        specialized = BijectiveMap(pext_ssn)
+        keys = generate_keys("SSN", 800, Distribution.NORMAL, seed=3)
+        for index, key in enumerate(keys):
+            assert reference.insert(key, index) == specialized.insert(
+                key, index
+            )
+        for key in keys:
+            assert reference.find(key) == specialized.find(key)
+        for key in keys[::3]:
+            assert reference.erase(key) == specialized.erase(key)
+        assert len(reference) == len(specialized)
+
+    def test_hashes_iterator(self, pext_ssn):
+        table = BijectiveMap(pext_ssn)
+        table.insert(b"123-45-6789", None)
+        assert list(table.hashes()) == [pext_ssn(b"123-45-6789")]
+
+
+class TestSetSemantics:
+    def test_membership(self, pext_ssn):
+        table = BijectiveSet(pext_ssn)
+        assert table.insert(b"123-45-6789")
+        assert table.find(b"123-45-6789")
+        assert not table.find(b"123-45-6780")
+
+    def test_value_ignored(self, pext_ssn):
+        table = BijectiveSet(pext_ssn)
+        table.insert(b"123-45-6789", "ignored")
+        assert table.find(b"123-45-6789") is True
+
+    def test_bucket_collisions_exposed(self, pext_ssn):
+        table = BijectiveSet(pext_ssn)
+        for key in generate_keys("SSN", 500, Distribution.UNIFORM, seed=4):
+            table.insert(key)
+        assert table.bucket_collisions() >= 0
+
+
+class TestFinalMixComposition:
+    def test_mixed_bijection_accepted(self):
+        mixed = synthesize(SSN, HashFamily.PEXT, final_mix=True)
+        table = BijectiveSet(mixed)
+        keys = generate_keys("SSN", 1000, Distribution.UNIFORM, seed=5)
+        for key in keys:
+            table.insert(key)
+        assert len(table) == len(set(keys))

@@ -1,0 +1,82 @@
+"""Model-based property tests: containers vs Python's dict/set/Counter."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.containers import (
+    UnorderedMap,
+    UnorderedMultiset,
+    UnorderedSet,
+)
+from repro.hashes import fnv1a_64, stl_hash_bytes
+
+key_strategy = st.binary(min_size=1, max_size=6)
+operation = st.tuples(
+    st.sampled_from(["insert", "erase", "find"]), key_strategy
+)
+
+
+class TestMapAgainstDict:
+    @given(st.lists(operation, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, operations):
+        table = UnorderedMap(stl_hash_bytes)
+        model = {}
+        for action, key in operations:
+            if action == "insert":
+                inserted = table.insert(key, key)
+                assert inserted == (key not in model)
+                model.setdefault(key, key)
+            elif action == "erase":
+                removed = table.erase(key)
+                assert removed == (1 if key in model else 0)
+                model.pop(key, None)
+            else:
+                assert table.find(key) == model.get(key)
+            assert len(table) == len(model)
+
+    @given(st.lists(key_strategy, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_size_invariants(self, keys):
+        table = UnorderedMap(stl_hash_bytes)
+        for key in keys:
+            table.insert(key, None)
+        assert len(table) == len(set(keys))
+        assert sum(table.bucket_sizes()) == len(table)
+        assert table.load_factor <= 1.0 + 1e-9
+
+
+class TestSetAgainstSet:
+    @given(st.lists(operation, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_model(self, operations):
+        table = UnorderedSet(fnv1a_64)
+        model = set()
+        for action, key in operations:
+            if action == "insert":
+                assert table.insert(key) == (key not in model)
+                model.add(key)
+            elif action == "erase":
+                assert table.erase(key) == (1 if key in model else 0)
+                model.discard(key)
+            else:
+                assert table.find(key) == (key in model)
+
+
+class TestMultisetAgainstCounter:
+    @given(st.lists(operation, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_counter_model(self, operations):
+        table = UnorderedMultiset(stl_hash_bytes)
+        model = Counter()
+        for action, key in operations:
+            if action == "insert":
+                assert table.insert(key)
+                model[key] += 1
+            elif action == "erase":
+                assert table.erase(key) == model.pop(key, 0)
+            else:
+                assert table.count(key) == model[key]
+            assert len(table) == sum(model.values())

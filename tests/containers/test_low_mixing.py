@@ -1,0 +1,88 @@
+"""Tests for the RQ7 low-mixing container."""
+
+import pytest
+
+from repro.containers import LowMixingMap
+from repro.hashes import stl_hash_bytes
+
+
+class TestBasics:
+    def test_behaves_like_map_with_zero_discard(self):
+        table = LowMixingMap(stl_hash_bytes, discard_bits=0)
+        table.insert(b"key-a", 1)
+        table.insert(b"key-b", 2)
+        assert table.find(b"key-a") == 1
+        assert table.erase(b"key-b") == 1
+
+    def test_discard_bits_validated(self):
+        with pytest.raises(ValueError):
+            LowMixingMap(stl_hash_bytes, discard_bits=64)
+        with pytest.raises(ValueError):
+            LowMixingMap(stl_hash_bytes, discard_bits=-1)
+
+    def test_discard_property(self):
+        table = LowMixingMap(stl_hash_bytes, discard_bits=16)
+        assert table.discard_bits == 16
+
+    def test_duplicate_rejected(self):
+        table = LowMixingMap(stl_hash_bytes, discard_bits=8)
+        assert table.insert(b"k", 1)
+        assert not table.insert(b"k", 2)
+
+
+class TestLowMixingBehaviour:
+    def test_small_hashes_collapse_to_one_bucket(self):
+        """With 48 bits discarded, an identity-like hash of small values
+        maps everything to bucket 0 — the paper's motivating case."""
+        table = LowMixingMap(lambda key: int(key), discard_bits=48)
+        for value in range(100):
+            table.insert(str(value).encode(), None)
+        assert table.bucket_collisions() == 99
+
+    def test_well_mixed_hash_resists_discard(self):
+        table = LowMixingMap(stl_hash_bytes, discard_bits=48)
+        for value in range(100):
+            table.insert(f"key-{value}".encode(), None)
+        # STL's high bits are as good as its low bits.
+        assert table.bucket_collisions() < 50
+
+    def test_top_shifted_hash_resists_discard(self):
+        """Pext-style functions push bits to the top (Figure 12, step 3),
+        so MSB indexing still sees entropy."""
+        table = LowMixingMap(
+            lambda key: int(key) << 48, discard_bits=48
+        )
+        for value in range(100):
+            table.insert(str(value).encode(), None)
+        assert table.bucket_collisions() < 50
+
+    def test_collisions_grow_with_discard(self):
+        """More discarded bits can only hurt a low-entropy hash."""
+        def low_entropy(key):
+            return int(key)
+
+        collisions = []
+        for discard in (0, 16, 32, 48):
+            table = LowMixingMap(low_entropy, discard_bits=discard)
+            for value in range(200):
+                table.insert(str(value).encode(), None)
+            collisions.append(table.bucket_collisions())
+        assert collisions == sorted(collisions)
+        assert collisions[-1] > collisions[0]
+
+    def test_lookup_still_correct_under_collapse(self):
+        """Even with every key in one bucket, find/erase stay correct —
+        only slower (that is the B-Time story)."""
+        table = LowMixingMap(lambda key: int(key), discard_bits=48)
+        for value in range(50):
+            table.insert(str(value).encode(), value)
+        for value in range(50):
+            assert table.find(str(value).encode()) == value
+        assert table.erase(b"25") == 1
+        assert table.find(b"25") is None
+
+    def test_items(self):
+        table = LowMixingMap(stl_hash_bytes, discard_bits=8)
+        table.insert(b"a", 1)
+        table.insert(b"b", 2)
+        assert dict(table.items()) == {b"a": 1, b"b": 2}

@@ -1,0 +1,88 @@
+"""Tests for the prime rehash policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.hashing_policy import (
+    PrimeRehashPolicy,
+    is_prime,
+    next_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert [n for n in range(30) if is_prime(n)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that naive tests miss.
+        for carmichael in (561, 1105, 1729, 2465, 41041, 825265):
+            assert not is_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_prime((1 << 61) - 1)  # Mersenne prime M61
+
+    def test_large_known_composite(self):
+        assert not is_prime((1 << 61) - 3)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_matches_trial_division(self, candidate):
+        by_trial = all(
+            candidate % d for d in range(2, int(candidate**0.5) + 1)
+        )
+        assert is_prime(candidate) == by_trial
+
+
+class TestNextPrime:
+    def test_returns_input_if_prime(self):
+        assert next_prime(13) == 13
+
+    def test_advances_to_next(self):
+        assert next_prime(14) == 17
+        assert next_prime(100) == 101
+
+    def test_floor_at_two(self):
+        assert next_prime(0) == 2
+        assert next_prime(-5) == 2
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_result_is_prime_and_minimal(self, minimum):
+        result = next_prime(minimum)
+        assert is_prime(result)
+        assert result >= max(minimum, 2)
+        for candidate in range(max(minimum, 2), result):
+            assert not is_prime(candidate)
+
+
+class TestPolicy:
+    def test_initial_count(self):
+        assert PrimeRehashPolicy().initial_bucket_count() == 13
+
+    def test_needs_rehash_at_load_factor(self):
+        policy = PrimeRehashPolicy()
+        assert not policy.needs_rehash(13, 11)
+        assert not policy.needs_rehash(13, 12)
+        assert policy.needs_rehash(13, 13)
+
+    def test_growth_at_least_doubles(self):
+        policy = PrimeRehashPolicy()
+        new = policy.next_bucket_count(13, 13)
+        assert new >= 27
+        assert is_prime(new)
+
+    def test_growth_accommodates_large_insert(self):
+        policy = PrimeRehashPolicy()
+        new = policy.next_bucket_count(13, 1000)
+        assert new > 1000
+
+    def test_custom_load_factor(self):
+        policy = PrimeRehashPolicy(max_load_factor=2.0)
+        assert not policy.needs_rehash(13, 24)
+        assert policy.needs_rehash(13, 26)
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            PrimeRehashPolicy(max_load_factor=0)

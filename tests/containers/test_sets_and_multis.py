@@ -1,0 +1,106 @@
+"""Tests for UnorderedSet, UnorderedMultimap and UnorderedMultiset."""
+
+import pytest
+
+from repro.containers import (
+    UnorderedMultimap,
+    UnorderedMultiset,
+    UnorderedSet,
+)
+from repro.hashes import stl_hash_bytes
+
+
+class TestUnorderedSet:
+    @pytest.fixture
+    def table(self):
+        return UnorderedSet(stl_hash_bytes)
+
+    def test_insert_membership(self, table):
+        assert table.insert(b"x")
+        assert table.find(b"x")
+        assert not table.find(b"y")
+
+    def test_duplicate_rejected(self, table):
+        table.insert(b"x")
+        assert not table.insert(b"x")
+        assert len(table) == 1
+
+    def test_value_parameter_ignored(self, table):
+        assert table.insert(b"x", "whatever")
+        assert table.find(b"x")
+
+    def test_erase(self, table):
+        table.insert(b"x")
+        assert table.erase(b"x") == 1
+        assert not table.find(b"x")
+
+    def test_keys_iteration(self, table):
+        for key in (b"a", b"b", b"c"):
+            table.insert(key)
+        assert sorted(table.keys()) == [b"a", b"b", b"c"]
+
+
+class TestUnorderedMultimap:
+    @pytest.fixture
+    def table(self):
+        return UnorderedMultimap(stl_hash_bytes)
+
+    def test_duplicates_allowed(self, table):
+        assert table.insert(b"k", 1)
+        assert table.insert(b"k", 2)
+        assert table.count(b"k") == 2
+        assert len(table) == 2
+
+    def test_find_all(self, table):
+        table.insert(b"k", 1)
+        table.insert(b"k", 2)
+        table.insert(b"other", 3)
+        assert sorted(table.find_all(b"k")) == [1, 2]
+        assert table.find_all(b"missing") == []
+
+    def test_erase_removes_all_equal_keys(self, table):
+        """STL erase(key) on multi containers removes every node."""
+        table.insert(b"k", 1)
+        table.insert(b"k", 2)
+        assert table.erase(b"k") == 2
+        assert len(table) == 0
+
+    def test_find_returns_first(self, table):
+        table.insert(b"k", 1)
+        assert table.find(b"k") == 1
+
+    def test_rehash_preserves_duplicates(self, table):
+        for index in range(200):
+            table.insert(b"shared", index)
+            table.insert(f"unique-{index}".encode(), index)
+        assert table.count(b"shared") == 200
+
+
+class TestUnorderedMultiset:
+    @pytest.fixture
+    def table(self):
+        return UnorderedMultiset(stl_hash_bytes)
+
+    def test_duplicates_counted(self, table):
+        table.insert(b"x")
+        table.insert(b"x")
+        table.insert(b"x")
+        assert table.count(b"x") == 3
+
+    def test_erase_all(self, table):
+        table.insert(b"x")
+        table.insert(b"x")
+        assert table.erase(b"x") == 2
+        assert table.count(b"x") == 0
+
+    def test_membership(self, table):
+        table.insert(b"x")
+        assert table.find(b"x")
+        assert b"x" in table
+
+    def test_multi_slower_story_buckets(self, table):
+        """Multi variants chain duplicate keys in one bucket — the reason
+        Figure 20 shows them slower."""
+        for _ in range(10):
+            table.insert(b"dup")
+        assert table.bucket_collisions() >= 9

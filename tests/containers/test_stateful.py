@@ -1,0 +1,108 @@
+"""Stateful model-based testing of the containers (hypothesis rules).
+
+A rule-based state machine drives random interleavings of insert, find,
+erase, count and clear against Python-native models, across rehashes.
+This catches interaction bugs that straight-line property tests miss
+(e.g. erase during a bucket that just rehashed, duplicate handling after
+clear).
+"""
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.containers import UnorderedMap, UnorderedMultiset
+from repro.hashes import fnv1a_64, stl_hash_bytes
+
+keys = st.binary(min_size=1, max_size=5)
+values = st.integers(min_value=-100, max_value=100)
+
+
+class MapMachine(RuleBasedStateMachine):
+    """UnorderedMap vs dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = UnorderedMap(stl_hash_bytes)
+        self.model = {}
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        inserted = self.table.insert(key, value)
+        assert inserted == (key not in self.model)
+        self.model.setdefault(key, value)
+
+    @rule(key=keys, value=values)
+    def assign(self, key, value):
+        self.table.assign(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def find(self, key):
+        assert self.table.find(key) == self.model.get(key)
+
+    @rule(key=keys)
+    def erase(self, key):
+        removed = self.table.erase(key)
+        assert removed == (1 if key in self.model else 0)
+        self.model.pop(key, None)
+
+    @rule()
+    def clear(self):
+        self.table.clear()
+        self.model.clear()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def load_factor_bounded(self):
+        assert self.table.load_factor <= 1.0 + 1e-9
+
+    @invariant()
+    def bucket_sizes_consistent(self):
+        assert sum(self.table.bucket_sizes()) == len(self.table)
+
+
+class MultisetMachine(RuleBasedStateMachine):
+    """UnorderedMultiset vs Counter."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = UnorderedMultiset(fnv1a_64)
+        self.model = Counter()
+
+    @rule(key=keys)
+    def insert(self, key):
+        assert self.table.insert(key)
+        self.model[key] += 1
+
+    @rule(key=keys)
+    def count(self, key):
+        assert self.table.count(key) == self.model[key]
+
+    @rule(key=keys)
+    def erase_all(self, key):
+        assert self.table.erase(key) == self.model.pop(key, 0)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == sum(self.model.values())
+
+
+TestMapMachine = MapMachine.TestCase
+TestMapMachine.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
+
+TestMultisetMachine = MultisetMachine.TestCase
+TestMultisetMachine.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)

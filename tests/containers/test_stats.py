@@ -1,0 +1,97 @@
+"""Tests for bucket-distribution statistics."""
+
+import pytest
+
+from repro.containers import UnorderedSet
+from repro.containers.stats import (
+    chain_length_histogram,
+    distribution_report,
+    expected_poisson_histogram,
+    max_chain_length,
+    poisson_distance,
+)
+from repro.hashes import stl_hash_bytes
+
+
+def filled_table(hash_function, count=1000):
+    table = UnorderedSet(hash_function)
+    for index in range(count):
+        table.insert(f"key-{index:05d}".encode())
+    return table
+
+
+class TestHistogram:
+    def test_counts_sum_to_buckets(self):
+        table = filled_table(stl_hash_bytes)
+        histogram = chain_length_histogram(table)
+        assert sum(histogram.values()) == table.bucket_count
+
+    def test_weighted_sum_is_elements(self):
+        table = filled_table(stl_hash_bytes)
+        histogram = chain_length_histogram(table)
+        assert sum(k * v for k, v in histogram.items()) == len(table)
+
+    def test_empty_table(self):
+        table = UnorderedSet(stl_hash_bytes)
+        histogram = chain_length_histogram(table)
+        assert histogram == {0: table.bucket_count}
+
+
+class TestPoissonExpectation:
+    def test_probabilities_normalize(self):
+        expected = expected_poisson_histogram(1000, 1361, 20)
+        assert sum(expected) == pytest.approx(1361, rel=0.01)
+
+    def test_zero_lambda(self):
+        expected = expected_poisson_histogram(0, 13, 2)
+        assert expected[0] == pytest.approx(13)
+        assert expected[1] == pytest.approx(0)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            expected_poisson_histogram(10, 0, 2)
+
+
+class TestPoissonDistance:
+    def test_good_hash_near_poisson(self):
+        table = filled_table(stl_hash_bytes, count=2000)
+        # Degrees of freedom ~ max chain length; a uniform hash should
+        # land within a small multiple of that.
+        assert poisson_distance(table) < 50
+
+    def test_clustered_hash_far_from_poisson(self):
+        # A hash that collides everything into few buckets.
+        table = filled_table(lambda key: (key[-1] % 4), count=500)
+        good = filled_table(stl_hash_bytes, count=500)
+        assert poisson_distance(table) > 10 * poisson_distance(good)
+
+
+class TestReport:
+    def test_fields(self):
+        table = filled_table(stl_hash_bytes, count=300)
+        report = distribution_report(table)
+        assert report["elements"] == 300
+        assert report["buckets"] == table.bucket_count
+        assert report["max_chain"] >= 1
+        assert report["empty_buckets"] > 0
+
+    def test_max_chain_empty(self):
+        table = UnorderedSet(stl_hash_bytes)
+        assert max_chain_length(table) == 0
+
+    def test_synthetic_matches_stl_shape(self):
+        """RQ2's finding via the Poisson lens: prime-modulo buckets make
+        a Pext bijection look as random as STL."""
+        from repro.core import synthesize, HashFamily
+        from repro.keygen import Distribution, generate_keys
+
+        keys = generate_keys("SSN", 2000, Distribution.UNIFORM, seed=1)
+        pext = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        stl_table = UnorderedSet(stl_hash_bytes)
+        pext_table = UnorderedSet(pext.function)
+        for key in keys:
+            stl_table.insert(key)
+            pext_table.insert(key)
+        stl_distance = poisson_distance(stl_table)
+        pext_distance = poisson_distance(pext_table)
+        assert pext_distance < max(10 * stl_distance, 100)

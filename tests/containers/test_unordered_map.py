@@ -1,0 +1,140 @@
+"""Tests for UnorderedMap (std::unordered_map semantics)."""
+
+import pytest
+
+from repro.containers import UnorderedMap
+from repro.hashes import stl_hash_bytes
+
+
+@pytest.fixture
+def table():
+    return UnorderedMap(stl_hash_bytes)
+
+
+class TestInsertFind:
+    def test_insert_and_find(self, table):
+        assert table.insert(b"k1", "v1")
+        assert table.find(b"k1") == "v1"
+
+    def test_duplicate_insert_rejected(self, table):
+        table.insert(b"k", 1)
+        assert not table.insert(b"k", 2)
+        assert table.find(b"k") == 1  # original value kept, like STL
+
+    def test_find_missing(self, table):
+        assert table.find(b"missing") is None
+
+    def test_assign_overwrites(self, table):
+        table.insert(b"k", 1)
+        table.assign(b"k", 2)
+        assert table.find(b"k") == 2
+        assert len(table) == 1
+
+    def test_contains(self, table):
+        table.insert(b"k", 1)
+        assert b"k" in table
+        assert b"other" not in table
+
+    def test_count(self, table):
+        table.insert(b"k", 1)
+        assert table.count(b"k") == 1
+        assert table.count(b"other") == 0
+
+
+class TestErase:
+    def test_erase_present(self, table):
+        table.insert(b"k", 1)
+        assert table.erase(b"k") == 1
+        assert b"k" not in table
+        assert len(table) == 0
+
+    def test_erase_missing(self, table):
+        assert table.erase(b"nope") == 0
+
+    def test_erase_then_reinsert(self, table):
+        table.insert(b"k", 1)
+        table.erase(b"k")
+        assert table.insert(b"k", 2)
+        assert table.find(b"k") == 2
+
+
+class TestRehashing:
+    def test_grows_past_initial_buckets(self, table):
+        for index in range(100):
+            table.insert(f"key-{index}".encode(), index)
+        assert table.bucket_count > 13
+        assert len(table) == 100
+
+    def test_all_keys_survive_rehash(self, table):
+        keys = [f"key-{index:04d}".encode() for index in range(500)]
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        for index, key in enumerate(keys):
+            assert table.find(key) == index
+
+    def test_load_factor_bounded(self, table):
+        for index in range(1000):
+            table.insert(f"key-{index}".encode(), index)
+        assert table.load_factor <= 1.0
+
+    def test_bucket_count_is_prime(self, table):
+        from repro.containers.hashing_policy import is_prime
+
+        for index in range(300):
+            table.insert(f"key-{index}".encode(), index)
+        assert is_prime(table.bucket_count)
+
+
+class TestStatistics:
+    def test_bucket_collisions_zero_when_sparse(self, table):
+        table.insert(b"a" * 8, 1)
+        assert table.bucket_collisions() == 0
+
+    def test_bucket_collisions_with_colliding_hash(self):
+        table = UnorderedMap(lambda key: 42)  # everything collides
+        for index in range(10):
+            table.insert(f"key-{index}".encode(), index)
+        assert table.bucket_collisions() == 9
+        assert table.true_collisions() == 9
+
+    def test_true_collisions_zero_for_good_hash(self, table, ssn_keys):
+        for key in ssn_keys:
+            table.insert(key, None)
+        assert table.true_collisions() == 0
+
+    def test_items_iterates_all(self, table):
+        entries = {f"k{i}".encode(): i for i in range(20)}
+        for key, value in entries.items():
+            table.insert(key, value)
+        assert dict(table.items()) == entries
+
+    def test_bucket_sizes_sum_to_len(self, table):
+        for index in range(50):
+            table.insert(f"key-{index}".encode(), index)
+        assert sum(table.bucket_sizes()) == len(table)
+
+    def test_keys_and_values_iterators(self, table):
+        entries = {f"k{i}".encode(): i for i in range(10)}
+        for key, value in entries.items():
+            table.insert(key, value)
+        assert set(table.keys()) == set(entries)
+        assert sorted(table.values()) == sorted(entries.values())
+
+    def test_clear_resets(self, table):
+        for index in range(200):
+            table.insert(f"key-{index}".encode(), index)
+        table.clear()
+        assert len(table) == 0
+        assert table.bucket_count == 13
+        assert table.insert(b"key-0", "fresh")
+        assert table.find(b"key-0") == "fresh"
+
+
+class TestModuloIndexing:
+    def test_example_4_1_consecutive_identity_hashes(self):
+        """Example 4.1: with hash % buckets, consecutive hash values land
+        in different buckets even for an identity-like hash."""
+        table = UnorderedMap(lambda key: int(key))
+        table.insert(b"123456789", None)
+        table.insert(b"123456790", None)
+        assert table.bucket_collisions() == 0

@@ -1,0 +1,165 @@
+"""Tests for format analysis: regions, load placement, skip tables."""
+
+import pytest
+
+from repro.core.analysis import (
+    analyze_fixed_loads,
+    analyze_variable_loads,
+    build_skip_table,
+    coalesce_regions,
+    naive_load_offsets,
+    place_loads,
+)
+from repro.core.pattern import KeyPattern
+from repro.core.regex_expand import pattern_from_regex
+from repro.errors import SynthesisError
+
+
+def pattern_with_template(template):
+    """Build a pattern from a constant/variable byte template."""
+    quads = []
+    for constant in template:
+        quads.extend([0, 3, 1, 2] if constant else [None] * 4)
+    return KeyPattern.fixed(quads)
+
+
+C, V = True, False
+
+
+class TestCoalesceRegions:
+    def test_all_variable(self):
+        pattern = pattern_with_template([V] * 16)
+        assert coalesce_regions(pattern) == [(0, 16)]
+
+    def test_all_constant(self):
+        pattern = pattern_with_template([C] * 16)
+        assert coalesce_regions(pattern) == []
+
+    def test_short_gap_absorbed(self):
+        # var(3) const(2) var(3): the 2-byte gap is cheaper to load through.
+        pattern = pattern_with_template([V] * 3 + [C] * 2 + [V] * 3)
+        assert coalesce_regions(pattern) == [(0, 8)]
+
+    def test_word_sized_gap_splits(self):
+        pattern = pattern_with_template([V] * 4 + [C] * 8 + [V] * 4)
+        assert coalesce_regions(pattern) == [(0, 4), (12, 16)]
+
+    def test_leading_constant_prefix_skipped(self):
+        pattern = pattern_with_template([C] * 23 + [V] * 25)
+        assert coalesce_regions(pattern) == [(23, 48)]
+
+    def test_gap_threshold_parameter(self):
+        pattern = pattern_with_template([V] * 2 + [C] * 4 + [V] * 2)
+        assert coalesce_regions(pattern, gap_threshold=4) == [(0, 2), (6, 8)]
+
+
+class TestPlaceLoads:
+    def test_single_word(self):
+        assert place_loads([(0, 8)], 8) == [0]
+
+    def test_overlap_rule_section_3_2_2(self):
+        """An 11-byte region loads at 0 and 3: the last load starts at
+        end - 8 (the paper's h2 for ddd.dd.dddd)."""
+        assert place_loads([(0, 11)], 11) == [0, 3]
+
+    def test_exact_multiple_no_overlap(self):
+        assert place_loads([(0, 16)], 16) == [0, 8]
+
+    def test_long_region(self):
+        assert place_loads([(0, 20)], 20) == [0, 8, 12]
+
+    def test_region_shorter_than_word_pulled_left(self):
+        # 4 variable bytes at the end of a 12-byte key: load must fit.
+        assert place_loads([(8, 12)], 12) == [4]
+
+    def test_key_too_short(self):
+        with pytest.raises(SynthesisError):
+            place_loads([(0, 4)], 4)
+
+    def test_multiple_regions(self):
+        offsets = place_loads([(0, 8), (16, 24)], 24)
+        assert offsets == [0, 16]
+
+    def test_loads_stay_inside_key(self):
+        for end in range(9, 40):
+            for offsets in [place_loads([(0, end)], end)]:
+                assert all(offset + 8 <= end for offset in offsets)
+                # Full coverage of the region:
+                covered = set()
+                for offset in offsets:
+                    covered.update(range(offset, offset + 8))
+                assert covered >= set(range(0, end))
+
+
+class TestNaiveOffsets:
+    def test_exact_words(self):
+        assert naive_load_offsets(16) == [0, 8]
+
+    def test_with_overlap(self):
+        assert naive_load_offsets(11) == [0, 3]
+
+    def test_minimum(self):
+        assert naive_load_offsets(8) == [0]
+
+    def test_too_short(self):
+        with pytest.raises(SynthesisError):
+            naive_load_offsets(7)
+
+    def test_full_coverage(self):
+        for length in range(8, 101):
+            covered = set()
+            for offset in naive_load_offsets(length):
+                assert offset + 8 <= length
+                covered.update(range(offset, offset + 8))
+            assert covered == set(range(length))
+
+
+class TestSkipTable:
+    def test_from_offsets(self):
+        table = build_skip_table([4, 12, 28])
+        assert table.initial_offset == 4
+        assert table.skips == (8, 16, 8)
+        assert table.load_offsets() == (4, 12, 28)
+        assert table.resume_offset == 36
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_skip_table([])
+
+    def test_non_advancing_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_skip_table([4, 4])
+
+
+class TestAnalyzeHighLevel:
+    def test_ssn_loads(self):
+        pattern = pattern_from_regex(r"\d{3}-\d{2}-\d{4}")
+        assert analyze_fixed_loads(pattern) == [0, 3]
+
+    def test_url1_skips_prefix(self):
+        pattern = pattern_from_regex(
+            r"https://www\.example\.com[a-z0-9]{20}\.html"
+        )
+        offsets = analyze_fixed_loads(pattern)
+        assert offsets[0] == 23  # the 23-byte constant prefix is skipped
+        assert offsets == [23, 31, 35]
+
+    def test_fully_constant_falls_back_to_naive(self):
+        pattern = pattern_from_regex("x{12}")
+        assert analyze_fixed_loads(pattern) == naive_load_offsets(12)
+
+    def test_variable_requires_variable_api(self):
+        pattern = pattern_from_regex(r"\d{3}-\d{2}-\d{4}")
+        with pytest.raises(SynthesisError):
+            analyze_variable_loads(pattern)
+
+    def test_variable_pattern(self):
+        pattern = pattern_from_regex(r"abcdefgh\d{4}.*")
+        table, offsets = analyze_variable_loads(pattern)
+        assert table.load_offsets() == tuple(offsets)
+        assert table.resume_offset >= pattern.body_length - 7
+
+    def test_fixed_requires_fixed_api(self):
+        pattern = pattern_from_regex(r"abcdefgh.*")
+        with pytest.raises(SynthesisError):
+            analyze_fixed_loads(pattern)

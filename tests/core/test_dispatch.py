@@ -1,0 +1,109 @@
+"""Tests for the multi-format dispatcher."""
+
+import pytest
+
+from repro.core.dispatch import FormatDispatcher, build_dispatcher
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes.murmur_stl import stl_hash_bytes
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+SSN = KEY_TYPES["SSN"].regex       # length 11
+IPV4 = KEY_TYPES["IPV4"].regex     # length 15
+MAC = KEY_TYPES["MAC"].regex       # length 17
+
+
+class TestRegistration:
+    def test_register_by_regex(self):
+        dispatcher = FormatDispatcher()
+        synthesized = dispatcher.register(SSN)
+        assert synthesized.family is HashFamily.PEXT
+        assert dispatcher.format_count == 1
+
+    def test_register_prebuilt(self):
+        dispatcher = FormatDispatcher()
+        prebuilt = synthesize(SSN, HashFamily.OFFXOR)
+        returned = dispatcher.register(prebuilt)
+        assert returned is prebuilt
+
+    def test_build_helper(self):
+        dispatcher = build_dispatcher([SSN, IPV4, MAC])
+        assert dispatcher.format_count == 3
+
+    def test_describe(self):
+        dispatcher = build_dispatcher([SSN, MAC])
+        description = "\n".join(dispatcher.describe())
+        assert "len   11" in description
+        assert "len   17" in description
+        assert "fallback" in description
+
+
+class TestRouting:
+    @pytest.fixture(scope="class")
+    def dispatcher(self):
+        return build_dispatcher([SSN, IPV4, MAC])
+
+    def test_routes_by_length(self, dispatcher):
+        ssn_fn = dispatcher.route(b"123-45-6789")
+        mac_fn = dispatcher.route(b"aa-bb-cc-dd-ee-ff")
+        assert ssn_fn is not mac_fn
+        assert ssn_fn is not stl_hash_bytes
+
+    def test_specialized_value_matches_direct_synthesis(self, dispatcher):
+        direct = synthesize(SSN, HashFamily.PEXT)
+        assert dispatcher(b"123-45-6789") == direct(b"123-45-6789")
+
+    def test_unknown_length_falls_back(self, dispatcher):
+        key = b"a-key-of-unregistered-length!"
+        assert dispatcher.route(key) is stl_hash_bytes
+        assert dispatcher(key) == stl_hash_bytes(key)
+
+    def test_all_formats_hash_via_dispatcher(self, dispatcher):
+        for name in ("SSN", "IPV4", "MAC"):
+            keys = generate_keys(name, 50, Distribution.UNIFORM, seed=1)
+            for key in keys:
+                assert 0 <= dispatcher(key) < (1 << 64)
+
+
+class TestLengthCollisions:
+    def test_same_length_formats_disambiguated_by_template(self):
+        # Two 11-byte formats: SSN (digits+dashes) and 11 letters.
+        dispatcher = build_dispatcher([SSN, r"[A-Z]{11}"])
+        ssn_fn = dispatcher.route(b"123-45-6789")
+        letters_fn = dispatcher.route(b"ABCDEFGHIJK")
+        assert ssn_fn is not letters_fn
+
+    def test_ambiguous_key_falls_back(self):
+        dispatcher = build_dispatcher([SSN, r"[A-Z]{11}"])
+        # 11 bytes but matches neither template.
+        assert dispatcher.route(b"!!!!!!!!!!!") is stl_hash_bytes
+
+
+class TestVerification:
+    def test_verify_off_trusts_length(self):
+        dispatcher = build_dispatcher([SSN], verify=False)
+        # 11 bytes of garbage still routes to the SSN function.
+        assert dispatcher.route(b"xxxxxxxxxxx") is not stl_hash_bytes
+
+    def test_verify_on_checks_template(self):
+        dispatcher = build_dispatcher([SSN], verify=True)
+        assert dispatcher.route(b"xxxxxxxxxxx") is stl_hash_bytes
+        assert dispatcher.route(b"123-45-6789") is not stl_hash_bytes
+
+
+class TestVariableLengthFormats:
+    def test_variable_format_routes_by_template(self):
+        dispatcher = FormatDispatcher()
+        dispatcher.register(r"abcdefgh[0-9]{4}.*", family=HashFamily.OFFXOR)
+        assert dispatcher.route(b"abcdefgh1234-and-more") is not (
+            stl_hash_bytes
+        )
+        assert dispatcher.route(b"zzzzzzzz1234") is stl_hash_bytes
+
+    def test_custom_fallback(self):
+        from repro.hashes.fnv import fnv1a_64
+
+        dispatcher = FormatDispatcher(fallback=fnv1a_64)
+        assert dispatcher(b"anything") == fnv1a_64(b"anything")

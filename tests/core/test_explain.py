@@ -1,0 +1,80 @@
+"""Tests for synthesis explanations."""
+
+import pytest
+
+from repro.core.explain import explain, explain_format
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+
+
+class TestExplainContent:
+    @pytest.fixture(scope="class")
+    def ssn_report(self):
+        return explain_format(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+
+    def test_header(self, ssn_report):
+        assert "family: pext" in ssn_report
+        assert "key length: 11" in ssn_report
+
+    def test_template_shows_separators(self, ssn_report):
+        assert "???-??-????" in ssn_report
+
+    def test_masks_reported(self, ssn_report):
+        assert "0x0f000f0f000f0f0f" in ssn_report
+        assert "<< 52" in ssn_report
+
+    def test_properties(self, ssn_report):
+        assert "bijective" in ssn_report
+        assert "low mixing" in ssn_report
+
+    def test_variable_bits(self, ssn_report):
+        assert "variable bits: 36 of 88" in ssn_report
+
+
+class TestExplainVariants:
+    def test_url_prefix_reported_as_skippable(self):
+        report = explain_format(
+            r"https://www\.example\.com[a-z0-9]{20}\.html",
+            HashFamily.OFFXOR,
+        )
+        assert "constant words (skippable): [0, 23)" in report
+        assert "https://www.example.com" in report
+
+    def test_final_mix_reported(self):
+        report = explain_format(
+            r"\d{3}-\d{2}-\d{4}", HashFamily.OFFXOR, final_mix=True
+        )
+        assert "finalizer: 2 murmur avalanche rounds" in report
+        assert "low mixing" not in report
+
+    def test_variable_length_skip_table(self):
+        report = explain_format(r"abcdefgh[0-9]{8}.*", HashFamily.OFFXOR)
+        assert "skip table" in report
+
+    def test_aes_combine_named(self):
+        report = explain_format(r"\d{16}", HashFamily.AES)
+        assert "AES encode rounds" in report
+
+    def test_rotation_shown_for_wide_formats(self):
+        report = explain_format(r"[0-9]{100}", HashFamily.PEXT)
+        assert "rotl" in report
+        assert "not a bijection" in report
+
+    def test_explain_accepts_synthesized(self):
+        synthesized = synthesize(r"\d{12}", HashFamily.NAIVE)
+        report = explain(synthesized)
+        assert "family: naive" in report
+
+
+class TestCliIntegration:
+    def test_explain_subcommand(self, capsys):
+        from repro.cli.main import run
+
+        assert run(["explain", r"\d{3}-\d{2}-\d{4}"]) == 0
+        out = capsys.readouterr().out
+        assert "loads (2):" in out
+
+    def test_explain_bad_family(self, capsys):
+        from repro.cli.main import run
+
+        assert run(["explain", r"\d{10}", "--family", "nope"]) == 1

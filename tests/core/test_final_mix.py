@@ -1,0 +1,79 @@
+"""Tests for the final-mix extension (murmur finalizer on synthetics)."""
+
+import pytest
+
+from repro.bench.metrics import chi_square_uniformity
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+SSN = r"\d{3}-\d{2}-\d{4}"
+
+
+class TestGeneratedCode:
+    def test_python_has_mix_rounds(self):
+        mixed = synthesize(SSN, HashFamily.OFFXOR, final_mix=True)
+        body = mixed.python_source
+        assert body.count(">> 47") == 2
+        assert "0xc6a4a7935bd1e995" in body
+
+    def test_cpp_has_mix_rounds(self):
+        mixed = synthesize(SSN, HashFamily.OFFXOR, final_mix=True)
+        cpp = mixed.cpp_source("x86")
+        assert cpp.count("hash ^= hash >> 47;") == 2
+
+    def test_default_unmixed(self):
+        plain = synthesize(SSN, HashFamily.OFFXOR)
+        assert ">> 47" not in plain.python_source
+
+    @pytest.mark.parametrize("family", list(HashFamily))
+    def test_all_families_support_mixing(self, family):
+        mixed = synthesize(SSN, family, final_mix=True)
+        assert mixed(b"123-45-6789") != mixed(b"123-45-6780")
+
+
+class TestSemantics:
+    def test_mix_is_pure_postprocess(self):
+        """Mixed output = finalizer(plain output), key by key."""
+        plain = synthesize(SSN, HashFamily.PEXT)
+        mixed = synthesize(SSN, HashFamily.PEXT, final_mix=True)
+        mul = 0xC6A4A7935BD1E995
+        mask = (1 << 64) - 1
+
+        def finalize(value):
+            for _ in range(2):
+                value = (value * mul) & mask
+                value ^= value >> 47
+            return value
+
+        for key in (b"123-45-6789", b"000-00-0000", b"999-99-9999"):
+            assert mixed(key) == finalize(plain(key))
+
+    def test_bijection_preserved(self):
+        """The finalizer is invertible, so Pext + mix stays injective."""
+        mixed = synthesize(SSN, HashFamily.PEXT, final_mix=True)
+        assert mixed.is_bijective
+        keys = generate_keys("SSN", 5000, Distribution.INCREMENTAL)
+        values = {mixed(key) for key in keys}
+        assert len(values) == len(set(keys))
+
+
+class TestUniformityRecovered:
+    def test_chi_square_improves_by_orders_of_magnitude(self):
+        """The whole point: final_mix buys back Table 2's uniformity."""
+        keys = generate_keys("SSN", 20_000, Distribution.INCREMENTAL)
+        plain = synthesize(SSN, HashFamily.OFFXOR)
+        mixed = synthesize(SSN, HashFamily.OFFXOR, final_mix=True)
+        plain_chi = chi_square_uniformity(plain.function, keys, bins=256)
+        mixed_chi = chi_square_uniformity(mixed.function, keys, bins=256)
+        assert mixed_chi < plain_chi / 10
+
+    def test_mixed_close_to_stl(self):
+        from repro.hashes import stl_hash_bytes
+
+        keys = generate_keys("SSN", 20_000, Distribution.UNIFORM, seed=3)
+        mixed = synthesize(SSN, HashFamily.OFFXOR, final_mix=True)
+        mixed_chi = chi_square_uniformity(mixed.function, keys, bins=256)
+        stl_chi = chi_square_uniformity(stl_hash_bytes, keys, bins=256)
+        assert mixed_chi < stl_chi * 3

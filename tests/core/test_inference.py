@@ -1,0 +1,102 @@
+"""Tests for pattern inference from example keys (Section 3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.inference import coverage_report, infer_pattern
+from repro.errors import EmptyKeySetError
+
+
+class TestInferPattern:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyKeySetError):
+            infer_pattern([])
+
+    def test_single_key_all_constant(self):
+        pattern = infer_pattern(["ABC"])
+        assert pattern.is_fixed_length
+        assert pattern.constant_byte_positions() == [0, 1, 2]
+
+    def test_accepts_str_and_bytes(self):
+        assert infer_pattern(["AB"]) == infer_pattern([b"AB"])
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            infer_pattern([123])
+
+    def test_example_3_6_ipv4(self):
+        """Two well-chosen examples suffice for the IPv4 digit format."""
+        pattern = infer_pattern(["000.000.000.000", "555.555.555.555"])
+        for index in range(15):
+            byte = pattern.byte_pattern(index)
+            if index in (3, 7, 11):
+                assert byte.is_constant
+                assert byte.const_value == ord(".")
+            else:
+                # Digits: the '0011' high nibble stays constant.
+                assert byte.const_mask == 0xF0
+                assert byte.const_value == 0x30
+
+    def test_example_3_6_url_letters(self):
+        """A sequence of 'E's and one of '0's exercise all letter/digit
+        quad variation."""
+        pattern = infer_pattern(["EEEE", "0000"])
+        byte = pattern.byte_pattern(0)
+        # 'E' = 01000101, '0' = 00110000: joining leaves nothing constant
+        # in the upper quads (01 v 00 = T, 00 v 11 = T).
+        assert byte.const_mask == 0b00000000 or byte.const_mask < 0xF0
+
+    def test_biased_examples_freeze_bits(self):
+        """Footnote 2: bad example sets mischaracterize variable bits as
+        constant — more collisions, never incorrectness."""
+        pattern = infer_pattern(["111", "112", "113"])
+        assert pattern.byte_pattern(0).is_constant
+        assert pattern.byte_pattern(1).is_constant
+        assert not pattern.byte_pattern(2).is_constant
+
+    def test_variable_lengths(self):
+        pattern = infer_pattern(["abc", "abcd", "ab"])
+        assert pattern.min_length == 2
+        assert pattern.max_length == 4
+        assert not pattern.is_fixed_length
+
+    def test_every_example_matches_inferred_pattern(self):
+        examples = ["123-45-6789", "000-11-2222", "999-99-9999"]
+        pattern = infer_pattern(examples)
+        for example in examples:
+            assert pattern.matches(example.encode())
+
+    @given(
+        st.lists(
+            st.binary(min_size=3, max_size=12), min_size=1, max_size=20
+        )
+    )
+    def test_soundness_property(self, keys):
+        """Every example key always matches the inferred pattern."""
+        pattern = infer_pattern(keys)
+        for key in keys:
+            assert pattern.matches(key)
+
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=8))
+    def test_join_monotone_in_examples(self, keys):
+        """Adding examples can only widen the pattern (more keys match)."""
+        subset = infer_pattern(keys[:1])
+        full = infer_pattern(keys)
+        # Everything the subset's pattern was built from matches full's.
+        assert full.matches(keys[0])
+        assert subset.matches(keys[0])
+
+
+class TestCoverageReport:
+    def test_counts_distinct_bytes(self):
+        report = coverage_report(["ab", "ac", "ad"])
+        assert report == [1, 3]
+
+    def test_short_keys_ignored_at_tail(self):
+        report = coverage_report(["ab", "a"])
+        assert report == [1, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyKeySetError):
+            coverage_report([])

@@ -1,0 +1,127 @@
+"""Tests for bijective hash inversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inverse import (
+    _invert_final_mix,
+    _invert_xor_shift_right,
+    invert_hash,
+    invertible,
+    recover_keys,
+)
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize, synthesize_short_key
+from repro.errors import SynthesisError
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+MASK64 = (1 << 64) - 1
+
+
+class TestPrimitiveInverses:
+    @given(st.integers(min_value=0, max_value=MASK64))
+    @settings(max_examples=100)
+    def test_xor_shift_inverse(self, value):
+        mixed = value ^ (value >> 47)
+        assert _invert_xor_shift_right(mixed, 47) == value
+
+    @given(st.integers(min_value=0, max_value=MASK64),
+           st.integers(min_value=1, max_value=63))
+    @settings(max_examples=100)
+    def test_xor_shift_inverse_any_shift(self, value, shift):
+        mixed = value ^ (value >> shift)
+        assert _invert_xor_shift_right(mixed, shift) == value
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    @settings(max_examples=100)
+    def test_final_mix_inverse(self, value):
+        from repro.codegen.ir import FINAL_MIX_MUL
+
+        mixed = value
+        for _ in range(2):
+            mixed = (mixed * FINAL_MIX_MUL) & MASK64
+            mixed ^= mixed >> 47
+        assert _invert_final_mix(mixed) == value
+
+
+class TestInvertibility:
+    def test_pext_bijections_invertible(self):
+        for name in ("SSN", "CPF", "IPV4", "MAC", "IPV6"):
+            synthesized = synthesize(KEY_TYPES[name].regex, HashFamily.PEXT)
+            assert invertible(synthesized) == synthesized.is_bijective, name
+
+    def test_offxor_not_invertible(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.OFFXOR)
+        assert not invertible(synthesized)
+        with pytest.raises(SynthesisError):
+            invert_hash(synthesized, 0)
+
+    def test_rotated_fold_not_invertible(self):
+        synthesized = synthesize(KEY_TYPES["INTS"].regex, HashFamily.PEXT)
+        assert not invertible(synthesized)
+
+    def test_out_of_range_value(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        with pytest.raises(ValueError):
+            invert_hash(synthesized, 1 << 64)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["SSN", "CPF", "IPV4"])
+    def test_roundtrip_on_generated_keys(self, name, key_samples):
+        synthesized = synthesize(KEY_TYPES[name].regex, HashFamily.PEXT)
+        for key in key_samples[name][:200]:
+            assert invert_hash(synthesized, synthesized(key)) == key
+
+    def test_roundtrip_with_final_mix(self):
+        synthesized = synthesize(
+            r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT, final_mix=True
+        )
+        keys = generate_keys("SSN", 300, Distribution.UNIFORM, seed=1)
+        for key in keys:
+            assert invert_hash(synthesized, synthesized(key)) == key
+
+    def test_roundtrip_short_key(self):
+        synthesized = synthesize_short_key(r"\d{4}", HashFamily.PEXT)
+        for value in (0, 42, 9999):
+            key = f"{value:04d}".encode()
+            assert invert_hash(synthesized, synthesized(key)) == key
+
+    def test_incremental_window_exhaustive(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        keys = generate_keys("SSN", 1000, Distribution.INCREMENTAL)
+        for key in keys:
+            assert invert_hash(synthesized, synthesized(key)) == key
+
+
+class TestRecoverKeys:
+    def test_batch_with_verification(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        keys = generate_keys("SSN", 50, Distribution.UNIFORM, seed=2)
+        values = [synthesized(key) for key in keys]
+        assert recover_keys(synthesized, values) == keys
+
+    def test_non_image_values_return_none(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        # SSN packs 24 bits at the bottom and 12 at the top (Figure 12):
+        # bits 24..51 are zero for every image value, so a value with
+        # bit 30 set cannot round-trip.
+        bogus = 1 << 30
+        assert recover_keys(synthesized, [bogus]) == [None]
+
+    def test_containers_integration(self):
+        """BijectiveMap drops keys; inversion brings them back."""
+        from repro.containers.bijective import BijectiveSet
+
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT)
+        table = BijectiveSet(synthesized)
+        keys = generate_keys("SSN", 100, Distribution.UNIFORM, seed=3)
+        for key in keys:
+            table.insert(key)
+        recovered = {
+            invert_hash(synthesized, value) for value in table.hashes()
+        }
+        assert recovered == set(keys)

@@ -1,0 +1,122 @@
+"""Tests for pext mask and shift computation (Section 3.2.3)."""
+
+import pytest
+
+from repro.core.masks import (
+    extraction_masks,
+    fold_rotations,
+    mask_bit_counts,
+    pack_shifts,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.isa.bits import popcount
+
+
+class TestExtractionMasks:
+    def test_paper_figure12_ssn_masks(self):
+        """The SSN format must produce exactly the masks of Figure 12."""
+        pattern = pattern_from_regex(r"\d{3}\.\d{2}\.\d{4}")
+        masks = extraction_masks(pattern, [0, 3])
+        assert masks[0] == 0x0F000F0F000F0F0F
+        assert masks[1] == 0x0F0F0F0000000000
+
+    def test_dash_ssn_masks(self):
+        pattern = pattern_from_regex(r"\d{3}-\d{2}-\d{4}")
+        masks = extraction_masks(pattern, [0, 3])
+        # Same digit layout; separators differ but are constant either way.
+        assert masks[0] == 0x0F000F0F000F0F0F
+        assert masks[1] == 0x0F0F0F0000000000
+
+    def test_overlap_deduplication(self):
+        """Bits covered by an earlier load never reappear in later masks."""
+        pattern = pattern_from_regex(r"[0-9]{11}")
+        masks = extraction_masks(pattern, [0, 3])
+        # Load at 3 covers bytes 3..10; bytes 3..7 were already covered.
+        assert masks[1] == 0x0F0F0F0000000000
+
+    def test_total_bits_conserved(self):
+        pattern = pattern_from_regex(r"[0-9]{16}")
+        masks = extraction_masks(pattern, [0, 8])
+        assert sum(popcount(mask) for mask in masks) == 64
+
+    def test_fully_variable_word(self):
+        pattern = pattern_from_regex(".{8}")
+        masks = extraction_masks(pattern, [0])
+        assert masks == [(1 << 64) - 1]
+
+    def test_constant_word_gives_zero_mask(self):
+        pattern = pattern_from_regex("abcdefgh")
+        masks = extraction_masks(pattern, [0])
+        assert masks == [0]
+
+
+class TestPackShifts:
+    def test_two_words_paper_placement(self):
+        """Figure 12: 24 bits + 12 bits → second shift is 64-12 = 52."""
+        shifts, bijective = pack_shifts([24, 12])
+        assert bijective
+        assert shifts == [0, 52]
+
+    def test_single_word(self):
+        shifts, bijective = pack_shifts([36])
+        assert bijective
+        assert shifts == [28]  # pushed to the top: 64 - 36
+
+    def test_exact_fit(self):
+        shifts, bijective = pack_shifts([32, 32])
+        assert bijective
+        assert shifts == [0, 32]
+
+    def test_three_words(self):
+        shifts, bijective = pack_shifts([16, 16, 16])
+        assert bijective
+        assert shifts == [0, 16, 48]
+
+    def test_no_overlap_when_bijective(self):
+        for counts in ([24, 12], [16, 16, 16], [8, 8, 8, 8], [40, 20]):
+            shifts, bijective = pack_shifts(counts)
+            assert bijective
+            occupied = set()
+            for bits, shift in zip(counts, shifts):
+                word_bits = set(range(shift, shift + bits))
+                assert not occupied & word_bits
+                occupied |= word_bits
+
+    def test_overflow_not_bijective(self):
+        shifts, bijective = pack_shifts([40, 40])
+        assert not bijective
+        assert shifts == [0, 0]
+
+    def test_empty(self):
+        shifts, bijective = pack_shifts([])
+        assert bijective and shifts == []
+
+
+class TestFoldRotations:
+    def test_full_words_aligned(self):
+        rotations = fold_rotations([64, 64, 64])
+        assert rotations == [0, 0, 0]
+
+    def test_last_word_lands_at_top(self):
+        """The trailing word's bits must end at bit 63 (see docstring)."""
+        for counts in ([24, 12, 40], [48, 40, 8], [4] * 20):
+            rotations = fold_rotations(counts)
+            assert rotations[-1] == (64 - counts[-1]) % 64
+
+    def test_uneven_counts_tile_downward(self):
+        rotations = fold_rotations([24, 12, 40])
+        # word2 at bits 24..63, word1 at 12..23, word0 at bits 52..63+wrap.
+        assert rotations == [52, 12, 24]
+
+    def test_wraps_mod_64(self):
+        rotations = fold_rotations([40, 40, 40])
+        assert rotations == [8, 48, 24]
+
+    def test_zero_bits_still_advance(self):
+        rotations = fold_rotations([0, 0])
+        assert rotations == [62, 63]
+
+
+class TestMaskBitCounts:
+    def test_counts(self):
+        assert mask_bit_counts([0x0F, 0xFF, 0]) == [4, 8, 0]

@@ -1,0 +1,113 @@
+"""Direct validation tests for the plan dataclasses."""
+
+import pytest
+
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SkipTable,
+    SynthesisPlan,
+)
+
+
+class TestLoadOp:
+    def test_defaults(self):
+        load = LoadOp(4)
+        assert load.width == 8
+        assert load.mask is None
+        assert load.shift == 0 and load.rotate == 0
+
+    def test_negative_offset(self):
+        with pytest.raises(ValueError):
+            LoadOp(-1)
+
+    def test_shift_and_rotate_exclusive(self):
+        with pytest.raises(ValueError):
+            LoadOp(0, shift=4, rotate=4)
+
+    @pytest.mark.parametrize("shift", [-1, 64, 100])
+    def test_shift_range(self, shift):
+        with pytest.raises(ValueError):
+            LoadOp(0, shift=shift)
+
+    @pytest.mark.parametrize("rotate", [-1, 64])
+    def test_rotate_range(self, rotate):
+        with pytest.raises(ValueError):
+            LoadOp(0, rotate=rotate)
+
+    @pytest.mark.parametrize("width", [0, 9, -3])
+    def test_width_range(self, width):
+        with pytest.raises(ValueError):
+            LoadOp(0, width=width)
+
+    def test_frozen(self):
+        load = LoadOp(0)
+        with pytest.raises(AttributeError):
+            load.offset = 5
+
+
+class TestSkipTable:
+    def test_load_offsets(self):
+        table = SkipTable(initial_offset=2, skips=(8, 10, 8))
+        assert table.load_offsets() == (2, 10, 20)
+        assert table.resume_offset == 28
+
+    def test_negative_initial(self):
+        with pytest.raises(ValueError):
+            SkipTable(initial_offset=-1, skips=(8,))
+
+    def test_nonpositive_skip(self):
+        with pytest.raises(ValueError):
+            SkipTable(initial_offset=0, skips=(8, 0))
+
+
+class TestSynthesisPlan:
+    def _plan(self, **overrides):
+        defaults = dict(
+            family=HashFamily.OFFXOR,
+            key_length=16,
+            loads=(LoadOp(0), LoadOp(8)),
+            skip_table=None,
+            combine=CombineOp.XOR,
+            total_variable_bits=128,
+            bijective=False,
+        )
+        defaults.update(overrides)
+        return SynthesisPlan(**defaults)
+
+    def test_valid_plan(self):
+        plan = self._plan()
+        assert plan.is_fixed_length
+        assert plan.num_loads == 2
+
+    def test_short_key_rejected_by_default(self):
+        with pytest.raises(ValueError):
+            self._plan(key_length=7, loads=(LoadOp(0, width=7),))
+
+    def test_short_key_allowed_when_flagged(self):
+        plan = self._plan(
+            key_length=7, loads=(LoadOp(0, width=7),), short_key=True
+        )
+        assert plan.key_length == 7
+
+    def test_load_past_key_end_rejected(self):
+        with pytest.raises(ValueError):
+            self._plan(loads=(LoadOp(9),))
+
+    def test_partial_width_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self._plan(loads=(LoadOp(12, width=5),))
+        plan = self._plan(loads=(LoadOp(12, width=4),))
+        assert plan.loads[0].width == 4
+
+    def test_variable_length_skips_bounds_check(self):
+        plan = self._plan(
+            key_length=None,
+            loads=(LoadOp(100),),
+            skip_table=SkipTable(initial_offset=100, skips=(8,)),
+        )
+        assert not plan.is_fixed_length
+
+    def test_family_enum_str(self):
+        assert str(HashFamily.PEXT) == "pext"

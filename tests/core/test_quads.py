@@ -1,0 +1,161 @@
+"""Tests for the quad-semilattice (Definition 3.2 / Theorem 3.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quads import (
+    byte_to_quads,
+    join,
+    join_keys,
+    join_many,
+    key_to_quads,
+    leq,
+    quads_const_mask,
+    quads_to_byte,
+)
+
+quad = st.one_of(st.none(), st.integers(min_value=0, max_value=3))
+
+
+class TestJoinLaws:
+    """Theorem 3.3: the join operator defines a semilattice."""
+
+    @given(quad)
+    def test_idempotent(self, a):
+        assert join(a, a) == a
+
+    @given(quad, quad)
+    def test_commutative(self, a, b):
+        assert join(a, b) == join(b, a)
+
+    @given(quad, quad, quad)
+    def test_associative(self, a, b, c):
+        assert join(join(a, b), c) == join(a, join(b, c))
+
+    @given(quad)
+    def test_top_absorbs(self, a):
+        assert join(a, None) is None
+
+    def test_distinct_concrete_join_to_top(self):
+        assert join(0, 1) is None
+        assert join(2, 3) is None
+
+    @given(quad, quad)
+    def test_partial_order_from_join(self, a, b):
+        # a <= a v b always (the defining property of a join).
+        assert leq(a, join(a, b))
+
+    @given(quad)
+    def test_leq_top(self, a):
+        assert leq(a, None)
+
+    def test_incomparable_concrete_elements(self):
+        assert not leq(0, 1)
+        assert not leq(1, 0)
+
+
+class TestJoinMany:
+    def test_empty_is_top(self):
+        assert join_many([]) is None
+
+    def test_singleton(self):
+        assert join_many([2]) == 2
+
+    def test_all_equal(self):
+        assert join_many([3, 3, 3]) == 3
+
+    def test_mixed(self):
+        assert join_many([1, 1, 2]) is None
+
+    @given(st.lists(quad, min_size=1, max_size=8))
+    def test_equals_fold(self, quads):
+        expected = quads[0]
+        for element in quads[1:]:
+            expected = join(expected, element)
+        assert join_many(quads) == expected
+
+
+class TestByteConversion:
+    def test_paper_example_j(self):
+        # 'J' = 0x4A = 01 00 10 10 (Figure 6).
+        assert byte_to_quads(ord("J")) == (1, 0, 2, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            byte_to_quads(256)
+        with pytest.raises(ValueError):
+            byte_to_quads(-1)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip(self, byte):
+        assert quads_to_byte(byte_to_quads(byte)) == byte
+
+    def test_quads_to_byte_rejects_top(self):
+        with pytest.raises(ValueError):
+            quads_to_byte((0, None, 1, 2))
+
+    def test_quads_to_byte_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            quads_to_byte((0, 1))
+
+
+class TestKeyToQuads:
+    def test_length(self):
+        assert len(key_to_quads(b"abc")) == 12
+
+    def test_padding_with_top(self):
+        padded = key_to_quads(b"J", pad_to_bytes=2)
+        assert padded[:4] == [1, 0, 2, 2]
+        assert padded[4:] == [None] * 4
+
+
+class TestJoinKeys:
+    def test_empty(self):
+        assert join_keys([]) == []
+
+    def test_figure6_iata_example(self):
+        """The paper's Figure 6: JFK v LaX v GRu."""
+        joined = join_keys([b"JFK", b"LaX", b"GRu"])
+        # Paper's result: 0100 T T 01 T T T 01 T T T T.
+        # Byte 0: J(1,0,2,2) v L(1,0,3,0) v G(1,0,1,3) = (1,0,T,T);
+        # byte 1: F(1,0,1,2) v a(1,2,0,1) v R(1,1,0,2) = (1,T,T,T);
+        # byte 2: K(1,0,2,3) v X(1,1,2,0) v u(1,3,1,1) = (1,T,T,T).
+        expected = [
+            1, 0, None, None,
+            1, None, None, None,
+            1, None, None, None,
+        ]
+        assert joined == expected
+
+    def test_mixed_lengths_pad_with_top(self):
+        joined = join_keys([b"JFK", b"JFKL"])
+        assert len(joined) == 16
+        assert joined[12:] == [None] * 4
+        assert joined[:12] == key_to_quads(b"JFK")
+
+    def test_icao_example(self):
+        """Example 3.4's extension: a 4-letter code joins the 3-letter
+        codes; the missing fourth letter becomes four top elements."""
+        joined = join_keys([b"JFK", b"LaX", b"GRu", b"RJTT"])
+        assert joined[0] == 1  # '01' upper-bit pair shared by all letters
+        assert all(element is None for element in joined[12:16])
+
+
+class TestConstMask:
+    def test_all_constant(self):
+        mask, value = quads_const_mask([0, 3])
+        assert (mask, value) == (0b1111, 0b0011)
+
+    def test_partial(self):
+        mask, value = quads_const_mask([None, 3])
+        assert (mask, value) == (0b0011, 0b0011)
+
+    def test_empty(self):
+        assert quads_const_mask([]) == (0, 0)
+
+    def test_digit_byte(self):
+        # ASCII digits share the '0011' high nibble.
+        mask, value = quads_const_mask([0, 3, None, None])
+        assert mask == 0xF0
+        assert value == 0x30

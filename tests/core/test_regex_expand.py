@@ -1,0 +1,140 @@
+"""Tests for regex → KeyPattern expansion."""
+
+import re
+
+import pytest
+
+from repro.core.regex_expand import (
+    class_to_quads,
+    pattern_from_regex,
+    shape_from_regex,
+)
+from repro.errors import UnsupportedPatternError
+from repro.keygen.keyspec import KEY_TYPES
+
+
+class TestClassToQuads:
+    def test_singleton(self):
+        assert class_to_quads(frozenset({ord("0")})) == (0, 3, 0, 0)
+
+    def test_digits(self):
+        quads = class_to_quads(
+            frozenset(range(ord("0"), ord("9") + 1))
+        )
+        assert quads[0] == 0 and quads[1] == 3  # constant '0011' nibble
+        assert quads[2] is None and quads[3] is None
+
+    def test_uppercase(self):
+        quads = class_to_quads(frozenset(range(ord("A"), ord("Z") + 1)))
+        assert quads[0] == 1  # '01' prefix of upper-case ASCII
+        assert quads[1] is None
+
+    def test_mixed_case_letters(self):
+        letters = frozenset(range(ord("A"), ord("Z") + 1)) | frozenset(
+            range(ord("a"), ord("z") + 1)
+        )
+        quads = class_to_quads(letters)
+        assert quads[0] == 1  # Example 3.5: the shared '01' pair survives
+        assert quads[1] is None
+
+
+class TestFixedFormats:
+    def test_ssn_shape(self):
+        pattern = pattern_from_regex(r"\d{3}-\d{2}-\d{4}")
+        assert pattern.is_fixed_length
+        assert pattern.num_bytes == 11
+        assert pattern.constant_byte_positions() == [3, 6]
+
+    def test_ipv4_shape(self):
+        pattern = pattern_from_regex(r"(([0-9]{3})\.){3}[0-9]{3}")
+        assert pattern.num_bytes == 15
+        assert pattern.constant_byte_positions() == [3, 7, 11]
+
+    def test_nested_repetition(self):
+        pattern = pattern_from_regex(r"((ab){2}c){3}")
+        assert pattern.num_bytes == 15
+        assert pattern.matches(b"ababcababcababc")
+
+    def test_alternation_same_length(self):
+        pattern = pattern_from_regex("cat|dog")
+        assert pattern.is_fixed_length
+        assert pattern.num_bytes == 3
+        assert pattern.matches(b"cat")
+        assert pattern.matches(b"dog")
+        # Join widens: 'cog' also matches the per-position classes.
+        assert pattern.matches(b"cog")
+
+    def test_alternation_different_lengths(self):
+        pattern = pattern_from_regex("ab|abcd")
+        assert pattern.min_length == 2
+        assert pattern.max_length == 4
+
+
+class TestVariableFormats:
+    def test_trailing_star(self):
+        pattern = pattern_from_regex(r"abcdefgh.*")
+        assert pattern.min_length == 8
+        assert pattern.max_length is None
+
+    def test_trailing_plus(self):
+        pattern = pattern_from_regex(r"abcdefgh[a-z]+")
+        assert pattern.min_length == 9
+        assert pattern.max_length is None
+
+    def test_optional_suffix(self):
+        pattern = pattern_from_regex(r"abcd(efgh)?")
+        assert pattern.min_length == 4
+        assert pattern.max_length == 8
+
+    def test_example_3_7_url_with_name_field(self):
+        regex = (
+            r"https://example\.com/src\?ssn="
+            r"\d{3}\.\d{2}\.\d{4}&name=.*"
+        )
+        pattern = pattern_from_regex(regex)
+        assert pattern.max_length is None
+        assert pattern.min_length == len(
+            "https://example.com/src?ssn=123.45.6789&name="
+        )
+
+    def test_mid_pattern_unbounded_smears(self):
+        """Content after an unbounded repeat cannot be positioned; the
+        pattern stays sound (longer min) but loses class precision."""
+        pattern = pattern_from_regex(r"ab.*cd")
+        assert pattern.max_length is None
+        assert pattern.min_length == 4
+
+    def test_nested_unbounded_rejected(self):
+        with pytest.raises(UnsupportedPatternError):
+            pattern_from_regex(r"(a*){2}")
+
+    def test_pathological_quantifier_rejected(self):
+        with pytest.raises(UnsupportedPatternError):
+            pattern_from_regex(r"a{9999999}b{9999999}(ab){999999999}")
+
+
+class TestAgainstPythonRe:
+    """Cross-validate: keys matching our pattern semantics also match
+    Python's re for the paper formats (our pattern may be wider, never
+    narrower)."""
+
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_generated_keys_match_pattern(self, name, key_samples):
+        spec = KEY_TYPES[name]
+        pattern = pattern_from_regex(spec.regex)
+        compiled = re.compile(spec.regex.encode())
+        for key in key_samples[name][:100]:
+            assert compiled.fullmatch(key), key
+            assert pattern.matches(key), key
+
+
+class TestShape:
+    def test_shape_keeps_exact_classes(self):
+        shape = shape_from_regex(r"[0-9]{2}")
+        assert shape.min_length == 2
+        assert shape.classes[0] == frozenset(range(ord("0"), ord("9") + 1))
+
+    def test_empty_regex(self):
+        shape = shape_from_regex("")
+        assert shape.min_length == 0
+        assert shape.max_length == 0

@@ -1,0 +1,182 @@
+"""Tests for the regex-subset parser."""
+
+import pytest
+
+from repro.core.regex_ast import (
+    Alternation,
+    CharClass,
+    Concat,
+    Literal,
+    Repeat,
+)
+from repro.core.regex_parser import parse_regex
+from repro.errors import RegexSyntaxError
+
+
+class TestAtoms:
+    def test_literal(self):
+        assert parse_regex("a") == Literal(ord("a"))
+
+    def test_escaped_metachar(self):
+        assert parse_regex(r"\.") == Literal(ord("."))
+        assert parse_regex(r"\-") == Literal(ord("-"))
+
+    def test_escaped_control(self):
+        assert parse_regex(r"\n") == Literal(ord("\n"))
+        assert parse_regex(r"\t") == Literal(ord("\t"))
+
+    def test_hex_escape(self):
+        assert parse_regex(r"\x41") == Literal(0x41)
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(r"\xZZ")
+
+    def test_dot_is_any_byte(self):
+        node = parse_regex(".")
+        assert isinstance(node, CharClass)
+        assert len(node.bytes) == 256
+
+    def test_digit_shorthand(self):
+        node = parse_regex(r"\d")
+        assert node.bytes == frozenset(range(ord("0"), ord("9") + 1))
+
+    def test_negated_shorthand(self):
+        node = parse_regex(r"\D")
+        assert ord("5") not in node.bytes
+        assert ord("a") in node.bytes
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("ab\\")
+
+
+class TestClasses:
+    def test_simple_range(self):
+        node = parse_regex("[a-c]")
+        assert node.bytes == frozenset({ord("a"), ord("b"), ord("c")})
+
+    def test_multiple_ranges(self):
+        node = parse_regex("[0-9a-fA-F]")
+        assert len(node.bytes) == 22
+
+    def test_explicit_members(self):
+        node = parse_regex("[xyz]")
+        assert node.bytes == frozenset({ord("x"), ord("y"), ord("z")})
+
+    def test_negation(self):
+        node = parse_regex("[^a]")
+        assert ord("a") not in node.bytes
+        assert len(node.bytes) == 255
+
+    def test_shorthand_inside_class(self):
+        node = parse_regex(r"[\d_]")
+        assert ord("5") in node.bytes
+        assert ord("_") in node.bytes
+
+    def test_literal_dash_at_end(self):
+        node = parse_regex("[a-]")
+        assert node.bytes == frozenset({ord("a"), ord("-")})
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("[z-a]")
+
+    def test_unterminated(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("[abc")
+
+    def test_leading_close_bracket_is_member(self):
+        node = parse_regex("[]a]")
+        assert node.bytes == frozenset({ord("]"), ord("a")})
+
+
+class TestQuantifiers:
+    def test_exact_count(self):
+        node = parse_regex("a{3}")
+        assert node == Repeat(Literal(ord("a")), 3, 3)
+
+    def test_range_count(self):
+        node = parse_regex("a{2,5}")
+        assert node == Repeat(Literal(ord("a")), 2, 5)
+
+    def test_open_count(self):
+        node = parse_regex("a{2,}")
+        assert node == Repeat(Literal(ord("a")), 2, None)
+
+    def test_star(self):
+        assert parse_regex("a*") == Repeat(Literal(ord("a")), 0, None)
+
+    def test_plus(self):
+        assert parse_regex("a+") == Repeat(Literal(ord("a")), 1, None)
+
+    def test_question(self):
+        assert parse_regex("a?") == Repeat(Literal(ord("a")), 0, 1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{5,2}")
+
+    def test_quantifier_without_atom(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("*a")
+
+    def test_malformed_braces(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{x}")
+
+
+class TestStructure:
+    def test_concat(self):
+        node = parse_regex("ab")
+        assert node == Concat((Literal(ord("a")), Literal(ord("b"))))
+
+    def test_group_is_transparent(self):
+        assert parse_regex("(a)") == Literal(ord("a"))
+
+    def test_group_with_quantifier(self):
+        node = parse_regex("(ab){2}")
+        assert isinstance(node, Repeat)
+        assert node.min_count == node.max_count == 2
+
+    def test_alternation(self):
+        node = parse_regex("a|b")
+        assert isinstance(node, Alternation)
+        assert len(node.branches) == 2
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(ab")
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("ab)")
+
+    def test_anchors_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("^ab")
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("ab$")
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexSyntaxError) as info:
+            parse_regex("ab[")
+        assert info.value.position >= 2
+
+
+class TestPaperFormats:
+    """Every regex from the paper's 'Keys' list must parse."""
+
+    @pytest.mark.parametrize(
+        "regex",
+        [
+            r"\d{3}-\d{2}-\d{4}",
+            r"\d{3}\.\d{3}\.\d{3}-\d{2}",
+            r"([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}",
+            r"(([0-9]{3})\.){3}[0-9]{3}",
+            r"([0-9a-f]{4}:){7}[0-9a-f]{4}",
+            r"[0-9]{100}",
+            r"https://www\.example\.com[a-z0-9]{20}\.html",
+            r"https://www\.example\.com/en/articles/[a-z0-9]{20}\.html",
+        ],
+    )
+    def test_parses(self, regex):
+        parse_regex(regex)

@@ -1,0 +1,115 @@
+"""Tests for pattern → regex rendering (keybuilder's output)."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import infer_pattern
+from repro.core.pattern import BytePattern
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.regex_render import render_byte_class, render_regex
+
+
+class TestRenderByteClass:
+    def test_constant_literal(self):
+        assert render_byte_class(BytePattern(0xFF, ord("a"))) == "a"
+
+    def test_constant_metachar_escaped(self):
+        assert render_byte_class(BytePattern(0xFF, ord("."))) == "\\."
+
+    def test_constant_nonprintable(self):
+        assert render_byte_class(BytePattern(0xFF, 0x01)) == "\\x01"
+
+    def test_free_byte_is_dot(self):
+        assert render_byte_class(BytePattern(0x00, 0x00)) == "."
+
+    def test_range_class(self):
+        rendered = render_byte_class(BytePattern(0xF0, 0x30))
+        assert rendered == "[0-?]"  # bytes 0x30-0x3F
+
+
+class TestRenderRegex:
+    def test_all_constant(self):
+        pattern = infer_pattern(["hello.key"])
+        assert render_regex(pattern) == r"hel{2}o\.key"
+
+    def test_run_collapsing(self):
+        pattern = infer_pattern(["aaaaaaaa"])
+        assert render_regex(pattern) == "a{8}"
+
+    def test_period_detection(self):
+        pattern = infer_pattern(["ab-ab-ab-ab-"])
+        rendered = render_regex(pattern)
+        assert "{4}" in rendered or "{3}" in rendered
+
+    def test_variable_tail_unbounded(self):
+        pattern = infer_pattern(["aaaaaaaax", "aaaaaaaaxyz"])
+        rendered = render_regex(pattern)
+        assert rendered.endswith(".{0,2}") or rendered.endswith(".*")
+
+    def test_docstring_example(self):
+        pattern = infer_pattern(["000-00", "555-55"])
+        assert render_regex(pattern) == r"[0-?]{3}\-[0-?]{2}"
+
+
+class TestRoundTrip:
+    """Rendered regexes must re-expand to an equivalent pattern, and
+    Python's re must accept them."""
+
+    @pytest.mark.parametrize(
+        "examples",
+        [
+            ["123-45-6789", "000-00-0000", "999-99-9999"],
+            ["192.168.001.001", "010.020.030.044"],
+            ["aa-bb-cc-dd-ee-ff", "00-11-22-33-44-55"],
+            ["https://x.co/aaaa", "https://x.co/zzzz"],
+        ],
+    )
+    def test_roundtrip_pattern_equivalence(self, examples):
+        pattern = infer_pattern(examples)
+        rendered = render_regex(pattern)
+        reparsed = pattern_from_regex(rendered)
+        assert reparsed.min_length == pattern.min_length
+        assert reparsed.max_length == pattern.max_length
+        for index in range(pattern.body_length):
+            assert (
+                reparsed.byte_pattern(index).possible_bytes()
+                == pattern.byte_pattern(index).possible_bytes()
+            )
+
+    @pytest.mark.parametrize(
+        "examples",
+        [
+            ["123-45-6789", "000-00-0000"],
+            ["abc", "abd", "xyz"],
+            ["a.b", "c.d"],
+        ],
+    )
+    def test_examples_match_rendered_regex(self, examples):
+        rendered = render_regex(infer_pattern(examples))
+        compiled = re.compile(rendered)
+        for example in examples:
+            assert compiled.fullmatch(example), (rendered, example)
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=2,
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_examples_always_match(self, examples):
+        """Any printable example set: inferred-then-rendered regex must
+        accept every example (up to the variable-tail widening)."""
+        pattern = infer_pattern(examples)
+        rendered = render_regex(pattern)
+        compiled = re.compile(rendered, re.DOTALL)
+        for example in examples:
+            assert compiled.fullmatch(example) is not None

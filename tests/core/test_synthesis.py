@@ -1,0 +1,353 @@
+"""Tests for end-to-end synthesis: the four families over real formats."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import CombineOp, HashFamily
+from repro.core.synthesis import (
+    build_plan,
+    synthesize,
+    synthesize_all_families,
+    synthesize_from_keys,
+    synthesize_short_key,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.errors import SynthesisError
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+MASK64 = (1 << 64) - 1
+
+ALL_FORMATS = list(KEY_TYPES)
+
+
+class TestBasics:
+    def test_returns_callable(self, synthesized_ssn):
+        for family, synthesized in synthesized_ssn.items():
+            value = synthesized(b"123-45-6789")
+            assert isinstance(value, int)
+            assert 0 <= value <= MASK64
+
+    def test_deterministic(self, synthesized_ssn):
+        for synthesized in synthesized_ssn.values():
+            assert synthesized(b"111-22-3333") == synthesized(b"111-22-3333")
+
+    def test_name_defaults(self):
+        synthesized = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.NAIVE)
+        assert synthesized.name == "sepe_naive_hash"
+        assert "def sepe_naive_hash" in synthesized.python_source
+
+    def test_custom_name(self):
+        synthesized = synthesize(
+            r"\d{3}-\d{2}-\d{4}", HashFamily.NAIVE, name="my_hash"
+        )
+        assert "def my_hash" in synthesized.python_source
+
+    def test_bad_source_type(self):
+        with pytest.raises(TypeError):
+            synthesize(12345)
+
+    def test_synthesis_time_recorded(self, synthesized_ssn):
+        for synthesized in synthesized_ssn.values():
+            assert synthesized.synthesis_seconds > 0
+
+    def test_short_format_rejected_by_default(self):
+        with pytest.raises(SynthesisError):
+            synthesize(r"\d{4}")
+
+    def test_all_families_returns_four(self):
+        families = synthesize_all_families(r"\d{3}-\d{2}-\d{4}")
+        assert set(families) == set(HashFamily)
+
+
+class TestRepr:
+    def test_repr_is_compact_and_informative(self, synthesized_ssn):
+        rendered = repr(synthesized_ssn[HashFamily.PEXT])
+        assert "pext" in rendered
+        assert "bijective" in rendered
+        assert "len=11" in rendered
+        assert len(rendered) < 200  # no giant pattern dumps
+
+    def test_repr_shows_final_mix(self):
+        mixed = synthesize(r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT,
+                           final_mix=True)
+        assert "final_mix" in repr(mixed)
+
+
+class TestPaperScaleSynthesis:
+    def test_rq6_largest_key_size(self):
+        """RQ6 runs to 2^14 bytes; synthesis must handle it comfortably."""
+        size = 1 << 14
+        synthesized = synthesize(f"[0-9]{{{size}}}", HashFamily.PEXT)
+        assert synthesized.synthesis_seconds < 10.0
+        assert len(synthesized.plan.loads) == size // 8
+        key = b"7" * size
+        assert 0 <= synthesized(key) < (1 << 64)
+
+
+class TestFamilyPlans:
+    def test_naive_covers_whole_key(self, synthesized_ssn):
+        plan = synthesized_ssn[HashFamily.NAIVE].plan
+        assert [load.offset for load in plan.loads] == [0, 3]
+        assert all(load.mask is None for load in plan.loads)
+        assert plan.combine is CombineOp.XOR
+
+    def test_offxor_skips_constant_prefix(self):
+        synthesized = synthesize(KEY_TYPES["URL1"].regex, HashFamily.OFFXOR)
+        offsets = [load.offset for load in synthesized.plan.loads]
+        assert min(offsets) == 23
+
+    def test_naive_does_not_skip_prefix(self):
+        synthesized = synthesize(KEY_TYPES["URL1"].regex, HashFamily.NAIVE)
+        offsets = [load.offset for load in synthesized.plan.loads]
+        assert min(offsets) == 0
+        assert len(offsets) == 6  # ceil(48 / 8)
+
+    def test_aes_uses_aesenc(self, synthesized_ssn):
+        plan = synthesized_ssn[HashFamily.AES].plan
+        assert plan.combine is CombineOp.AESENC
+        # The AES round is emitted inline as T-table gathers.
+        source = synthesized_ssn[HashFamily.AES].python_source
+        assert "_T0[" in source and "_T3[" in source
+
+    def test_pext_masks_match_figure12(self, synthesized_ssn):
+        plan = synthesized_ssn[HashFamily.PEXT].plan
+        masks = [load.mask for load in plan.loads]
+        assert masks == [0x0F000F0F000F0F0F, 0x0F0F0F0000000000]
+        shifts = [load.shift for load in plan.loads]
+        assert shifts == [0, 52]
+
+    def test_pext_bijective_within_64_bits(self, synthesized_all):
+        """Pext is a bijection exactly when the format has <= 64 varying
+        bits (paper, Section 4.2)."""
+        for name, families in synthesized_all.items():
+            synthesized = families[HashFamily.PEXT]
+            bits = synthesized.pattern.variable_bit_count()
+            assert synthesized.is_bijective == (bits <= 64), (name, bits)
+
+    def test_pext_rotation_fold_beyond_64_bits(self):
+        synthesized = synthesize(KEY_TYPES["INTS"].regex, HashFamily.PEXT)
+        assert not synthesized.is_bijective
+        assert any(load.rotate for load in synthesized.plan.loads)
+
+
+class TestCollisionBehaviour:
+    @pytest.mark.parametrize("name", ALL_FORMATS)
+    def test_pext_zero_collisions_on_samples(self, name, key_samples):
+        """Table 1 / Table 3: Pext shows zero T-Coll on every format."""
+        synthesized = synthesize(KEY_TYPES[name].regex, HashFamily.PEXT)
+        keys = key_samples[name]
+        hashes = {synthesized(key) for key in keys}
+        assert len(hashes) == len(set(keys))
+
+    def test_pext_bijection_exhaustive_window(self):
+        """Consecutive SSNs map to distinct values — exhaustively for a
+        window, the learned-index property of Example 4.1."""
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        keys = generate_keys("SSN", 2000, Distribution.INCREMENTAL)
+        values = [synthesized(key) for key in keys]
+        assert len(set(values)) == len(keys)
+
+    @pytest.mark.parametrize("family", list(HashFamily))
+    @pytest.mark.parametrize("name", ["SSN", "MAC", "IPV4", "URL1"])
+    def test_low_collisions_all_families(self, family, name, key_samples):
+        """All synthetic families keep collisions rare on uniform keys
+        (Table 1: worst synthetic T-Coll is 12 of 10,000)."""
+        synthesized = synthesize(KEY_TYPES[name].regex, family)
+        keys = key_samples[name]
+        hashes = {synthesized(key) for key in keys}
+        assert len(set(keys)) - len(hashes) <= len(keys) * 0.01
+
+
+class TestGeneratedCode:
+    def test_python_source_compiles_standalone(self, synthesized_ssn):
+        from repro.isa.aes import _TTABLES, aesenc_fast
+
+        for synthesized in synthesized_ssn.values():
+            namespace = {
+                "_aesenc": aesenc_fast,
+                "_T0": _TTABLES[0],
+                "_T1": _TTABLES[1],
+                "_T2": _TTABLES[2],
+                "_T3": _TTABLES[3],
+            }
+            exec(synthesized.python_source, namespace)
+            function = namespace[synthesized.name]
+            assert function(b"123-45-6789") == synthesized(b"123-45-6789")
+
+    def test_no_loops_in_fixed_length_code(self, synthesized_ssn):
+        """Fixed-length formats generate straight-line code
+        (Section 3.2.2: loads unrolled, no iteration)."""
+        for family in (HashFamily.NAIVE, HashFamily.OFFXOR, HashFamily.PEXT):
+            source = synthesized_ssn[family].python_source
+            body = source.split('"""')[-1]  # skip the docstring
+            assert "while" not in body
+            assert "for " not in body
+
+    def test_variable_length_code_has_tail_loop(self):
+        synthesized = synthesize(r"abcdefgh[0-9]{4}.*", HashFamily.OFFXOR)
+        assert "while" in synthesized.python_source
+
+    def test_cpp_emission_for_all_families(self, synthesized_ssn):
+        for family, synthesized in synthesized_ssn.items():
+            source = synthesized.cpp_source("x86")
+            assert "struct synthesized" in source
+            assert "operator()(const std::string& key)" in source
+
+    def test_cpp_pext_uses_intrinsic(self, synthesized_ssn):
+        source = synthesized_ssn[HashFamily.PEXT].cpp_source("x86")
+        assert "_pext_u64" in source
+        assert "0xf000f0f000f0f0f" in source
+
+    def test_cpp_aarch64_rejects_pext(self, synthesized_ssn):
+        with pytest.raises(SynthesisError):
+            synthesized_ssn[HashFamily.PEXT].cpp_source("aarch64")
+
+    def test_cpp_aarch64_aes_uses_neon(self, synthesized_ssn):
+        source = synthesized_ssn[HashFamily.AES].cpp_source("aarch64")
+        assert "vaeseq_u8" in source
+        assert "arm_neon.h" in source
+
+
+class TestFromKeys:
+    def test_matches_regex_route(self, key_samples):
+        """Synthesis from good examples produces a function with the same
+        load structure as synthesis from the regex."""
+        from_keys = synthesize_from_keys(
+            key_samples["SSN"][:50], HashFamily.OFFXOR
+        )
+        from_regex = synthesize(KEY_TYPES["SSN"].regex, HashFamily.OFFXOR)
+        assert [load.offset for load in from_keys.plan.loads] == [
+            load.offset for load in from_regex.plan.loads
+        ]
+
+    def test_generated_keys_hash_without_error(self, key_samples):
+        for name in ("SSN", "MAC", "IPV6"):
+            synthesized = synthesize_from_keys(
+                key_samples[name][:20], HashFamily.PEXT
+            )
+            for key in key_samples[name]:
+                synthesized(key)
+
+
+class TestVariableLength:
+    def test_offxor_tail_sensitivity(self):
+        """Bytes in the variable tail must affect the hash."""
+        synthesized = synthesize(r"abcdefgh[0-9]{4}.*", HashFamily.OFFXOR)
+        base = synthesized(b"abcdefgh1234suffix")
+        assert synthesized(b"abcdefgh1234suffiy") != base
+        assert synthesized(b"abcdefgh1234") != base
+
+    def test_naive_variable(self):
+        synthesized = synthesize(r"abcdefgh.*", HashFamily.NAIVE)
+        assert synthesized(b"abcdefghXX") != synthesized(b"abcdefghYY")
+
+    def test_aes_variable(self):
+        synthesized = synthesize(r"abcdefgh[0-9]{8}.*", HashFamily.AES)
+        assert synthesized(b"abcdefgh12345678--")  # does not crash
+
+
+class TestShortKeySynthesis:
+    def test_four_digit_pext(self):
+        synthesized = synthesize_short_key(r"\d{4}", HashFamily.PEXT)
+        keys = [f"{i:04d}".encode() for i in range(10_000)]
+        values = {synthesized(key) for key in keys}
+        assert len(values) == 10_000  # bijection on the short format
+
+    def test_four_digit_naive(self):
+        synthesized = synthesize_short_key(r"\d{4}", HashFamily.NAIVE)
+        assert synthesized(b"1234") != synthesized(b"1235")
+
+    def test_delegates_for_long_formats(self):
+        synthesized = synthesize_short_key(
+            r"\d{3}-\d{2}-\d{4}", HashFamily.PEXT
+        )
+        assert synthesized.plan.key_length == 11
+
+    def test_rejects_variable_short(self):
+        with pytest.raises(SynthesisError):
+            synthesize_short_key(r"\d{2}.*")
+
+
+class TestPlanValidation:
+    def test_build_plan_short_body(self):
+        pattern = pattern_from_regex(r"\d{4}")
+        with pytest.raises(SynthesisError):
+            build_plan(pattern, HashFamily.PEXT)
+
+    @pytest.mark.parametrize("name", ALL_FORMATS)
+    @pytest.mark.parametrize("family", list(HashFamily))
+    def test_loads_within_bounds(self, name, family, synthesized_all):
+        plan = synthesized_all[name][family].plan
+        length = KEY_TYPES[name].length
+        for load in plan.loads:
+            assert load.offset + load.width <= length
+
+
+@st.composite
+def digit_format(draw):
+    """Random fixed formats of digits and constant separators, >= 8 bytes."""
+    pieces = draw(
+        st.lists(
+            st.tuples(st.sampled_from("dc"), st.integers(1, 6)),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    regex_parts = []
+    length = 0
+    for kind, count in pieces:
+        if kind == "d":
+            regex_parts.append(rf"[0-9]{{{count}}}")
+        else:
+            regex_parts.append("x" * count)
+        length += count
+    if length < 8:
+        regex_parts.append(rf"[0-9]{{{8 - length}}}")
+    return "".join(regex_parts)
+
+
+class TestSynthesisProperties:
+    @given(digit_format())
+    @settings(max_examples=25, deadline=None)
+    def test_any_digit_format_synthesizes_and_runs(self, regex):
+        import re as stdlib_re
+
+        synthesized = synthesize(regex, HashFamily.PEXT)
+        # Build three conforming keys by substituting digits.
+        for fill in ("0", "5", "9"):
+            key = stdlib_re.sub(
+                r"\[0-9\]\{(\d+)\}",
+                lambda m: fill * int(m.group(1)),
+                regex,
+            ).encode()
+            value = synthesized(key)
+            assert 0 <= value <= MASK64
+
+    @given(digit_format())
+    @settings(max_examples=15, deadline=None)
+    def test_pext_injective_on_random_conforming_keys(self, regex):
+        import random
+        import re as stdlib_re
+
+        synthesized = synthesize(regex, HashFamily.PEXT)
+        if not synthesized.is_bijective:
+            return
+        rng = random.Random(99)
+
+        def random_key():
+            return stdlib_re.sub(
+                r"\[0-9\]\{(\d+)\}",
+                lambda m: "".join(
+                    rng.choice("0123456789") for _ in range(int(m.group(1)))
+                ),
+                regex,
+            ).encode()
+
+        keys = {random_key() for _ in range(300)}
+        values = {synthesized(key) for key in keys}
+        assert len(values) == len(keys)

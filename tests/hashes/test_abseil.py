@@ -1,0 +1,53 @@
+"""Tests for the Abseil low-level hash port."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes.abseil import SALT, abseil_low_level_hash
+
+
+class TestStructure:
+    def test_salts_are_wyhash_constants(self):
+        assert SALT[0] == 0xA0761D6478BD642F
+        assert SALT[4] == 0x1D8E4E27C47D124F
+
+    @pytest.mark.parametrize(
+        "length", [0, 1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 32, 63, 64, 65, 128,
+                   129, 200]
+    )
+    def test_all_tail_paths(self, length):
+        """Lengths crossing every branch: >64 loop, >16 loop, 8<len<=16,
+        4<=len<=8, 1<=len<=3, empty."""
+        key = bytes((i * 193 + 11) & 0xFF for i in range(length))
+        value = abseil_low_level_hash(key)
+        assert 0 <= value < (1 << 64)
+
+    def test_seed_changes_output(self):
+        key = b"some-key-bytes"
+        assert abseil_low_level_hash(key, seed=1) != abseil_low_level_hash(
+            key, seed=2
+        )
+
+
+class TestBehaviour:
+    @given(st.binary(max_size=150))
+    @settings(max_examples=100)
+    def test_deterministic(self, key):
+        assert abseil_low_level_hash(key) == abseil_low_level_hash(key)
+
+    def test_collision_free_on_format_samples(self, key_samples):
+        for name, keys in key_samples.items():
+            hashes = {abseil_low_level_hash(key) for key in keys}
+            assert len(hashes) == len(set(keys)), name
+
+    def test_avalanche(self):
+        base = abseil_low_level_hash(b"\x00" * 32)
+        flipped = abseil_low_level_hash(b"\x01" + b"\x00" * 31)
+        assert bin(base ^ flipped).count("1") >= 16
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_bit_flip_changes_hash(self, key):
+        mutated = bytes([key[0] ^ 1]) + key[1:]
+        assert abseil_low_level_hash(key) != abseil_low_level_hash(mutated)

@@ -1,0 +1,90 @@
+"""Properties every baseline hash must share, tested uniformly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes import (
+    abseil_low_level_hash,
+    city_hash64,
+    fnv1a_64,
+    polymur_hash,
+    stl_hash_bytes,
+)
+
+ALL_BASELINES = {
+    "stl": stl_hash_bytes,
+    "fnv": fnv1a_64,
+    "city": city_hash64,
+    "abseil": abseil_low_level_hash,
+    "polymur": polymur_hash,
+}
+
+MASK64 = (1 << 64) - 1
+
+
+@pytest.mark.parametrize("name", list(ALL_BASELINES))
+class TestUniversalProperties:
+    def test_empty_key_defined(self, name):
+        value = ALL_BASELINES[name](b"")
+        assert 0 <= value <= MASK64
+
+    @given(key=st.binary(max_size=100))
+    @settings(max_examples=30)
+    def test_range_property(self, name, key):
+        assert 0 <= ALL_BASELINES[name](key) <= MASK64
+
+    @given(key=st.binary(max_size=60))
+    @settings(max_examples=30)
+    def test_pure_function(self, name, key):
+        function = ALL_BASELINES[name]
+        assert function(key) == function(key)
+
+    def test_length_extension_sensitive(self, name):
+        function = ALL_BASELINES[name]
+        assert function(b"abc") != function(b"abc\x00")
+
+    def test_prefix_sensitive(self, name):
+        function = ALL_BASELINES[name]
+        assert function(b"\x00abc") != function(b"abc")
+
+    @given(key=st.binary(min_size=9, max_size=40))
+    @settings(max_examples=30)
+    def test_single_byte_change_detected(self, name, key):
+        function = ALL_BASELINES[name]
+        mutated = bytes([key[4] ^ 0x01]) + key[1:4] + key[:1] + key[5:]
+        if mutated != key:
+            assert function(key) != function(mutated)
+
+    def test_no_collisions_across_formats(self, name, key_samples):
+        function = ALL_BASELINES[name]
+        all_keys = set()
+        for keys in key_samples.values():
+            all_keys.update(keys)
+        hashes = {function(key) for key in all_keys}
+        assert len(hashes) == len(all_keys)
+
+    def test_bit_balance(self, name, ssn_keys):
+        """Every output bit should be set roughly half the time over a
+        varied key sample — a cheap avalanche sanity check."""
+        function = ALL_BASELINES[name]
+        counts = [0] * 64
+        for key in ssn_keys:
+            value = function(key)
+            for bit in range(64):
+                counts[bit] += (value >> bit) & 1
+        total = len(ssn_keys)
+        for bit, count in enumerate(counts):
+            assert 0.3 * total < count < 0.7 * total, (name, bit)
+
+
+class TestSeededBaselines:
+    @pytest.mark.parametrize("name", ["stl", "fnv", "abseil"])
+    def test_seed_changes_output(self, name):
+        function = ALL_BASELINES[name]
+        assert function(b"key", 1) != function(b"key", 2)
+
+    @pytest.mark.parametrize("name", ["stl", "fnv", "abseil"])
+    def test_seed_deterministic(self, name):
+        function = ALL_BASELINES[name]
+        assert function(b"key", 7) == function(b"key", 7)

@@ -1,0 +1,114 @@
+"""Tests for the Entropy-Learned Hashing comparator."""
+
+import pytest
+
+from repro.errors import EmptyKeySetError
+from repro.hashes.entropy import (
+    EntropyLearnedHash,
+    byte_position_entropies,
+    learn_positions,
+)
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+class TestEntropies:
+    def test_constant_position_zero(self):
+        entropies = byte_position_entropies([b"a-x", b"b-y", b"c-z"])
+        assert entropies[1] == 0.0
+        assert entropies[0] > 0
+
+    def test_uniform_position_high(self):
+        keys = [bytes([value]) for value in range(256)]
+        entropies = byte_position_entropies(keys)
+        assert entropies[0] == pytest.approx(8.0)
+
+    def test_variable_lengths_handled(self):
+        entropies = byte_position_entropies([b"ab", b"a"])
+        assert len(entropies) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyKeySetError):
+            byte_position_entropies([])
+
+
+class TestLearnPositions:
+    def test_drops_separators(self):
+        keys = generate_keys("SSN", 300, Distribution.UNIFORM, seed=1)
+        positions = learn_positions(keys)
+        assert 3 not in positions and 6 not in positions
+        assert set(positions) == {0, 1, 2, 4, 5, 7, 8, 9, 10}
+
+    def test_top_k_selection(self):
+        keys = generate_keys("SSN", 300, Distribution.UNIFORM, seed=1)
+        positions = learn_positions(keys, num_positions=4)
+        assert len(positions) == 4
+        assert positions == tuple(sorted(positions))
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            learn_positions([b"ab"], num_positions=0)
+
+    def test_biased_data_beats_format_inference(self):
+        """The entropy view adapts to *data*: if the first SSN digit is
+        always '1' in the sample, the position is dropped even though
+        the format allows any digit."""
+        keys = [f"1{i:02d}-{i % 100:02d}-{i % 10000:04d}".encode()
+                for i in range(500)]
+        positions = learn_positions(keys)
+        assert 0 not in positions
+
+
+class TestEntropyLearnedHash:
+    def test_train_and_call(self):
+        keys = generate_keys("SSN", 400, Distribution.UNIFORM, seed=2)
+        hasher = EntropyLearnedHash.train(keys)
+        value = hasher(keys[0])
+        assert 0 <= value < (1 << 64)
+
+    def test_constant_bytes_invisible(self):
+        hasher = EntropyLearnedHash(positions=(0, 2))
+        assert hasher(b"aXb") == hasher(b"aYb")
+        assert hasher(b"aXb") != hasher(b"cXb")
+
+    def test_needs_positions(self):
+        with pytest.raises(ValueError):
+            EntropyLearnedHash(positions=())
+        with pytest.raises(ValueError):
+            EntropyLearnedHash(positions=(-1,))
+
+    def test_short_keys_tolerated(self):
+        hasher = EntropyLearnedHash(positions=(0, 10))
+        assert isinstance(hasher(b"ab"), int)
+
+    def test_collision_free_on_full_positions(self):
+        keys = generate_keys("SSN", 2000, Distribution.UNIFORM, seed=3)
+        hasher = EntropyLearnedHash.train(keys)
+        values = {hasher(key) for key in set(keys)}
+        assert len(values) == len(set(keys))
+
+    def test_custom_base_hash(self):
+        from repro.hashes import fnv1a_64
+
+        hasher = EntropyLearnedHash(positions=(0, 1), base_hash=fnv1a_64)
+        assert hasher(b"ab") == fnv1a_64(b"ab")
+
+    def test_truncation_trades_collisions(self):
+        """Fewer positions = cheaper but lossier — Hentschel's knob."""
+        keys = generate_keys("SSN", 3000, Distribution.UNIFORM, seed=4)
+        full = EntropyLearnedHash.train(keys)
+        truncated = EntropyLearnedHash.train(keys, num_positions=3)
+        full_distinct = len({full(key) for key in set(keys)})
+        truncated_distinct = len({truncated(key) for key in set(keys)})
+        assert truncated_distinct < full_distinct
+
+    def test_agrees_with_offxor_on_what_to_skip(self):
+        """Related-work comparison: for unbiased SSN samples, entropy
+        learning and SEPE's format inference discard the same bytes."""
+        from repro.core.inference import infer_pattern
+
+        keys = generate_keys("SSN", 400, Distribution.UNIFORM, seed=5)
+        positions = set(learn_positions(keys))
+        pattern = infer_pattern(keys)
+        variable = set(pattern.variable_byte_positions())
+        assert positions == variable

@@ -1,0 +1,67 @@
+"""Tests for the FNV port, against published FNV test vectors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashes.fnv import (
+    FNV_OFFSET_BASIS_64,
+    FNV_PRIME_64,
+    fnv1_64,
+    fnv1a_64,
+)
+
+
+class TestKnownVectors:
+    """Vectors from the official FNV reference (isthe.com test suite)."""
+
+    @pytest.mark.parametrize(
+        "key,expected",
+        [
+            (b"", 0xCBF29CE484222325),
+            (b"a", 0xAF63DC4C8601EC8C),
+            (b"b", 0xAF63DF4C8601F1A5),
+            (b"c", 0xAF63DE4C8601EFF2),
+            (b"foobar", 0x85944171F73967E8),
+        ],
+    )
+    def test_fnv1a(self, key, expected):
+        assert fnv1a_64(key) == expected
+
+    def test_fnv1_empty(self):
+        assert fnv1_64(b"") == 0xCBF29CE484222325
+
+    def test_fnv1_definitional(self):
+        """FNV-1 multiplies first: check directly against the recurrence."""
+        expected = (
+            (FNV_OFFSET_BASIS_64 * FNV_PRIME_64) % 2**64
+        ) ^ ord("a")
+        assert fnv1_64(b"a") == expected
+
+
+class TestStructure:
+    def test_prime_value(self):
+        assert FNV_PRIME_64 == 2**40 + 2**8 + 0xB3
+
+    def test_empty_is_offset_basis(self):
+        assert fnv1a_64(b"") == FNV_OFFSET_BASIS_64
+
+    def test_one_byte_order_of_operations(self):
+        expected = ((FNV_OFFSET_BASIS_64 ^ 0x61) * FNV_PRIME_64) % 2**64
+        assert fnv1a_64(b"a") == expected
+
+    @given(st.binary(max_size=40))
+    def test_incremental_composition(self, key):
+        """Hashing byte-by-byte with the running value as seed equals
+        hashing the whole key."""
+        running = FNV_OFFSET_BASIS_64
+        for index in range(len(key)):
+            running = fnv1a_64(key[index : index + 1], seed=running)
+        assert running == fnv1a_64(key)
+
+    def test_variants_differ_on_text(self):
+        # The two variants agree on all-zero bytes (xor with 0 commutes
+        # with the multiply) but differ on real text.
+        assert fnv1_64(b"\x00") == fnv1a_64(b"\x00")
+        for key in (b"a", b"hello", b"123-45-6789"):
+            assert fnv1_64(key) != fnv1a_64(key)

@@ -1,0 +1,92 @@
+"""Tests for the gperf-style perfect hash generator."""
+
+import random
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.hashes import gperf
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+
+
+class TestSmallKeywordSets:
+    def test_distinct_literals_perfect(self):
+        keywords = [b"if", b"else", b"while", b"for", b"return", b"break"]
+        function = gperf.generate(keywords)
+        assert function.is_perfect_on_keywords()
+        values = [function(keyword) for keyword in keywords]
+        assert len(set(values)) == len(keywords)
+
+    def test_single_keyword(self):
+        function = gperf.generate([b"only"])
+        assert function.is_perfect_on_keywords()
+
+    def test_duplicate_keywords_deduplicated(self):
+        function = gperf.generate([b"dup", b"dup", b"other"])
+        assert len(function.keywords) == 2
+        assert function.is_perfect_on_keywords()
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            gperf.generate([])
+
+    def test_string_wrapper(self):
+        function = gperf.generate_from_strings(["alpha", "beta"])
+        assert function(b"alpha") != function(b"beta")
+
+    def test_length_only_distinction(self):
+        # Keys identical at every position except length.
+        function = gperf.generate([b"aa", b"aaa", b"aaaa"])
+        values = {function(k) for k in (b"aa", b"aaa", b"aaaa")}
+        assert len(values) == 3
+
+
+class TestGeneratedFunctionShape:
+    def test_hash_is_cheap_len_plus_assoc(self):
+        """The generated hash is len + sum of association lookups — the
+        paper's low H-Time observation."""
+        keywords = [b"red", b"green", b"blue"]
+        function = gperf.generate(keywords)
+        value = function(b"red")
+        expected = 3 + sum(
+            function.asso[b"red"[position if position >= 0 else 2]]
+            for position in function.positions
+            if (position if position >= 0 else 2) < 3
+        )
+        assert value == expected
+
+    def test_table_size_exposed(self):
+        keywords = [f"key{i:03d}".encode() for i in range(50)]
+        function = gperf.generate(keywords)
+        assert function.table_size > 0
+        assert function.table_size >= max(
+            function(keyword) for keyword in keywords
+        )
+
+    def test_handles_keys_shorter_than_positions(self):
+        function = gperf.generate([b"abcdefgh", b"12345678"])
+        # Must not crash on keys shorter than any selected position.
+        assert isinstance(function(b"a"), int)
+
+
+class TestOpenSetFailureMode:
+    """The paper's observation: gperf trained on 1,000 random keys
+    collides massively on unseen keys (Table 1: 55,502 T-Coll)."""
+
+    def test_many_collisions_on_unseen_keys(self):
+        training = generate_keys("SSN", 1000, Distribution.UNIFORM, seed=8)
+        function = gperf.generate(training)
+        unseen = generate_keys("SSN", 10_000, Distribution.UNIFORM, seed=9)
+        distinct_hashes = len({function(key) for key in set(unseen)})
+        collisions = len(set(unseen)) - distinct_hashes
+        assert collisions > 5000
+
+    def test_large_training_set_grows_table(self):
+        small = gperf.generate(
+            generate_keys("SSN", 50, Distribution.UNIFORM, seed=8)
+        )
+        large = gperf.generate(
+            generate_keys("SSN", 1000, Distribution.UNIFORM, seed=8)
+        )
+        assert large.table_size > small.table_size

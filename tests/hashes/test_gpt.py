@@ -1,0 +1,95 @@
+"""Tests for the Gpt-style per-format hashes."""
+
+import pytest
+
+from repro.hashes.gpt import (
+    GPT_HASHES,
+    gpt_hash_for,
+    gpt_ipv4,
+    gpt_mac,
+    gpt_ssn,
+)
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+
+class TestRegistry:
+    def test_covers_all_paper_formats(self):
+        assert set(GPT_HASHES) == set(KEY_TYPES)
+
+    def test_lookup_case_insensitive(self):
+        assert gpt_hash_for("ssn") is gpt_ssn
+
+    def test_unknown_format(self):
+        with pytest.raises(KeyError):
+            gpt_hash_for("ZIP")
+
+
+class TestAllFormatsRun:
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_hashes_generated_keys(self, name, key_samples):
+        function = GPT_HASHES[name]
+        for key in key_samples[name]:
+            value = function(key)
+            assert 0 <= value < (1 << 64)
+
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_deterministic(self, name, key_samples):
+        function = GPT_HASHES[name]
+        key = key_samples[name][0]
+        assert function(key) == function(key)
+
+
+class TestMacIsBijective:
+    """Section 4.3: Gpt achieved statistically uniform MAC hashing — its
+    MAC function packs the six octets, a bijection."""
+
+    def test_distinct_macs_distinct_hashes(self):
+        keys = generate_keys("MAC", 5000, Distribution.UNIFORM, seed=5)
+        hashes = {gpt_mac(key) for key in keys}
+        assert len(hashes) == len(set(keys))
+
+    def test_uppercase_hex_accepted(self):
+        assert gpt_mac(b"AA-BB-CC-DD-EE-FF") == gpt_mac(b"aa-bb-cc-dd-ee-ff")
+
+    def test_packs_48_bits(self):
+        assert gpt_mac(b"ff-ff-ff-ff-ff-ff") == (1 << 48) - 1
+        assert gpt_mac(b"00-00-00-00-00-00") == 0
+
+
+class TestIpv4Weakness:
+    """Table 1: nearly all Gpt collisions come from IPv4 keys."""
+
+    def test_many_collisions_on_uniform_keys(self):
+        keys = generate_keys("IPV4", 10_000, Distribution.UNIFORM, seed=6)
+        distinct_keys = len(set(keys))
+        distinct_hashes = len({gpt_ipv4(key) for key in keys})
+        collisions = distinct_keys - distinct_hashes
+        # The additive range is ~4,000 values; with 10,000 keys most
+        # collide (the paper reports 7,857).
+        assert collisions > 5000
+
+    def test_symmetric_groups_collide(self):
+        # Additive combination is order-insensitive: a known weakness.
+        assert gpt_ipv4(b"001.002.003.004") == gpt_ipv4(b"004.003.002.001")
+
+
+class TestOtherFormatsReasonable:
+    @pytest.mark.parametrize("name", ["SSN", "CPF", "MAC", "IPV6", "INTS"])
+    def test_low_collisions(self, name, key_samples):
+        function = GPT_HASHES[name]
+        keys = key_samples[name]
+        distinct = len({function(key) for key in keys})
+        assert distinct >= len(set(keys)) * 0.99
+
+    def test_url_functions_skip_prefix_only(self):
+        url = GPT_HASHES["URL1"]
+        key_a = b"https://www.example.comaaaaaaaaaaaaaaaaaaaa.html"
+        # Only the final 26 bytes are hashed: changes in the first 22
+        # bytes are invisible, changes to the random token are not.
+        key_b = b"HTTPS://WWW.EXAMPLE.XYm" + key_a[23:]
+        assert len(key_b) == len(key_a)
+        assert url(key_a) == url(key_b)
+        key_c = b"https://www.example.combbbbbbbbbbbbbbbbbbbb.html"
+        assert url(key_a) != url(key_c)

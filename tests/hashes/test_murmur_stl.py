@@ -1,0 +1,76 @@
+"""Tests for the STL murmur port (the paper's Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes.murmur_stl import DEFAULT_SEED, MUL, stl_hash_bytes
+from repro.isa.bits import MASK64
+from repro.isa.memory import load_bytes, load_u64_le, shift_mix
+
+
+def reference_figure1(key: bytes, seed: int = DEFAULT_SEED) -> int:
+    """An independent transliteration of Figure 1, used as an oracle."""
+    length = len(key)
+    len_aligned = length & ~0x7
+    hash_value = (seed ^ (length * MUL)) & MASK64
+    offset = 0
+    while offset != len_aligned:
+        data = (shift_mix((load_u64_le(key, offset) * MUL) & MASK64) * MUL) \
+            & MASK64
+        hash_value ^= data
+        hash_value = (hash_value * MUL) & MASK64
+        offset += 8
+    if length & 0x7:
+        data = load_bytes(key, len_aligned, length & 0x7)
+        hash_value ^= data
+        hash_value = (hash_value * MUL) & MASK64
+    hash_value = (shift_mix(hash_value) * MUL) & MASK64
+    return shift_mix(hash_value)
+
+
+class TestConstants:
+    def test_multiplier_from_figure1(self):
+        assert MUL == (0xC6A4A793 << 32) + 0x5BD1E995
+
+    def test_default_seed_is_libstdcpp(self):
+        assert DEFAULT_SEED == 0xC70F6907
+
+
+class TestAgainstFigure1Oracle:
+    @pytest.mark.parametrize("length", list(range(0, 26)))
+    def test_all_tail_lengths(self, length):
+        key = bytes((i * 7 + 3) & 0xFF for i in range(length))
+        assert stl_hash_bytes(key) == reference_figure1(key)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_random_keys(self, key):
+        assert stl_hash_bytes(key) == reference_figure1(key)
+
+    @given(st.binary(max_size=16), st.integers(min_value=0, max_value=MASK64))
+    @settings(max_examples=50)
+    def test_seed_parameter(self, key, seed):
+        assert stl_hash_bytes(key, seed) == reference_figure1(key, seed)
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        assert stl_hash_bytes(b"hello") == stl_hash_bytes(b"hello")
+
+    def test_64bit_range(self):
+        for key in (b"", b"a", b"x" * 100):
+            assert 0 <= stl_hash_bytes(key) <= MASK64
+
+    def test_length_sensitivity(self):
+        assert stl_hash_bytes(b"ab") != stl_hash_bytes(b"ab\x00")
+
+    def test_single_bit_avalanche(self):
+        base = stl_hash_bytes(b"\x00" * 16)
+        flipped = stl_hash_bytes(b"\x01" + b"\x00" * 15)
+        differing = bin(base ^ flipped).count("1")
+        assert differing >= 16  # murmur mixes well
+
+    def test_distinct_on_sample(self, ssn_keys):
+        hashes = {stl_hash_bytes(key) for key in ssn_keys}
+        assert len(hashes) == len(set(ssn_keys))

@@ -1,0 +1,72 @@
+"""Tests for the Polymur-style hash (the paper's Figure 2 artifact)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashes.polymur import (
+    POLYMUR_P611,
+    PolymurParams,
+    _reduce611,
+    polymur_hash,
+)
+
+
+class TestReduction:
+    def test_small_values_unchanged(self):
+        assert _reduce611(12345) == 12345
+
+    def test_prime_reduces_to_zero(self):
+        assert _reduce611(POLYMUR_P611) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 122))
+    @settings(max_examples=100)
+    def test_congruent_and_fully_reduced(self, value):
+        reduced = _reduce611(value)
+        assert reduced == value % POLYMUR_P611
+
+
+class TestParams:
+    def test_derived_deterministically(self):
+        a = PolymurParams.from_seed(42)
+        b = PolymurParams.from_seed(42)
+        assert a == b
+
+    def test_k_is_odd_nonzero(self):
+        for seed in range(10):
+            params = PolymurParams.from_seed(seed)
+            assert params.k % 2 == 1
+            assert params.k2 % 2 == 1
+
+
+class TestLengthSpecializations:
+    """Figure 2: three specializations at len<=7, len>=50, 8<=len<50."""
+
+    @pytest.mark.parametrize("length", [0, 1, 7, 8, 9, 49, 50, 51, 100])
+    def test_boundaries(self, length):
+        key = bytes((i + 1) & 0xFF for i in range(length))
+        value = polymur_hash(key)
+        assert 0 <= value < (1 << 64)
+
+    def test_short_path_sensitive(self):
+        assert polymur_hash(b"abc") != polymur_hash(b"abd")
+
+    def test_long_path_sensitive(self):
+        base = b"z" * 60
+        mutated = b"z" * 59 + b"y"
+        assert polymur_hash(base) != polymur_hash(mutated)
+
+    def test_tweak_parameter(self):
+        key = b"0123456789abcdef"
+        assert polymur_hash(key, tweak=1) != polymur_hash(key, tweak=2)
+
+
+class TestBehaviour:
+    @given(st.binary(max_size=120))
+    @settings(max_examples=100)
+    def test_deterministic(self, key):
+        assert polymur_hash(key) == polymur_hash(key)
+
+    def test_collision_free_on_ssn_sample(self, ssn_keys):
+        hashes = {polymur_hash(key) for key in ssn_keys}
+        assert len(hashes) == len(set(ssn_keys))

@@ -1,0 +1,39 @@
+"""Tests for the hash registry."""
+
+import pytest
+
+from repro.hashes.registry import (
+    BASELINE_NAMES,
+    NamedHash,
+    baseline_hashes,
+    get_hash,
+)
+
+
+class TestRegistry:
+    def test_table1_baselines_present(self):
+        names = set(baseline_hashes())
+        assert set(BASELINE_NAMES) <= names
+
+    def test_named_hash_callable(self):
+        stl = get_hash("STL")
+        assert isinstance(stl, NamedHash)
+        assert isinstance(stl(b"key"), int)
+
+    def test_case_insensitive_lookup(self):
+        assert get_hash("stl").name == "STL"
+        assert get_hash("CITY").name == "City"
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError) as info:
+            get_hash("nope")
+        assert "STL" in str(info.value)
+
+    def test_descriptions_mention_provenance(self):
+        for named in baseline_hashes().values():
+            assert len(named.description) > 10
+
+    def test_copy_returned(self):
+        first = baseline_hashes()
+        first.pop("STL")
+        assert "STL" in baseline_hashes()

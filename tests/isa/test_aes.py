@@ -1,0 +1,154 @@
+"""Tests for the software AES round (the aesenc substrate)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.aes import (
+    INV_SBOX,
+    MASK128,
+    SBOX,
+    _gf_mul,
+    aesenc,
+    aesenc_fast,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+u128 = st.integers(min_value=0, max_value=MASK128)
+
+
+class TestGaloisField:
+    def test_identity(self):
+        for value in range(256):
+            assert _gf_mul(value, 1) == value
+
+    def test_doubling(self):
+        assert _gf_mul(0x80, 2) == 0x1B  # overflow reduces by the polynomial
+        assert _gf_mul(0x40, 2) == 0x80
+
+    def test_commutative(self):
+        for a in (3, 7, 0x53, 0xCA):
+            for b in (2, 9, 0x11):
+                assert _gf_mul(a, b) == _gf_mul(b, a)
+
+    def test_distributive(self):
+        a, b, c = 0x57, 0x83, 0x1A
+        assert _gf_mul(a, b ^ c) == _gf_mul(a, b) ^ _gf_mul(a, c)
+
+
+class TestSBox:
+    def test_known_entries(self):
+        # FIPS-197 Figure 7 anchor values.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_table(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[value] != value for value in range(256))
+
+
+class TestRoundSteps:
+    def test_shift_rows_row0_fixed(self):
+        # Row 0 (state bytes 0, 4, 8, 12) does not move.
+        state = sum(0xA0 << (8 * index) for index in (0, 4, 8, 12))
+        assert shift_rows(state) == state
+
+    def test_shift_rows_is_permutation(self):
+        state = int.from_bytes(bytes(range(16)), "little")
+        shifted = shift_rows(state)
+        assert sorted(shifted.to_bytes(16, "little")) == list(range(16))
+
+    def test_shift_rows_period_four(self):
+        state = int.from_bytes(bytes(range(1, 17)), "little")
+        result = state
+        for _ in range(4):
+            result = shift_rows(result)
+        assert result == state
+
+    def test_sub_bytes_applies_sbox(self):
+        state = int.from_bytes(bytes([0x53] * 16), "little")
+        expected = int.from_bytes(bytes([0xED] * 16), "little")
+        assert sub_bytes(state) == expected
+
+    def test_mix_columns_known_column(self):
+        # FIPS-197 example: db 13 53 45 -> 8e 4d a1 bc.
+        state = int.from_bytes(bytes([0xDB, 0x13, 0x53, 0x45] + [0] * 12),
+                               "little")
+        mixed = mix_columns(state).to_bytes(16, "little")
+        assert list(mixed[:4]) == [0x8E, 0x4D, 0xA1, 0xBC]
+
+    @given(u128, u128)
+    @settings(max_examples=50)
+    def test_mix_columns_linear(self, a, b):
+        assert mix_columns(a ^ b) == mix_columns(a) ^ mix_columns(b)
+
+
+class TestAesenc:
+    def test_fips197_composition(self):
+        """Composing our round steps into full AES-128 must reproduce the
+        FIPS-197 Appendix C ciphertext."""
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = "69c4e0d86a7b0430d8cdb78070b4c55a"
+        assert _encrypt_aes128(plaintext, key).hex() == expected
+
+    def test_round_key_xor(self):
+        base = aesenc(0x1234, 0)
+        assert aesenc(0x1234, 0xFF) == base ^ 0xFF
+
+    @given(u128, u128)
+    @settings(max_examples=100)
+    def test_fast_matches_reference(self, state, key):
+        assert aesenc_fast(state, key) == aesenc(state, key)
+
+    @given(u128)
+    @settings(max_examples=30)
+    def test_avalanche(self, state):
+        """Flipping one input bit changes many output bits on average."""
+        flipped = state ^ 1
+        diff = aesenc(state, 0) ^ aesenc(flipped, 0)
+        assert bin(diff).count("1") >= 4
+
+
+def _expand_key(key_bytes):
+    words = [list(key_bytes[4 * i : 4 * i + 4]) for i in range(4)]
+    rcon = 1
+    for index in range(4, 44):
+        temp = list(words[index - 1])
+        if index % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= rcon
+            rcon = _gf_mul(rcon, 2)
+        words.append([a ^ b for a, b in zip(words[index - 4], temp)])
+    round_keys = []
+    for round_index in range(11):
+        value = 0
+        for column in range(4):
+            for row in range(4):
+                value |= words[4 * round_index + column][row] << (
+                    8 * (4 * column + row)
+                )
+        round_keys.append(value)
+    return round_keys
+
+
+def _encrypt_aes128(plaintext, key_bytes):
+    state = int.from_bytes(plaintext, "little")
+    round_keys = _expand_key(key_bytes)
+    state ^= round_keys[0]
+    for round_index in range(1, 10):
+        state = mix_columns(sub_bytes(shift_rows(state))) ^ round_keys[
+            round_index
+        ]
+    state = sub_bytes(shift_rows(state)) ^ round_keys[10]
+    return state.to_bytes(16, "little")

@@ -1,0 +1,133 @@
+"""Tests for the bit-manipulation substrate (software pext/pdep)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.bits import (
+    MASK64,
+    mask_to_runs,
+    pdep,
+    pext,
+    pext_via_runs,
+    popcount,
+    rotl64,
+    rotr64,
+)
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(MASK64) == 64
+
+    def test_single_bits(self):
+        for bit in range(64):
+            assert popcount(1 << bit) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(u64)
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestRotations:
+    def test_rotl_simple(self):
+        assert rotl64(1, 1) == 2
+        assert rotl64(1 << 63, 1) == 1
+
+    def test_rotl_zero_amount(self):
+        assert rotl64(0x1234, 0) == 0x1234
+
+    def test_rotl_full_circle(self):
+        assert rotl64(0xDEADBEEF, 64) == 0xDEADBEEF
+
+    @given(u64, st.integers(min_value=0, max_value=200))
+    def test_rotl_rotr_inverse(self, value, amount):
+        assert rotr64(rotl64(value, amount), amount) == value
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_rotl_preserves_popcount(self, value, amount):
+        assert popcount(rotl64(value, amount)) == popcount(value)
+
+
+class TestPext:
+    def test_figure11_semantics(self):
+        # The quad mask of Figure 11 extracts low nibbles.
+        assert pext(0x0000_0000_0000_00AB, 0x0F) == 0xB
+        assert pext(0xAB, 0xF0) == 0xA
+
+    def test_identity_mask(self):
+        assert pext(0x123456789ABCDEF0, MASK64) == 0x123456789ABCDEF0
+
+    def test_zero_mask(self):
+        assert pext(0xFFFFFFFFFFFFFFFF, 0) == 0
+
+    def test_ssn_mask_from_paper(self):
+        # Figure 12: mk0 extracts the six digit nibbles of the first word.
+        word = int.from_bytes(b"123-45-6", "little")
+        extracted = pext(word, 0x0F000F0F000F0F0F)
+        assert extracted == 0x654321
+
+    @given(u64, u64)
+    def test_popcount_bound(self, src, mask):
+        assert pext(src, mask) < (1 << popcount(mask))
+
+    @given(u64, u64)
+    def test_pdep_pext_roundtrip(self, src, mask):
+        compact = src & ((1 << popcount(mask)) - 1)
+        assert pext(pdep(compact, mask), mask) == compact
+
+    @given(u64, u64)
+    def test_pext_pdep_roundtrip(self, src, mask):
+        assert pdep(pext(src, mask), mask) == src & mask
+
+
+class TestPdep:
+    def test_scatter(self):
+        assert pdep(0xA, 0xF0) == 0xA0
+
+    def test_zero_mask(self):
+        assert pdep(MASK64, 0) == 0
+
+    @given(u64, u64)
+    def test_result_within_mask(self, src, mask):
+        assert pdep(src, mask) & ~mask == 0
+
+
+class TestMaskRuns:
+    def test_empty_mask(self):
+        assert mask_to_runs(0) == []
+
+    def test_single_run(self):
+        assert mask_to_runs(0xFF) == [(0, 0xFF, 0)]
+
+    def test_two_nibble_runs(self):
+        assert mask_to_runs(0x0F0F) == [(0, 15, 0), (8, 15, 4)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_runs(-5)
+
+    def test_run_output_positions_are_cumulative(self):
+        runs = mask_to_runs(0b1011001)
+        out_positions = [out for _, _, out in runs]
+        assert out_positions == sorted(out_positions)
+        assert out_positions[0] == 0
+
+    @given(u64, u64)
+    def test_runs_equivalent_to_pext(self, src, mask):
+        assert pext_via_runs(src, mask_to_runs(mask)) == pext(src, mask)
+
+    @given(u64)
+    def test_total_run_length_is_popcount(self, mask):
+        runs = mask_to_runs(mask)
+        total = sum(popcount(run_mask) for _, run_mask, _ in runs)
+        assert total == popcount(mask)

@@ -1,0 +1,75 @@
+"""Tests for word-level memory operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.memory import load_bytes, load_u32_le, load_u64_le, shift_mix
+
+
+class TestLoadU64:
+    def test_little_endian(self):
+        assert load_u64_le(b"\x01\x00\x00\x00\x00\x00\x00\x00") == 1
+        assert load_u64_le(b"\x00" * 7 + b"\x01") == 1 << 56
+
+    def test_offset(self):
+        data = b"XX" + (12345).to_bytes(8, "little")
+        assert load_u64_le(data, 2) == 12345
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            load_u64_le(b"short", 0)
+
+    def test_out_of_bounds_offset(self):
+        with pytest.raises(ValueError):
+            load_u64_le(b"x" * 10, 5)
+
+    def test_negative_offset(self):
+        with pytest.raises(ValueError):
+            load_u64_le(b"x" * 10, -1)
+
+    @given(st.binary(min_size=8, max_size=32))
+    def test_matches_int_from_bytes(self, data):
+        assert load_u64_le(data) == int.from_bytes(data[:8], "little")
+
+
+class TestLoadU32:
+    def test_value(self):
+        assert load_u32_le((0xDEAD).to_bytes(4, "little")) == 0xDEAD
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            load_u32_le(b"abc")
+
+
+class TestLoadBytes:
+    def test_partial_loads(self):
+        data = bytes(range(1, 8))
+        for count in range(1, 8):
+            assert load_bytes(data, 0, count) == int.from_bytes(
+                data[:count], "little"
+            )
+
+    def test_count_bounds(self):
+        with pytest.raises(ValueError):
+            load_bytes(b"abcdefgh", 0, 8)
+        with pytest.raises(ValueError):
+            load_bytes(b"abcdefgh", 0, 0)
+
+    def test_offset_bounds(self):
+        with pytest.raises(ValueError):
+            load_bytes(b"abc", 2, 3)
+
+
+class TestShiftMix:
+    def test_zero(self):
+        assert shift_mix(0) == 0
+
+    def test_definition(self):
+        value = 0xDEADBEEFCAFEBABE
+        assert shift_mix(value) == value ^ (value >> 47)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_low_bits_unchanged_when_high_zero(self, value):
+        if value < (1 << 47):
+            assert shift_mix(value) == value

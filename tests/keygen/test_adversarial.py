@@ -1,0 +1,107 @@
+"""Tests for adversarial key construction."""
+
+import pytest
+
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.errors import SynthesisError
+from repro.hashes import stl_hash_bytes
+from repro.keygen.adversarial import (
+    collision_ratio,
+    pext_bucket_collisions,
+    xor_attack_for,
+    xor_cancellation_pairs,
+)
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+IPV6 = KEY_TYPES["IPV6"]
+
+
+@pytest.fixture(scope="module")
+def ipv6_offxor():
+    # IPv6: 39 bytes, loads at 0/8/16/24/31 — offsets 0 and 8 are
+    # non-overlapping, perfect for the swap attack.
+    return synthesize(IPV6.regex, HashFamily.OFFXOR)
+
+
+@pytest.fixture(scope="module")
+def ipv6_base_keys():
+    return generate_keys("IPV6", 200, Distribution.UNIFORM, seed=1)
+
+
+class TestXorCancellation:
+    def test_pairs_collide_under_offxor(self, ipv6_offxor, ipv6_base_keys):
+        crafted = xor_attack_for(
+            ipv6_offxor, ipv6_base_keys, count=400, seed=2
+        )
+        ratio = collision_ratio(ipv6_offxor.function, crafted)
+        # Every swapped pair collides: about half the keys are redundant.
+        assert ratio > 0.35
+
+    def test_stl_resists_same_keys(self, ipv6_offxor, ipv6_base_keys):
+        crafted = xor_attack_for(
+            ipv6_offxor, ipv6_base_keys, count=400, seed=2
+        )
+        assert collision_ratio(stl_hash_bytes, crafted) == 0.0
+
+    def test_swap_is_the_collision_mechanism(self, ipv6_offxor):
+        base = generate_keys("IPV6", 1, Distribution.UNIFORM, seed=3)
+        crafted = xor_cancellation_pairs(base, [0, 8], count=2, seed=0)
+        original, swapped = crafted
+        assert original != swapped
+        assert ipv6_offxor(original) == ipv6_offxor(swapped)
+
+    def test_needs_two_disjoint_loads(self):
+        with pytest.raises(SynthesisError):
+            xor_cancellation_pairs([b"x" * 16], [0, 3], count=2)
+
+    def test_overlapping_offsets_filtered(self):
+        base = [bytes(range(24))]
+        crafted = xor_cancellation_pairs(base, [0, 4, 8, 16], count=4)
+        assert len(crafted) == 4
+
+
+class TestPextBucketAttack:
+    def test_all_keys_same_bucket(self):
+        pext = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        buckets = 13
+        # SSN pext hash is not the raw index, so attack the *hash*
+        # residues via search: encode indexes whose hash % 13 == target.
+        target = pext(KEY_TYPES["SSN"].encode(0)) % buckets
+        crafted = []
+        index = 0
+        while len(crafted) < 50:
+            key = KEY_TYPES["SSN"].encode(index)
+            if pext(key) % buckets == target:
+                crafted.append(key)
+            index += 1
+        residues = {pext(key) % buckets for key in crafted}
+        assert residues == {target}
+
+    def test_helper_generates_congruent_indexes(self):
+        pext = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        crafted = pext_bucket_collisions(
+            pext, KEY_TYPES["SSN"].encode, bucket_count=97, count=30
+        )
+        assert len(crafted) == 30
+        assert len(set(crafted)) == 30
+
+    def test_bucket_count_validated(self):
+        pext = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        with pytest.raises(ValueError):
+            pext_bucket_collisions(
+                pext, KEY_TYPES["SSN"].encode, bucket_count=0, count=1
+            )
+
+
+class TestCollisionRatio:
+    def test_no_keys_rejected(self):
+        with pytest.raises(ValueError):
+            collision_ratio(stl_hash_bytes, [])
+
+    def test_all_collide(self):
+        assert collision_ratio(lambda key: 1, [b"a", b"b", b"c", b"d"]) == (
+            0.75
+        )

@@ -1,0 +1,96 @@
+"""Tests for the key distributions."""
+
+import itertools
+import statistics
+
+import pytest
+
+from repro.keygen.distributions import Distribution, make_index_stream
+
+
+def take(stream, count):
+    return list(itertools.islice(stream, count))
+
+
+class TestIncremental:
+    def test_sequential(self):
+        stream = make_index_stream(Distribution.INCREMENTAL, 1000)
+        assert take(stream, 5) == [0, 1, 2, 3, 4]
+
+    def test_start_offset(self):
+        stream = make_index_stream(Distribution.INCREMENTAL, 1000, start=42)
+        assert take(stream, 3) == [42, 43, 44]
+
+    def test_wraps_around_space(self):
+        stream = make_index_stream(Distribution.INCREMENTAL, 3)
+        assert take(stream, 7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_rq3_ascending_example(self):
+        """RQ3: incremental SSN keys are '000-00-0000', '000-00-0001', ..."""
+        from repro.keygen.keyspec import KEY_TYPES
+
+        stream = make_index_stream(Distribution.INCREMENTAL, 10**9)
+        keys = [KEY_TYPES["SSN"].encode(index) for index in take(stream, 3)]
+        assert keys == [b"000-00-0000", b"000-00-0001", b"000-00-0002"]
+
+
+class TestUniform:
+    def test_in_range(self):
+        stream = make_index_stream(Distribution.UNIFORM, 100, seed=1)
+        assert all(0 <= value < 100 for value in take(stream, 1000))
+
+    def test_deterministic_by_seed(self):
+        a = take(make_index_stream(Distribution.UNIFORM, 10**6, seed=5), 50)
+        b = take(make_index_stream(Distribution.UNIFORM, 10**6, seed=5), 50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = take(make_index_stream(Distribution.UNIFORM, 10**6, seed=1), 50)
+        b = take(make_index_stream(Distribution.UNIFORM, 10**6, seed=2), 50)
+        assert a != b
+
+    def test_covers_space_roughly_evenly(self):
+        stream = make_index_stream(Distribution.UNIFORM, 10, seed=3)
+        counts = [0] * 10
+        for value in take(stream, 10_000):
+            counts[value] += 1
+        assert min(counts) > 700  # each decile near 1000
+
+    def test_huge_space(self):
+        stream = make_index_stream(Distribution.UNIFORM, 10**100, seed=1)
+        values = take(stream, 10)
+        assert all(0 <= value < 10**100 for value in values)
+        assert len(set(values)) == 10
+
+
+class TestNormal:
+    def test_in_range(self):
+        stream = make_index_stream(Distribution.NORMAL, 1000, seed=1)
+        assert all(0 <= value < 1000 for value in take(stream, 2000))
+
+    def test_clusters_mid_space(self):
+        stream = make_index_stream(Distribution.NORMAL, 1000, seed=2)
+        values = take(stream, 5000)
+        mean = statistics.mean(values)
+        assert 450 < mean < 550
+        # Central half-space should hold the bulk of the draws.
+        central = sum(1 for value in values if 250 <= value < 750)
+        assert central > 0.9 * len(values)
+
+    def test_narrower_than_uniform(self):
+        normal = take(make_index_stream(Distribution.NORMAL, 1000, seed=4),
+                      5000)
+        uniform = take(make_index_stream(Distribution.UNIFORM, 1000, seed=4),
+                       5000)
+        assert statistics.pstdev(normal) < statistics.pstdev(uniform)
+
+    def test_huge_space(self):
+        stream = make_index_stream(Distribution.NORMAL, 10**100, seed=1)
+        values = take(stream, 10)
+        assert all(0 <= value < 10**100 for value in values)
+
+
+class TestValidation:
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            make_index_stream(Distribution.UNIFORM, 0)

@@ -1,0 +1,129 @@
+"""Tests for the affectation driver."""
+
+import pytest
+
+from repro.containers import UnorderedMultiset, UnorderedSet
+from repro.hashes import stl_hash_bytes
+from repro.keygen.driver import (
+    ALLOWED_MIXES,
+    DriverConfig,
+    ExecutionMode,
+    ProbabilityMix,
+    run_driver,
+)
+from repro.keygen.distributions import Distribution
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def make_config(**overrides):
+    defaults = dict(
+        key_spec=KEY_TYPES["SSN"],
+        distribution=Distribution.UNIFORM,
+        mode=ExecutionMode.BATCHED,
+        affectations=900,
+        spread=100,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return DriverConfig(**defaults)
+
+
+class TestProbabilityMix:
+    def test_paper_mixes_valid(self):
+        for mix in ALLOWED_MIXES:
+            assert mix.insert + mix.search <= 1.0
+            assert mix.erase >= 0
+
+    def test_paper_mixes_are_the_three_allowed(self):
+        assert {(m.insert, m.search) for m in ALLOWED_MIXES} == {
+            (0.7, 0.2), (0.6, 0.2), (0.4, 0.3),
+        }
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilityMix(0.9, 0.2)
+        with pytest.raises(ValueError):
+            ProbabilityMix(-0.1, 0.2)
+
+
+class TestBatchedMode:
+    def test_operation_thirds(self):
+        result = run_driver(stl_hash_bytes, make_config(affectations=900))
+        assert result.inserts == 300
+        assert result.searches == 300
+        assert result.erases == 300
+
+    def test_remainder_goes_to_inserts(self):
+        result = run_driver(stl_hash_bytes, make_config(affectations=10))
+        assert result.inserts == 4
+        assert result.searches == 3
+        assert result.erases == 3
+
+    def test_timing_positive(self):
+        result = run_driver(stl_hash_bytes, make_config())
+        assert result.elapsed_seconds > 0
+
+
+class TestInterweavedMode:
+    def test_first_half_inserts(self):
+        result = run_driver(
+            stl_hash_bytes,
+            make_config(
+                mode=ExecutionMode.INTERWEAVED,
+                mix=ALLOWED_MIXES[0],
+                affectations=1000,
+            ),
+        )
+        # At least the unconditional first half inserts.
+        assert result.inserts >= 500
+        total = result.inserts + result.searches + result.erases
+        assert total == 1000
+
+    def test_mix_ratios_roughly_respected(self):
+        result = run_driver(
+            stl_hash_bytes,
+            make_config(
+                mode=ExecutionMode.INTERWEAVED,
+                mix=ProbabilityMix(0.4, 0.3),
+                affectations=4000,
+            ),
+        )
+        random_phase = 2000
+        random_inserts = result.inserts - 2000
+        assert 0.3 * random_phase < random_inserts < 0.5 * random_phase
+        assert 0.2 * random_phase < result.searches < 0.4 * random_phase
+
+
+class TestDriverBehaviour:
+    def test_deterministic_given_seed(self):
+        a = run_driver(stl_hash_bytes, make_config(seed=7))
+        b = run_driver(stl_hash_bytes, make_config(seed=7))
+        assert (a.inserts, a.searches, a.erases) == (
+            b.inserts, b.searches, b.erases,
+        )
+        assert a.bucket_collisions == b.bucket_collisions
+
+    def test_container_type_honored(self):
+        result = run_driver(
+            stl_hash_bytes, make_config(container_type=UnorderedMultiset)
+        )
+        assert result.final_size >= 0
+
+    def test_spread_bounds_distinct_keys(self):
+        result = run_driver(
+            stl_hash_bytes,
+            make_config(spread=50, container_type=UnorderedSet),
+        )
+        assert result.final_size <= 50
+
+    def test_distribution_parameter(self):
+        for distribution in Distribution:
+            result = run_driver(
+                stl_hash_bytes, make_config(distribution=distribution)
+            )
+            assert result.elapsed_seconds > 0
+
+    def test_stats_fields_populated(self):
+        result = run_driver(stl_hash_bytes, make_config())
+        assert result.bucket_count >= 13
+        assert result.true_collisions == 0

@@ -1,0 +1,101 @@
+"""Tests for the extended key formats and their synthesizability."""
+
+import re
+
+import pytest
+
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize, synthesize_short_key
+from repro.keygen.extended import EXTENDED_KEY_TYPES, extended_key_spec
+from repro.keygen.keyspec import KEY_TYPES
+
+
+class TestCatalog:
+    def test_disjoint_from_paper_formats(self):
+        assert not set(EXTENDED_KEY_TYPES) & set(KEY_TYPES)
+
+    def test_lookup(self):
+        assert extended_key_spec("plate").name == "PLATE"
+        with pytest.raises(KeyError):
+            extended_key_spec("ZIPCODE")
+
+    @pytest.mark.parametrize("name", list(EXTENDED_KEY_TYPES))
+    def test_encoders_conform_to_regex(self, name):
+        spec = EXTENDED_KEY_TYPES[name]
+        compiled = re.compile(spec.regex.encode())
+        for index in (0, 1, 12345, spec.space_size - 1):
+            key = spec.encode_checked(index)
+            assert compiled.fullmatch(key), (name, key)
+
+    @pytest.mark.parametrize("name", list(EXTENDED_KEY_TYPES))
+    def test_encoders_injective_on_sample(self, name):
+        spec = EXTENDED_KEY_TYPES[name]
+        step = max(1, spec.space_size // 500)
+        keys = {spec.encode(i) for i in range(0, 500 * step, step)}
+        assert len(keys) == 500
+
+    def test_known_encodings(self):
+        assert EXTENDED_KEY_TYPES["PLATE"].encode(0) == b"AAA0A00"
+        assert EXTENDED_KEY_TYPES["E164"].encode(5551234567) == (
+            b"+1-555-123-4567"
+        )
+        assert EXTENDED_KEY_TYPES["IBAN_DE"].encode(7) == (
+            b"DE00000000000000000007"
+        )
+
+    def test_uuid4_version_and_variant_fixed(self):
+        key = EXTENDED_KEY_TYPES["UUID4"].encode(12345)
+        assert key[14:15] == b"4"   # version nibble
+        assert key[19:20] == b"a"   # variant nibble
+
+
+class TestSynthesizability:
+    @pytest.mark.parametrize(
+        "name", [n for n in EXTENDED_KEY_TYPES if n != "PLATE"]
+    )
+    def test_all_families_synthesize(self, name):
+        spec = EXTENDED_KEY_TYPES[name]
+        for family in HashFamily:
+            synthesized = synthesize(spec.regex, family)
+            key = spec.encode(99)
+            assert 0 <= synthesized(key) < (1 << 64)
+
+    def test_plate_needs_short_key_path(self):
+        """Plates are 7 bytes — under one machine word, the footnote 5
+        case; the short-key API handles them."""
+        spec = EXTENDED_KEY_TYPES["PLATE"]
+        synthesized = synthesize_short_key(spec.regex, HashFamily.PEXT)
+        keys = {spec.encode(i) for i in range(0, 5000)}
+        values = {synthesized(key) for key in keys}
+        assert len(values) == len(keys)
+
+    def test_bijectivity_by_variable_bits(self):
+        """Pext packs ISBN/E164/IBAN bijectively; UUID4's ~122 variable
+        bits exceed one word."""
+        expectations = {
+            "ISBN13": True,
+            "E164": True,
+            "IBAN_DE": False,  # 20 digit bytes x 4 bits = 80 > 64
+            "UUID4": False,
+        }
+        for name, expected in expectations.items():
+            spec = EXTENDED_KEY_TYPES[name]
+            synthesized = synthesize(spec.regex, HashFamily.PEXT)
+            assert synthesized.is_bijective == expected, name
+
+    def test_collision_free_on_samples(self):
+        for name in ("UUID4", "ISBN13", "E164", "IBAN_DE"):
+            spec = EXTENDED_KEY_TYPES[name]
+            synthesized = synthesize(spec.regex, HashFamily.PEXT)
+            step = max(1, spec.space_size // 2000)
+            keys = {spec.encode(i) for i in range(0, 2000 * step, step)}
+            values = {synthesized(key) for key in keys}
+            assert len(values) == len(keys), name
+
+    def test_isbn_skips_gs1_prefix(self):
+        """The constant '978-' prefix plus separators leave only the
+        10 payload digits in the masks."""
+        spec = EXTENDED_KEY_TYPES["ISBN13"]
+        synthesized = synthesize(spec.regex, HashFamily.PEXT)
+        assert synthesized.pattern.variable_bit_count() == 40
+        assert synthesized.is_bijective

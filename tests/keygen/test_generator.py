@@ -1,0 +1,73 @@
+"""Tests for key streams and pools."""
+
+import pytest
+
+from repro.keygen.distributions import Distribution
+from repro.keygen.generator import KeyGenerator, generate_keys, sample_pool
+from repro.keygen.keyspec import KEY_TYPES
+
+
+class TestKeyGenerator:
+    def test_accepts_name_or_spec(self):
+        by_name = KeyGenerator("SSN", Distribution.INCREMENTAL)
+        by_spec = KeyGenerator(KEY_TYPES["SSN"], Distribution.INCREMENTAL)
+        assert by_name.take(3) == by_spec.take(3)
+
+    def test_take(self):
+        keys = KeyGenerator("SSN", Distribution.INCREMENTAL).take(4)
+        assert keys == [
+            b"000-00-0000",
+            b"000-00-0001",
+            b"000-00-0002",
+            b"000-00-0003",
+        ]
+
+    def test_iterator_protocol(self):
+        generator = KeyGenerator("MAC", Distribution.UNIFORM, seed=1)
+        first = next(generator)
+        assert len(first) == 17
+
+    def test_deterministic(self):
+        a = KeyGenerator("IPV6", Distribution.UNIFORM, seed=9).take(20)
+        b = KeyGenerator("IPV6", Distribution.UNIFORM, seed=9).take(20)
+        assert a == b
+
+
+class TestDistinctPool:
+    def test_distinct(self):
+        pool = KeyGenerator("SSN", Distribution.UNIFORM, seed=1).distinct_pool(
+            500
+        )
+        assert len(pool) == 500
+        assert len(set(pool)) == 500
+
+    def test_normal_distribution_pool(self):
+        """Normal draws repeat often; the pool must still be distinct."""
+        generator = KeyGenerator("SSN", Distribution.NORMAL, seed=2)
+        pool = generator.distinct_pool(1000)
+        assert len(set(pool)) == 1000
+
+    def test_oversized_request_rejected(self):
+        generator = KeyGenerator("SSN", Distribution.UNIFORM)
+        with pytest.raises(ValueError):
+            generator.distinct_pool(10**9 + 1)
+
+    def test_incremental_pool_is_prefix(self):
+        pool = KeyGenerator("SSN", Distribution.INCREMENTAL).distinct_pool(5)
+        assert pool[0] == b"000-00-0000"
+        assert pool[4] == b"000-00-0004"
+
+
+class TestHelpers:
+    def test_generate_keys(self):
+        keys = generate_keys("CPF", 10, Distribution.UNIFORM, seed=3)
+        assert len(keys) == 10
+        assert all(len(key) == 14 for key in keys)
+
+    def test_sample_pool_deterministic(self):
+        pool = [b"a", b"b", b"c"]
+        assert sample_pool(pool, 10, seed=1) == sample_pool(pool, 10, seed=1)
+
+    def test_sample_pool_draws_from_pool(self):
+        pool = [b"a", b"b"]
+        assert set(sample_pool(pool, 50, seed=2)) <= set(pool)

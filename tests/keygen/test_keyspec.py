@@ -1,0 +1,106 @@
+"""Tests for the eight paper key formats."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keygen.keyspec import (
+    KEY_TYPES,
+    URL1_PREFIX,
+    URL2_PREFIX,
+    key_spec,
+)
+
+
+class TestCatalog:
+    def test_all_eight_formats(self):
+        assert set(KEY_TYPES) == {
+            "SSN", "CPF", "MAC", "IPV4", "IPV6", "INTS", "URL1", "URL2",
+        }
+
+    def test_paper_lengths(self):
+        lengths = {name: spec.length for name, spec in KEY_TYPES.items()}
+        assert lengths == {
+            "SSN": 11,
+            "CPF": 14,
+            "MAC": 17,
+            "IPV4": 15,
+            "IPV6": 39,
+            "INTS": 100,
+            "URL1": 48,
+            "URL2": 61,
+        }
+
+    def test_url_prefix_lengths_match_paper(self):
+        assert len(URL1_PREFIX) == 23
+        assert len(URL2_PREFIX) == 36
+
+    def test_lookup(self):
+        assert key_spec("ssn").name == "SSN"
+        with pytest.raises(KeyError):
+            key_spec("UNKNOWN")
+
+
+class TestEncoders:
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_length_invariant(self, name):
+        spec = KEY_TYPES[name]
+        for index in (0, 1, spec.space_size // 2, spec.space_size - 1):
+            assert len(spec.encode(index)) == spec.length
+
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_regex_conformance(self, name):
+        spec = KEY_TYPES[name]
+        compiled = re.compile(spec.regex.encode())
+        for index in (0, 7, 123456, spec.space_size - 1):
+            key = spec.encode(index)
+            assert compiled.fullmatch(key), key
+
+    @pytest.mark.parametrize("name", list(KEY_TYPES))
+    def test_injective_on_sample(self, name):
+        spec = KEY_TYPES[name]
+        step = max(1, spec.space_size // 1000)
+        keys = {spec.encode(index) for index in range(0, 1000 * step, step)}
+        assert len(keys) == 1000
+
+    def test_bounds_checked(self):
+        spec = KEY_TYPES["SSN"]
+        with pytest.raises(ValueError):
+            spec.encode_checked(-1)
+        with pytest.raises(ValueError):
+            spec.encode_checked(spec.space_size)
+
+    def test_known_encodings(self):
+        assert KEY_TYPES["SSN"].encode(123456789) == b"123-45-6789"
+        assert KEY_TYPES["CPF"].encode(12345678901) == b"123.456.789-01"
+        assert KEY_TYPES["MAC"].encode(0xAABBCCDDEEFF) == (
+            b"aa-bb-cc-dd-ee-ff"
+        )
+        assert KEY_TYPES["IPV4"].encode(192168001001) == b"192.168.001.001"
+
+    def test_ints_handles_big_indexes(self):
+        spec = KEY_TYPES["INTS"]
+        key = spec.encode(10**99)
+        assert key == b"1" + b"0" * 99
+
+    @given(st.integers(min_value=0, max_value=10**9 - 1))
+    @settings(max_examples=100)
+    def test_ssn_roundtrip(self, index):
+        key = KEY_TYPES["SSN"].encode(index)
+        digits = key.replace(b"-", b"")
+        assert int(digits) == index
+
+    @given(st.integers(min_value=0, max_value=16**12 - 1))
+    @settings(max_examples=100)
+    def test_mac_roundtrip(self, index):
+        key = KEY_TYPES["MAC"].encode(index)
+        assert int(key.replace(b"-", b""), 16) == index
+
+    @given(st.integers(min_value=0, max_value=36**20 - 1))
+    @settings(max_examples=50)
+    def test_url_token_injective(self, index):
+        key1 = KEY_TYPES["URL1"].encode(index)
+        key2 = KEY_TYPES["URL1"].encode((index + 1) % 36**20)
+        assert key1 != key2

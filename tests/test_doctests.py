@@ -1,0 +1,66 @@
+"""Run the doctests embedded in the library's docstrings.
+
+Doctests double as API documentation in this repository (README-level
+examples live in module and function docstrings); this test keeps them
+honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.containers.bijective
+import repro.core.inference
+import repro.core.inverse
+import repro.core.quads
+import repro.core.regex_expand
+import repro.core.regex_parser
+import repro.core.regex_render
+import repro.core.synthesis
+import repro.containers.hashing_policy
+import repro.containers.unordered_map
+import repro.containers.unordered_multimap
+import repro.containers.unordered_multiset
+import repro.containers.unordered_set
+import repro.hashes.abseil
+import repro.hashes.city
+import repro.hashes.entropy
+import repro.hashes.fnv
+import repro.hashes.murmur_stl
+import repro.isa.aes
+import repro.isa.bits
+import repro.keygen.generator
+
+MODULES = [
+    repro.containers.bijective,
+    repro.containers.hashing_policy,
+    repro.containers.unordered_map,
+    repro.containers.unordered_multimap,
+    repro.containers.unordered_multiset,
+    repro.containers.unordered_set,
+    repro.core.inference,
+    repro.core.inverse,
+    repro.core.quads,
+    repro.core.regex_expand,
+    repro.core.regex_parser,
+    repro.core.regex_render,
+    repro.core.synthesis,
+    repro.hashes.abseil,
+    repro.hashes.city,
+    repro.hashes.entropy,
+    repro.hashes.fnv,
+    repro.hashes.murmur_stl,
+    repro.isa.aes,
+    repro.isa.bits,
+    repro.keygen.generator,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )

@@ -1,0 +1,81 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    EmptyKeySetError,
+    KeyFormatError,
+    RegexSyntaxError,
+    SepeError,
+    SynthesisError,
+    UnsupportedPatternError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            RegexSyntaxError,
+            UnsupportedPatternError,
+            SynthesisError,
+            EmptyKeySetError,
+            KeyFormatError,
+        ],
+    )
+    def test_all_derive_from_sepe_error(self, exception_type):
+        assert issubclass(exception_type, SepeError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro import synthesize
+        from repro.core.inference import infer_pattern
+
+        failures = 0
+        for thunk in (
+            lambda: synthesize("[broken"),
+            lambda: synthesize(r"\d{2}"),
+            lambda: synthesize(r"a*b{3}c*d"),
+            lambda: infer_pattern([]),
+        ):
+            try:
+                thunk()
+            except SepeError:
+                failures += 1
+        assert failures == 4
+
+
+class TestRegexSyntaxError:
+    def test_carries_position_and_pattern(self):
+        error = RegexSyntaxError("bad", pattern="ab[", position=2)
+        assert error.pattern == "ab["
+        assert error.position == 2
+        assert "position 2" in str(error)
+        assert "ab[" in str(error)
+
+    def test_message_only(self):
+        error = RegexSyntaxError("just a message")
+        assert str(error) == "just a message"
+        assert error.position == -1
+
+
+class TestErrorMessages:
+    def test_short_key_mentions_footnote_rule(self):
+        from repro import synthesize
+
+        with pytest.raises(SynthesisError) as info:
+            synthesize(r"\d{4}")
+        assert "machine word" in str(info.value) or "8" in str(info.value)
+
+    def test_load_out_of_bounds_mentions_sizes(self):
+        from repro.isa.memory import load_u64_le
+
+        with pytest.raises(ValueError) as info:
+            load_u64_le(b"short", 0)
+        assert "out of bounds" in str(info.value)
+
+    def test_unknown_key_type_lists_known(self):
+        from repro.keygen.keyspec import key_spec
+
+        with pytest.raises(KeyError) as info:
+            key_spec("POSTCODE")
+        assert "SSN" in str(info.value)

@@ -1,0 +1,91 @@
+"""Smoke tests for the example applications.
+
+Fast examples run end to end in a subprocess; the heavier workload
+examples are compile-checked and their module-level constants shrunk for
+an in-process run, so a broken API surface in any example fails CI.
+"""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "ssn_registry.py",
+    "url_router.py",
+    "network_inventory.py",
+    "learned_index.py",
+    "multi_format_service.py",
+]
+
+
+class TestCompile:
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_compiles(self, script):
+        py_compile.compile(
+            os.path.join(EXAMPLES_DIR, script), doraise=True
+        )
+
+
+class TestRunFast:
+    @pytest.mark.parametrize("script", ["quickstart.py", "learned_index.py"])
+    def test_runs_clean(self, script):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+
+class TestRunReduced:
+    """Heavier examples, shrunk via their module constants."""
+
+    def _load(self, script):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            script[:-3], os.path.join(EXAMPLES_DIR, script)
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_ssn_registry(self, capsys):
+        module = self._load("ssn_registry.py")
+        module.NUM_CITIZENS = 800
+        module.main()
+        out = capsys.readouterr().out
+        assert "SEPE pext" in out
+        assert "bijection" in out
+
+    def test_network_inventory(self, capsys):
+        module = self._load("network_inventory.py")
+        module.DEVICES = 500
+        module.main()
+        out = capsys.readouterr().out
+        assert "inventory check" in out
+        assert "0 lookups missed" in out
+
+    def test_url_router(self, capsys):
+        module = self._load("url_router.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "prefix skipped" in out
+        assert "skip table" in out
+
+    def test_multi_format_service(self, capsys):
+        module = self._load("multi_format_service.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "routing table" in out
+        assert "lookup hits" in out

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro import HashFamily, synthesize, synthesize_from_keys
+from repro.bench.metrics import total_collisions
+from repro.bench.runner import measure_h_time
+from repro.bench.suite import make_hash_suite
+from repro.containers import (
+    CONTAINER_TYPES,
+    UnorderedMap,
+    UnorderedSet,
+)
+from repro.hashes import stl_hash_bytes
+from repro.keygen import Distribution, DriverConfig, generate_keys, run_driver
+from repro.keygen.keyspec import KEY_TYPES
+
+
+class TestFullPipeline:
+    """examples → inference → synthesis → container, like Figure 5."""
+
+    def test_infer_synthesize_store(self, key_samples):
+        synthesized = synthesize_from_keys(
+            key_samples["MAC"][:50], HashFamily.PEXT
+        )
+        table = UnorderedMap(synthesized.function)
+        for index, key in enumerate(key_samples["MAC"]):
+            table.insert(key, index)
+        for index, key in enumerate(key_samples["MAC"]):
+            assert table.find(key) == index
+
+    @pytest.mark.parametrize("family", list(HashFamily))
+    def test_all_families_container_correctness(self, family, key_samples):
+        synthesized = synthesize(KEY_TYPES["IPV4"].regex, family)
+        table = UnorderedSet(synthesized.function)
+        keys = key_samples["IPV4"]
+        for key in keys:
+            table.insert(key)
+        assert len(table) == len(set(keys))
+        for key in keys:
+            assert key in table
+
+    @pytest.mark.parametrize("container_name", list(CONTAINER_TYPES))
+    def test_driver_with_synthesized_hash(self, container_name):
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.OFFXOR)
+        config = DriverConfig(
+            key_spec=KEY_TYPES["SSN"],
+            container_type=CONTAINER_TYPES[container_name],
+            affectations=600,
+            spread=200,
+        )
+        result = run_driver(synthesized.function, config)
+        assert result.inserts + result.searches + result.erases == 600
+
+
+class TestPaperShapeClaims:
+    """The paper's headline claims, at test scale."""
+
+    def test_synthetic_hashing_faster_than_stl(self, key_samples):
+        """RQ1 (H-Time): synthesized functions beat the STL murmur port
+        at pure hashing on every format."""
+        for name in ("SSN", "IPV4", "URL1"):
+            keys = key_samples[name]
+            synthesized = synthesize(KEY_TYPES[name].regex, HashFamily.OFFXOR)
+            stl = measure_h_time(stl_hash_bytes, keys, repeats=3)
+            sepe = measure_h_time(synthesized.function, keys, repeats=3)
+            assert sepe < stl, name
+
+    def test_offxor_not_slower_than_naive_loads(self):
+        """OffXor never loads more words than Naive."""
+        for name, spec in KEY_TYPES.items():
+            naive = synthesize(spec.regex, HashFamily.NAIVE)
+            offxor = synthesize(spec.regex, HashFamily.OFFXOR)
+            assert len(offxor.plan.loads) <= len(naive.plan.loads), name
+
+    def test_url_formats_benefit_most_from_offxor(self):
+        """URL1's constant prefix halves the load count — the reason the
+        paper reports its best B-Time gain (9.5%) on URL1."""
+        naive = synthesize(KEY_TYPES["URL1"].regex, HashFamily.NAIVE)
+        offxor = synthesize(KEY_TYPES["URL1"].regex, HashFamily.OFFXOR)
+        assert len(naive.plan.loads) == 6
+        assert len(offxor.plan.loads) == 3
+
+    def test_collision_parity_with_stl_in_buckets(self, key_samples):
+        """RQ2: bucket collisions of synthetic functions are comparable
+        to STL's under prime-modulo containers."""
+        keys = key_samples["SSN"]
+        pext = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        stl_table = UnorderedSet(stl_hash_bytes)
+        pext_table = UnorderedSet(pext.function)
+        for key in keys:
+            stl_table.insert(key)
+            pext_table.insert(key)
+        assert pext_table.bucket_collisions() <= stl_table.bucket_collisions() * 2 + 10
+
+    def test_gperf_inverse_tradeoff(self, key_samples):
+        """Gperf: cheap hashing, catastrophic collisions (Table 1)."""
+        suite = make_hash_suite("SSN", include=["Gperf", "STL"])
+        keys = key_samples["SSN"]
+        gperf_collisions = total_collisions(suite["Gperf"], keys)
+        stl_collisions = total_collisions(suite["STL"], keys)
+        assert gperf_collisions > 100
+        assert stl_collisions == 0
+
+    def test_pext_bijection_per_format(self):
+        """Section 4.2: Pext is a bijection for formats with <= 64
+        relevant bits; URL/INTS formats exceed that."""
+        bijective = {
+            name: synthesize(spec.regex, HashFamily.PEXT).is_bijective
+            for name, spec in KEY_TYPES.items()
+        }
+        assert bijective["SSN"] and bijective["CPF"] and bijective["IPV4"]
+        assert not bijective["INTS"]
+        assert not bijective["URL1"] and not bijective["URL2"]
+
+    def test_ints_zero_collisions_despite_no_bijection(self, key_samples):
+        """Table 1's observation: INTS has 400 relevant bits, yet Pext
+        still shows zero collisions on real samples."""
+        pext = synthesize(KEY_TYPES["INTS"].regex, HashFamily.PEXT)
+        assert total_collisions(pext.function, key_samples["INTS"]) == 0
+
+
+class TestCrossSubsystemConsistency:
+    def test_cpp_and_python_masks_agree(self):
+        """The C++ emission and the Python closure derive from one plan:
+        the masks visible in the C++ text match the plan's."""
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        cpp = synthesized.cpp_source("x86")
+        for load in synthesized.plan.loads:
+            assert hex(load.mask) in cpp
+
+    def test_suite_matches_direct_synthesis(self, key_samples):
+        suite = make_hash_suite("SSN", include=["Pext"])
+        direct = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        key = key_samples["SSN"][0]
+        assert suite["Pext"](key) == direct(key)

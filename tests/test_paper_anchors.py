@@ -1,0 +1,156 @@
+"""Anchor tests: concrete artifacts lifted from the paper's figures.
+
+Each test pins one figure or example from the paper to this
+implementation, so fidelity regressions are caught by name.
+"""
+
+import pytest
+
+from repro import HashFamily, infer_pattern, synthesize
+from repro.core.quads import join_keys
+from repro.hashes.murmur_stl import MUL, stl_hash_bytes
+from repro.isa.bits import pext
+from repro.isa.memory import load_u64_le
+
+
+class TestFigure4HandwrittenSSN:
+    """Figure 4: the handwritten SSN hash (two loads, shift 4, add)."""
+
+    def test_handwritten_equivalent_is_injective(self):
+        def figure4_hash(key: bytes) -> int:
+            mask = (1 << 64) - 1
+            hash1 = load_u64_le(key, 0)
+            hash2 = load_u64_le(key, 3)
+            hash3 = (hash2 << 4) & mask
+            return (hash1 + hash3) & mask
+
+        keys = [
+            f"{i:03d}.{j:02d}.{k:04d}".encode()
+            for i in range(0, 1000, 97)
+            for j in range(0, 100, 13)
+            for k in range(0, 10_000, 997)
+        ]
+        values = {figure4_hash(key) for key in keys}
+        assert len(values) == len(keys)
+
+    def test_synthesized_pext_also_injective_on_same_keys(self):
+        synthesized = synthesize(r"\d{3}\.\d{2}\.\d{4}", HashFamily.PEXT)
+        keys = [
+            f"{i:03d}.{j:02d}.{k:04d}".encode()
+            for i in range(0, 1000, 97)
+            for j in range(0, 100, 13)
+            for k in range(0, 10_000, 997)
+        ]
+        values = {synthesized(key) for key in keys}
+        assert len(values) == len(keys)
+
+
+class TestFigure6QuadJoin:
+    """Figure 6: the IATA join JFK v LaX v GRu."""
+
+    def test_join_matches_figure(self):
+        joined = join_keys([b"JFK", b"LaX", b"GRu"])
+        concrete = [
+            (index, quad) for index, quad in enumerate(joined)
+            if quad is not None
+        ]
+        # Figure 6's bottom row: 0100 T T 01 T T T 01 T T T T —
+        # the constant quads are 01, 00 at byte 0 and 01 at bytes 1, 2.
+        assert concrete == [(0, 1), (1, 0), (4, 1), (8, 1)]
+
+
+class TestFigure11PextSemantics:
+    """Figure 11: pext extracts masked bits into low positions."""
+
+    def test_quad_guided_mask(self):
+        # The figure's example: mask 0x...0F selects low nibbles.
+        source = 0x1234567890ABCDEF
+        assert pext(source, 0xF) == 0xF
+        assert pext(source, 0xFF00) == 0xCD
+
+
+class TestFigure12PextSSN:
+    """Figure 12: the synthesized SSN bijection, mask for mask."""
+
+    @pytest.fixture(scope="class")
+    def synthesized(self):
+        return synthesize(r"\d{3}\.\d{2}\.\d{4}", HashFamily.PEXT)
+
+    def test_masks(self, synthesized):
+        masks = [load.mask for load in synthesized.plan.loads]
+        assert masks == [0x0F000F0F000F0F0F, 0x0F0F0F0000000000]
+
+    def test_offsets(self, synthesized):
+        assert [load.offset for load in synthesized.plan.loads] == [0, 3]
+
+    def test_shift_52(self, synthesized):
+        assert [load.shift for load in synthesized.plan.loads] == [0, 52]
+
+    def test_bijection_to_36_bits_plus_top(self, synthesized):
+        value = synthesized(b"123.45.6789")
+        low = value & ((1 << 24) - 1)
+        high = value >> 52
+        assert low == 0x654321  # digits 1..6, nibble-reversed (LE)
+        assert high == 0x987    # digits 7..9
+
+    def test_figure1_murmur_constants(self):
+        assert MUL == 0xC6A4A7935BD1E995
+        assert stl_hash_bytes(b"") != 0
+
+
+class TestExample31CommandLine:
+    """Example 3.1: the two synthesis interfaces agree."""
+
+    def test_regex_and_examples_agree_on_structure(self):
+        from_regex = synthesize(
+            r"(([0-9]{3})\.){3}[0-9]{3}", HashFamily.OFFXOR
+        )
+        from_examples = None
+        examples = ["000.000.000.000", "555.555.555.555", "999.999.999.999"]
+        pattern = infer_pattern(examples)
+        from_examples = synthesize(pattern, HashFamily.OFFXOR)
+        assert [load.offset for load in from_regex.plan.loads] == [
+            load.offset for load in from_examples.plan.loads
+        ]
+
+    def test_figure5c_offxor_shape(self):
+        """Figure 5c's OffXor for IPv4: h0 = load(0), h1 = load(7),
+        return h0 ^ h1."""
+        synthesized = synthesize(
+            r"(([0-9]{3})\.){3}[0-9]{3}", HashFamily.OFFXOR
+        )
+        assert [load.offset for load in synthesized.plan.loads] == [0, 7]
+        cpp = synthesized.cpp_source("x86")
+        assert "sepe_load_u64_le(ptr + 0)" in cpp
+        assert "sepe_load_u64_le(ptr + 7)" in cpp
+
+
+class TestExample41ModuloBuckets:
+    """Example 4.1: successive SSNs fall into different buckets under
+    modulo indexing, even when the hash is the SSN itself."""
+
+    def test_identity_hash_spreads(self):
+        assert 123456789 % 100 == 89
+        assert 123456790 % 100 == 90
+
+    def test_container_reproduces_example(self):
+        from repro.containers import UnorderedMap
+
+        table = UnorderedMap(lambda key: int(key.replace(b"-", b"")))
+        table.insert(b"123-45-6789", None)
+        table.insert(b"123-45-6790", None)
+        assert table.bucket_collisions() == 0
+
+
+class TestFootnote5ShortKeys:
+    """Footnote 5: SEPE does not specialize keys under 8 bytes."""
+
+    def test_default_refusal(self):
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            synthesize(r"\d{7}", HashFamily.PEXT)
+
+    def test_eight_bytes_allowed(self):
+        synthesized = synthesize(r"\d{8}", HashFamily.PEXT)
+        assert synthesized(b"12345678") != synthesized(b"12345679")

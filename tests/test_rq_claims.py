@@ -1,0 +1,248 @@
+"""The paper's research questions as executable claims.
+
+One test class per RQ (Sections 4.1-4.7 plus the appendix), each
+asserting the *qualitative* finding at test scale.  This module is the
+index between the paper's narrative and this reproduction: when a claim
+cannot survive the Python substrate (absolute ratios), the test encodes
+the preserved ordering instead and says so.
+"""
+
+import pytest
+
+from repro.bench.metrics import (
+    chi_square_uniformity,
+    total_collisions,
+)
+from repro.bench.runner import measure_b_time, measure_h_time
+from repro.bench.experiment import ExperimentSpec
+from repro.containers import LowMixingMap, UnorderedSet
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.hashes import stl_hash_bytes
+from repro.keygen.distributions import Distribution
+from repro.keygen.driver import ALLOWED_MIXES, ExecutionMode
+from repro.keygen.generator import generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+
+
+def _cell(
+    key_type,
+    distribution=Distribution.NORMAL,
+    container="unordered_map",
+    spread=1000,
+):
+    return ExperimentSpec(
+        key_spec=KEY_TYPES[key_type],
+        container_name=container,
+        distribution=distribution,
+        spread=spread,
+        mode=ExecutionMode.BATCHED,
+        mix=ALLOWED_MIXES[0],
+    )
+
+
+@pytest.fixture(scope="module")
+def ssn_suite(key_samples):
+    return {
+        "STL": stl_hash_bytes,
+        "Naive": synthesize(KEY_TYPES["SSN"].regex, HashFamily.NAIVE).function,
+        "OffXor": synthesize(
+            KEY_TYPES["SSN"].regex, HashFamily.OFFXOR
+        ).function,
+        "Pext": synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT).function,
+    }
+
+
+class TestRQ1RunningTime:
+    """RQ1: synthetic functions outperform standard library hashes."""
+
+    def test_h_time_ordering(self, ssn_suite, ssn_keys):
+        times = {
+            name: measure_h_time(fn, ssn_keys, repeats=3)
+            for name, fn in ssn_suite.items()
+        }
+        assert times["Naive"] < times["STL"]
+        assert times["OffXor"] < times["STL"]
+
+    def test_b_time_ordering(self, ssn_suite):
+        cell = _cell("SSN")
+        times = {}
+        for name, fn in ssn_suite.items():
+            runs = measure_b_time(fn, cell, samples=2, affectations=1500)
+            times[name] = min(run.elapsed_seconds for run in runs)
+        assert times["OffXor"] < times["STL"]
+
+
+class TestRQ2CollisionCount:
+    """RQ2: synthetic functions match STL bucket collisions; Pext has
+    zero total collisions."""
+
+    def test_bucket_collision_parity(self, ssn_suite, ssn_keys):
+        collisions = {}
+        for name, fn in ssn_suite.items():
+            table = UnorderedSet(fn)
+            for key in ssn_keys:
+                table.insert(key)
+            collisions[name] = table.bucket_collisions()
+        for name in ("Naive", "OffXor", "Pext"):
+            assert collisions[name] <= collisions["STL"] * 2 + 10
+
+    def test_pext_zero_t_coll(self, ssn_suite, ssn_keys):
+        assert total_collisions(ssn_suite["Pext"], ssn_keys) == 0
+
+
+class TestRQ3Uniformity:
+    """RQ3: synthetic distributions are considerably less uniform."""
+
+    def test_synthetics_worse_than_stl(self, ssn_suite):
+        keys = generate_keys("SSN", 10_000, Distribution.UNIFORM, seed=5)
+        chi = {
+            name: chi_square_uniformity(fn, keys, bins=256)
+            for name, fn in ssn_suite.items()
+        }
+        assert chi["Naive"] > 5 * chi["STL"]
+        assert chi["OffXor"] > 5 * chi["STL"]
+
+
+class TestRQ4Architecture:
+    """RQ4: on aarch64 the Pext family does not exist; Naive/OffXor stay
+    fastest; Aes code is bulkier."""
+
+    def test_pext_dropped(self):
+        from repro.bench.suite import synthesize_suite
+        from repro.keygen.keyspec import key_spec
+
+        suite = synthesize_suite(key_spec("SSN"), arch="aarch64")
+        assert "Pext" not in suite
+
+    def test_aes_neon_code_bulkier(self):
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.AES)
+        assert len(synthesized.cpp_source("aarch64")) > len(
+            synthesized.cpp_source("x86")
+        )
+
+
+class TestRQ5KeyDistribution:
+    """RQ5: Pext keeps zero collisions across all distributions."""
+
+    @pytest.mark.parametrize("distribution", list(Distribution))
+    def test_pext_zero_collisions(self, distribution, ssn_suite):
+        keys = generate_keys("SSN", 3000, distribution, seed=6)
+        assert total_collisions(ssn_suite["Pext"], keys) == 0
+
+
+class TestRQ6SynthesisComplexity:
+    """RQ6: synthesis time is linear in key size."""
+
+    def test_linear_scaling(self):
+        import time
+
+        from repro.bench.metrics import pearson_correlation
+
+        sizes, times = [], []
+        for exponent in (4, 6, 8, 10, 12):
+            size = 1 << exponent
+            best = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                synthesize(f"[0-9]{{{size}}}", HashFamily.PEXT)
+                best = min(best, time.perf_counter() - started)
+            sizes.append(float(size))
+            times.append(best)
+        assert pearson_correlation(sizes, times) > 0.95
+
+
+class TestRQ7WorstCase:
+    """RQ7: MSB-indexed containers break the synthetic families."""
+
+    def test_naive_degrades_stl_does_not(self, ssn_suite, ssn_keys):
+        results = {}
+        for name in ("Naive", "STL"):
+            table = LowMixingMap(ssn_suite[name], discard_bits=48)
+            for key in ssn_keys:
+                table.insert(key, None)
+            results[name] = table.bucket_collisions()
+        assert results["Naive"] > results["STL"] * 2
+
+    def test_pext_resists_better_than_naive(self, ssn_suite, ssn_keys):
+        results = {}
+        for name in ("Naive", "Pext"):
+            table = LowMixingMap(ssn_suite[name], discard_bits=48)
+            for key in ssn_keys:
+                table.insert(key, None)
+            results[name] = table.bucket_collisions()
+        assert results["Pext"] <= results["Naive"]
+
+
+class TestRQ8HashComplexity:
+    """RQ8 (appendix): hashing time is linear in key length."""
+
+    def test_linear_hash_time(self):
+        from repro.bench.metrics import pearson_correlation
+
+        sizes, times = [], []
+        for exponent in (4, 7, 10, 12):
+            size = 1 << exponent
+            synthesized = synthesize(f"[0-9]{{{size}}}", HashFamily.OFFXOR)
+            keys = [b"5" * size for _ in range(50)]
+            sizes.append(float(size))
+            times.append(
+                measure_h_time(synthesized.function, keys, repeats=3)
+            )
+        assert pearson_correlation(sizes, times) > 0.95
+
+
+class TestRQ9DataStructureImpact:
+    """RQ9 (appendix): Multi variants slower; hash ordering unchanged."""
+
+    def test_multi_variants_do_more_work_with_duplicates(self, ssn_suite):
+        """Figure 20's mechanism needs duplicate keys: with a small
+        spread, multi containers accumulate nodes (every insert
+        succeeds) so their chains — and erase/find costs — grow.  Wall
+        clock is scheduler-noisy in CI, so the *work* (accumulated
+        nodes, chained collisions) is asserted deterministically and
+        timing only loosely."""
+        results = {}
+        for container in ("unordered_set", "unordered_multiset"):
+            # Interweaved mode ends insert-heavy (P_i = 0.7), so the
+            # multiset's node accumulation is visible in the final state
+            # (batched mode erases everything at the end of the run).
+            cell = ExperimentSpec(
+                key_spec=KEY_TYPES["SSN"],
+                container_name=container,
+                distribution=Distribution.NORMAL,
+                spread=50,
+                mode=ExecutionMode.INTERWEAVED,
+                mix=ALLOWED_MIXES[0],
+            )
+            runs = measure_b_time(
+                ssn_suite["STL"], cell, samples=3, affectations=3000
+            )
+            results[container] = runs
+        multi = results["unordered_multiset"]
+        unique = results["unordered_set"]
+        # Deterministic mechanism: the multiset holds strictly more nodes
+        # and chains more.
+        assert all(
+            m.final_size > u.final_size for m, u in zip(multi, unique)
+        )
+        assert sum(m.bucket_collisions for m in multi) > sum(
+            u.bucket_collisions for u in unique
+        )
+        # Loose timing sanity: the extra work cannot make it much faster.
+        multi_time = min(run.elapsed_seconds for run in multi)
+        unique_time = min(run.elapsed_seconds for run in unique)
+        assert multi_time > unique_time * 0.7
+
+    def test_hash_ordering_stable_across_containers(self, ssn_suite):
+        orderings = []
+        for container in ("unordered_map", "unordered_multimap"):
+            cell = _cell("SSN", container=container)
+            times = {}
+            for name in ("OffXor", "STL"):
+                runs = measure_b_time(
+                    ssn_suite[name], cell, samples=2, affectations=1500
+                )
+                times[name] = min(run.elapsed_seconds for run in runs)
+            orderings.append(times["OffXor"] < times["STL"])
+        assert orderings[0] == orderings[1] == True  # noqa: E712
