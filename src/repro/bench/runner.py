@@ -13,11 +13,14 @@ Terminology follows Section 4.1:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.experiment import ExperimentSpec
 from repro.keygen.driver import AffectationResult, run_driver
+from repro.obs import capture_spans
+from repro.obs.report import span_breakdown
+from repro.obs.trace import span
 
 HashCallable = Callable[[bytes], int]
 
@@ -37,12 +40,16 @@ def measure_h_time(
         raise ValueError("H-Time needs at least one key")
     function = hash_function
     best = float("inf")
-    for _ in range(max(repeats, 1)):
-        started = time.perf_counter()
-        for key in keys:
-            function(key)
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
+    # The span wraps the repeat loop, never a single call: with tracing
+    # off this is one no-op context manager per measurement; with it on,
+    # the measured loop body is still untouched.
+    with span("bench.h_time", keys=len(keys), repeats=max(repeats, 1)):
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            for key in keys:
+                function(key)
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
     return best
 
 
@@ -59,21 +66,34 @@ def measure_b_time(
     driver runs would.
     """
     results = []
-    for sample in range(samples):
-        config = spec.driver_config(affectations=affectations, seed=sample)
-        results.append(run_driver(hash_function, config))
+    with span("bench.b_time", cell=spec.label(), samples=samples):
+        for sample in range(samples):
+            config = spec.driver_config(
+                affectations=affectations, seed=sample
+            )
+            with span("bench.sample", sample=sample):
+                results.append(run_driver(hash_function, config))
     return results
 
 
 @dataclass
 class ExperimentResult:
-    """Aggregated outcome of one (hash, cell) pair."""
+    """Aggregated outcome of one (hash, cell) pair.
+
+    ``span_breakdown`` is populated when the experiment ran with span
+    collection (see :func:`run_experiment`): per-span-name call counts
+    and total wall/CPU seconds, e.g. how much of the cell went to
+    ``bench.sample`` runs versus harness overhead.
+    """
 
     spec: ExperimentSpec
     hash_name: str
     b_times: List[float]
     bucket_collisions: List[int]
     true_collisions: List[int]
+    span_breakdown: Optional[Dict[str, Dict[str, float]]] = field(
+        default=None, compare=False
+    )
 
     @property
     def mean_b_time(self) -> float:
@@ -85,13 +105,32 @@ def run_experiment(
     spec: ExperimentSpec,
     samples: int = 3,
     affectations: int = 10_000,
+    collect_spans: bool = False,
 ) -> List[ExperimentResult]:
-    """Run one cell for every function in a suite."""
+    """Run one cell for every function in a suite.
+
+    Args:
+        collect_spans: when True, tracing is enabled around each
+            function's runs and the aggregated span breakdown is
+            attached to its :class:`ExperimentResult`.  Off by default;
+            the measured loops see no per-call events either way.
+    """
     results: List[ExperimentResult] = []
     for name, function in hash_functions.items():
-        runs = measure_b_time(
-            function, spec, samples=samples, affectations=affectations
-        )
+        breakdown: Optional[Dict[str, Dict[str, float]]] = None
+        if collect_spans:
+            with capture_spans() as sink:
+                runs = measure_b_time(
+                    function,
+                    spec,
+                    samples=samples,
+                    affectations=affectations,
+                )
+            breakdown = span_breakdown(sink.records())
+        else:
+            runs = measure_b_time(
+                function, spec, samples=samples, affectations=affectations
+            )
         results.append(
             ExperimentResult(
                 spec=spec,
@@ -99,6 +138,7 @@ def run_experiment(
                 b_times=[run.elapsed_seconds for run in runs],
                 bucket_collisions=[run.bucket_collisions for run in runs],
                 true_collisions=[run.true_collisions for run in runs],
+                span_breakdown=breakdown,
             )
         )
     return results

@@ -7,6 +7,8 @@ Subcommands:
 - ``sepe demo`` — synthesize for a paper key format and race the result
   against the STL baseline on a small workload.
 - ``sepe bench`` — run one of the paper's tables at reduced scale.
+- ``sepe obs`` — trace a synthesis run; print the span tree, dispatcher
+  routing stats, and (optionally) a metrics snapshot / JSON-lines export.
 """
 
 from __future__ import annotations
@@ -113,6 +115,105 @@ def _run_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    """Trace one synthesis run; print the span tree and metrics."""
+    from repro.core.dispatch import FormatDispatcher
+    from repro.core.plan import HashFamily
+    from repro.core.synthesis import synthesize
+    from repro.errors import SepeError
+    from repro.obs import (
+        JsonLinesSink,
+        RingBufferSink,
+        get_registry,
+        get_tracer,
+        render_metrics,
+        render_span_tree,
+    )
+
+    try:
+        family = HashFamily(args.family.lower())
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    exporter = None
+    if args.export:
+        try:
+            exporter = JsonLinesSink(args.export)
+        except OSError as error:
+            print(f"error: cannot open {args.export}: {error}", file=sys.stderr)
+            return 1
+    tracer = get_tracer()
+    ring = RingBufferSink()
+    tracer.add_sink(ring)
+    if exporter is not None:
+        tracer.add_sink(exporter)
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        dispatcher = FormatDispatcher()
+        synthesized = dispatcher.register(args.regex, family=family)
+        pattern = synthesized.pattern
+        if pattern.is_fixed_length:
+            choices = [
+                bp.possible_bytes() for bp in pattern.byte_patterns()
+            ]
+            samples = [
+                bytes(
+                    possible[(i * (j + 1)) % len(possible)]
+                    for j, possible in enumerate(choices)
+                )
+                for i in range(max(args.routes, 1))
+            ]
+            for sample in samples:
+                dispatcher(sample)
+            dispatcher(b"?" * (pattern.body_length + 1))  # fallback demo
+            if args.metrics:
+                from repro import obs
+                from repro.containers.unordered_map import UnorderedMap
+
+                obs.enable_container_telemetry()
+                try:
+                    table = UnorderedMap(synthesized.function)
+                    for sample in samples:
+                        table.insert(sample, None)
+                finally:
+                    obs.disable_container_telemetry()
+    except SepeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        tracer.remove_sink(ring)
+        if exporter is not None:
+            tracer.remove_sink(exporter)
+            exporter.close()
+        if not was_enabled:
+            tracer.disable()
+
+    print(f"span tree for synthesize({args.regex!r}, {family.value}):")
+    print(render_span_tree(ring.records()))
+    print()
+    print("dispatcher stats:")
+    stats = dispatcher.stats()
+    for entry in stats["formats"]:
+        length = entry["length"] if entry["length"] is not None else "var"
+        print(
+            f"  {entry['regex']:<40s} len {length}  "
+            f"routes {entry['routes']}"
+        )
+    print(
+        f"  fallback routes: {stats['fallback_routes']}  "
+        f"(total {stats['total_routes']})"
+    )
+    if args.metrics:
+        print()
+        print("process metrics:")
+        print(render_metrics(get_registry().snapshot()))
+    if args.export:
+        print()
+        print(f"wrote {len(ring)} span events to {args.export}")
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
@@ -169,6 +270,33 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--final-mix", action="store_true")
     check.add_argument("--sample", type=int, default=2000)
 
+    obs = subparsers.add_parser(
+        "obs", help="trace a synthesis run; report spans and metrics"
+    )
+    obs.add_argument(
+        "regex",
+        nargs="?",
+        default=r"\d{3}-\d{2}-\d{4}",
+        help="format to synthesize under tracing (default: SSN)",
+    )
+    obs.add_argument("--family", default="pext")
+    obs.add_argument(
+        "--export",
+        metavar="FILE",
+        help="also write span events to FILE as JSON lines",
+    )
+    obs.add_argument(
+        "--routes",
+        type=int,
+        default=5,
+        help="conforming keys to route through the dispatcher demo",
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the process-wide metrics registry snapshot",
+    )
+
     bench = subparsers.add_parser("bench", help="run a paper table")
     bench.add_argument("table", type=int, choices=[1, 2, 3])
     bench.add_argument("--key-types", nargs="*", default=["SSN", "MAC"])
@@ -207,6 +335,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_explain(args)
     if args.command == "validate":
         return _run_validate(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-full":

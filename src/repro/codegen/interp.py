@@ -17,6 +17,7 @@ from typing import Dict
 from repro.codegen.ir import AES_ROUND_KEY, IRFunction
 from repro.isa.aes import aesenc
 from repro.isa.bits import MASK64, pext, rotl64
+from repro.obs.trace import span
 
 
 def interpret(func: IRFunction, key: bytes) -> int:
@@ -25,6 +26,11 @@ def interpret(func: IRFunction, key: bytes) -> int:
     Raises:
         ValueError: on an unknown opcode or a function without ``ret``.
     """
+    with span("codegen.interp", function=func.name):
+        return _interpret(func, key)
+
+
+def _interpret(func: IRFunction, key: bytes) -> int:
     registers: Dict[str, int] = {}
 
     def get(name) -> int:

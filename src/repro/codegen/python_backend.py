@@ -31,6 +31,7 @@ from repro.codegen.ir import AES_ROUND_KEY, IRFunction, build_ir, optimize
 from repro.core.plan import SynthesisPlan
 from repro.isa.aes import _TTABLES, aesenc_fast
 from repro.isa.bits import mask_to_runs
+from repro.obs.trace import span
 
 MASK64 = (1 << 64) - 1
 
@@ -95,6 +96,13 @@ def emit_python(func: IRFunction) -> str:
     keyword defaults so lookups are local, the standard CPython trick for
     hot functions.
     """
+    with span(
+        "codegen.python.emit", function=func.name, instrs=len(func.instrs)
+    ):
+        return _emit_python_lines(func)
+
+
+def _emit_python_lines(func: IRFunction) -> str:
     lines: List[str] = []
     lines.append(f"def {func.name}(key, _ifb=int.from_bytes, _aes=_aesenc):")
     doc = f"Synthesized {func.plan.family.value} hash"

@@ -13,11 +13,60 @@ B-Time) is governed by the same policy as the paper's C++: chaining,
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.containers.hashing_policy import PrimeRehashPolicy
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 HashCallable = Callable[[bytes], int]
+
+
+class ContainerTelemetry:
+    """Online insert/chain/resize telemetry for one table.
+
+    Created only when container telemetry is enabled (globally via
+    :func:`repro.obs.enable_container_telemetry`, or per table with the
+    ``telemetry`` constructor argument), so the disabled hot path costs
+    one ``is not None`` check per insert and nothing per lookup.
+
+    Counter and histogram instruments live in a metrics registry (the
+    process-wide one by default), so several tables aggregate; the
+    resize event list is per-table.
+    """
+
+    __slots__ = ("inserts", "resizes", "chain_on_insert", "resize_events")
+
+    CHAIN_BUCKETS = (0, 1, 2, 3, 4, 8, 16, 32)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        registry = registry if registry is not None else get_registry()
+        self.inserts = registry.counter("containers.inserts")
+        self.resizes = registry.counter("containers.resizes")
+        self.chain_on_insert = registry.histogram(
+            "containers.chain_length_on_insert", buckets=self.CHAIN_BUCKETS
+        )
+        self.resize_events: List[Tuple[int, int, int]] = []
+
+    def record_insert(self, chain_length: int) -> None:
+        """One insert landed on a chain of ``chain_length`` prior nodes."""
+        self.inserts.inc()
+        self.chain_on_insert.observe(chain_length)
+
+    def record_resize(
+        self, old_buckets: int, new_buckets: int, elements: int
+    ) -> None:
+        """The table grew from ``old_buckets`` to ``new_buckets``."""
+        self.resizes.inc()
+        self.resize_events.append((old_buckets, new_buckets, elements))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of this table's telemetry."""
+        return {
+            "inserts": self.inserts.value,
+            "resizes": self.resizes.value,
+            "chain_on_insert": self.chain_on_insert.snapshot(),
+            "resize_events": list(self.resize_events),
+        }
 
 
 class HashTableBase:
@@ -27,6 +76,10 @@ class HashTableBase:
         hash_function: the hash under test, ``bytes -> int``.
         policy: bucket growth policy (defaults to libstdc++'s).
         allow_duplicates: multimap/multiset behaviour when True.
+        telemetry: a :class:`ContainerTelemetry` to record into; when
+            None, one is attached automatically iff
+            :func:`repro.obs.container_telemetry_enabled` — otherwise
+            the table runs the zero-overhead no-op path.
     """
 
     __slots__ = (
@@ -35,6 +88,7 @@ class HashTableBase:
         "_buckets",
         "_size",
         "_allow_duplicates",
+        "_telemetry",
     )
 
     def __init__(
@@ -42,6 +96,7 @@ class HashTableBase:
         hash_function: HashCallable,
         policy: Optional[PrimeRehashPolicy] = None,
         allow_duplicates: bool = False,
+        telemetry: Optional[ContainerTelemetry] = None,
     ):
         self._hash = hash_function
         self._policy = policy or PrimeRehashPolicy()
@@ -50,6 +105,12 @@ class HashTableBase:
         ]
         self._size = 0
         self._allow_duplicates = allow_duplicates
+        if telemetry is None:
+            from repro.obs import container_telemetry_enabled
+
+            if container_telemetry_enabled():
+                telemetry = ContainerTelemetry()
+        self._telemetry = telemetry
 
     # -- bucket mechanics ------------------------------------------------
 
@@ -59,14 +120,19 @@ class HashTableBase:
 
     def _maybe_rehash(self) -> None:
         if self._policy.needs_rehash(len(self._buckets), self._size):
+            old_count = len(self._buckets)
             new_count = self._policy.next_bucket_count(
-                len(self._buckets), self._size
+                old_count, self._size
             )
             old_buckets = self._buckets
             self._buckets = [[] for _ in range(new_count)]
             for bucket in old_buckets:
                 for node in bucket:
                     self._buckets[self._bucket_index(node[0])].append(node)
+            if self._telemetry is not None:
+                self._telemetry.record_resize(
+                    old_count, new_count, self._size
+                )
 
     # -- core operations -------------------------------------------------
 
@@ -80,10 +146,11 @@ class HashTableBase:
                     return False
         self._maybe_rehash()
         # The bucket list may have been reallocated by the rehash.
-        self._buckets[self._bucket_index(hash_value)].append(
-            (hash_value, key, value)
-        )
+        target = self._buckets[self._bucket_index(hash_value)]
+        target.append((hash_value, key, value))
         self._size += 1
+        if self._telemetry is not None:
+            self._telemetry.record_insert(len(target) - 1)
         return True
 
     def _find(self, key: bytes) -> Optional[Tuple[int, bytes, Any]]:
@@ -136,6 +203,11 @@ class HashTableBase:
 
     def __contains__(self, key: bytes) -> bool:
         return self._find(key) is not None
+
+    @property
+    def telemetry(self) -> Optional[ContainerTelemetry]:
+        """The attached telemetry recorder, or None when disabled."""
+        return self._telemetry
 
     @property
     def bucket_count(self) -> int:

@@ -40,9 +40,15 @@ def expected_poisson_histogram(
     With ``n`` balls in ``m`` bins, the occupancy of one bin is
     approximately Poisson with λ = n/m; entry ``k`` of the result is
     ``m * P[Poisson(λ) = k]`` for k in ``0..max_length``.
+
+    ``element_count`` of 0 is well-defined (every bucket is expected
+    empty); a non-positive ``bucket_count`` leaves λ undefined and
+    raises.
     """
     if bucket_count <= 0:
         raise ValueError("bucket_count must be positive")
+    if element_count < 0:
+        raise ValueError("element_count cannot be negative")
     lam = element_count / bucket_count
     expected = []
     for length in range(max_length + 1):
@@ -57,7 +63,12 @@ def poisson_distance(table: HashTableBase) -> float:
     Near 0 means "indistinguishable from a uniform random hash" for this
     container; large values mean clustering.  Lengths with expected
     count below 1 are pooled into the tail to keep the statistic stable.
+
+    Degenerate tables — zero buckets or zero elements — are trivially
+    Poisson and return 0.0 rather than dividing by zero.
     """
+    if table.bucket_count == 0 or len(table) == 0:
+        return 0.0
     histogram = chain_length_histogram(table)
     max_length = max(histogram) if histogram else 0
     expected = expected_poisson_histogram(
@@ -88,12 +99,17 @@ def max_chain_length(table: HashTableBase) -> int:
 
 
 def distribution_report(table: HashTableBase) -> Dict[str, object]:
-    """One-call summary of a container's bucket health."""
+    """One-call summary of a container's bucket health.
+
+    Safe on degenerate tables: a zero-bucket table reports a load
+    factor of 0.0 instead of dividing by zero.
+    """
     histogram = chain_length_histogram(table)
+    buckets = table.bucket_count
     return {
         "elements": len(table),
-        "buckets": table.bucket_count,
-        "load_factor": table.load_factor,
+        "buckets": buckets,
+        "load_factor": len(table) / buckets if buckets else 0.0,
         "bucket_collisions": table.bucket_collisions(),
         "max_chain": max_chain_length(table),
         "empty_buckets": histogram.get(0, 0),

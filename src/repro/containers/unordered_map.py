@@ -20,8 +20,13 @@ class UnorderedMap(HashTableBase):
     1
     """
 
-    def __init__(self, hash_function, policy=None):
-        super().__init__(hash_function, policy, allow_duplicates=False)
+    def __init__(self, hash_function, policy=None, telemetry=None):
+        super().__init__(
+            hash_function,
+            policy,
+            allow_duplicates=False,
+            telemetry=telemetry,
+        )
 
     def insert(self, key: bytes, value: Any) -> bool:
         """Insert; returns False if the key already exists (STL insert)."""

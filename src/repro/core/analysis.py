@@ -22,6 +22,7 @@ from typing import List, Tuple
 from repro.core.pattern import KeyPattern
 from repro.core.plan import SkipTable
 from repro.errors import SynthesisError
+from repro.obs.trace import span
 
 WORD_BYTES = 8
 """The machine word size all generated functions load (64-bit words)."""
@@ -143,12 +144,14 @@ def analyze_fixed_loads(pattern: KeyPattern) -> List[int]:
     """
     if not pattern.is_fixed_length:
         raise SynthesisError("analyze_fixed_loads requires a fixed length")
-    regions = coalesce_regions(pattern)
-    if not regions:
-        # Degenerate format: every key is identical.  Hash the whole key
-        # anyway so unequal (non-conforming) inputs still disperse.
-        return naive_load_offsets(pattern.body_length)
-    return place_loads(regions, pattern.body_length)
+    with span("analysis.fixed_loads", body_length=pattern.body_length):
+        regions = coalesce_regions(pattern)
+        if not regions:
+            # Degenerate format: every key is identical.  Hash the whole
+            # key anyway so unequal (non-conforming) inputs still
+            # disperse.
+            return naive_load_offsets(pattern.body_length)
+        return place_loads(regions, pattern.body_length)
 
 
 def analyze_variable_loads(pattern: KeyPattern) -> Tuple[SkipTable, List[int]]:
@@ -159,8 +162,9 @@ def analyze_variable_loads(pattern: KeyPattern) -> Tuple[SkipTable, List[int]]:
         raise SynthesisError(
             "variable-length synthesis requires a body of at least 8 bytes"
         )
-    regions = coalesce_regions(pattern)
-    if not regions:
-        regions = [(0, pattern.body_length)]
-    offsets = place_loads(regions, pattern.body_length)
-    return build_skip_table(offsets), offsets
+    with span("analysis.variable_loads", body_length=pattern.body_length):
+        regions = coalesce_regions(pattern)
+        if not regions:
+            regions = [(0, pattern.body_length)]
+        offsets = place_loads(regions, pattern.body_length)
+        return build_skip_table(offsets), offsets

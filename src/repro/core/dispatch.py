@@ -24,14 +24,24 @@ from repro.core.plan import HashFamily
 from repro.core.synthesis import SynthesizedHash, synthesize
 from repro.errors import SynthesisError
 from repro.hashes.murmur_stl import stl_hash_bytes
+from repro.obs.metrics import Counter, MetricsRegistry
 
 HashCallable = Callable[[bytes], int]
 
 FormatSource = Union[str, KeyPattern, SynthesizedHash]
 
+_Entry = Tuple[KeyPattern, HashCallable, Counter]
+
 
 class FormatDispatcher:
     """Route keys to format-specialized hashes, falling back when unsure.
+
+    Every routing decision is counted: each registered format owns a
+    route counter and misses land on a fallback counter, all held in a
+    :class:`repro.obs.metrics.MetricsRegistry` (a private one by
+    default, so two dispatchers never share counts).  A counter bump is
+    one integer add, so the fast path stays one dict probe plus one add.
+    :meth:`stats` snapshots the traffic split.
 
     Args:
         fallback: general-purpose hash for unrecognized keys (defaults to
@@ -41,17 +51,23 @@ class FormatDispatcher:
             to the fallback.  Off by default — the paper's functions also
             assume conforming input (footnote 3's "assume you do not need
             to assert key format").
+        registry: metrics registry holding the route counters; pass a
+            shared registry to aggregate several dispatchers.
     """
 
     def __init__(
         self,
         fallback: HashCallable = stl_hash_bytes,
         verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self._fallback = fallback
         self._verify = verify
-        self._by_length: Dict[int, List[Tuple[KeyPattern, HashCallable]]] = {}
-        self._variable: List[Tuple[KeyPattern, HashCallable]] = []
+        self._by_length: Dict[int, List[_Entry]] = {}
+        self._variable: List[_Entry] = []
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._fallback_counter = self._registry.counter("dispatch.fallback")
+        self._labels: List[str] = []
 
     # -- registration --------------------------------------------------
 
@@ -74,7 +90,10 @@ class FormatDispatcher:
         else:
             synthesized = synthesize(source, family)
         pattern = synthesized.pattern
-        entry = (pattern, synthesized.function)
+        label = synthesized.plan.pattern_regex or f"format-{len(self._labels)}"
+        counter = self._registry.counter(f"dispatch.route.{label}")
+        self._labels.append(label)
+        entry = (pattern, synthesized.function, counter)
         if pattern.is_fixed_length:
             self._by_length.setdefault(pattern.body_length, []).append(entry)
         else:
@@ -95,13 +114,18 @@ class FormatDispatcher:
         candidates = self._by_length.get(len(key))
         if candidates:
             if len(candidates) == 1 and not self._verify:
-                return candidates[0][1]
-            for pattern, function in candidates:
+                entry = candidates[0]
+                entry[2].inc()
+                return entry[1]
+            for pattern, function, counter in candidates:
                 if pattern.matches(key):
+                    counter.inc()
                     return function
-        for pattern, function in self._variable:
+        for pattern, function, counter in self._variable:
             if pattern.matches(key):
+                counter.inc()
                 return function
+        self._fallback_counter.inc()
         return self._fallback
 
     def __call__(self, key: bytes) -> int:
@@ -115,14 +139,64 @@ class FormatDispatcher:
 
         lines = []
         for length in sorted(self._by_length):
-            for pattern, _function in self._by_length[length]:
+            for pattern, _function, _counter in self._by_length[length]:
                 lines.append(f"len {length:4d}: {render_regex(pattern)}")
-        for pattern, _function in self._variable:
+        for pattern, _function, _counter in self._variable:
             lines.append(
                 f"len {pattern.min_length}+  : {render_regex(pattern)}"
             )
         lines.append("otherwise  : fallback")
         return lines
+
+    def stats(self) -> Dict[str, object]:
+        """Per-format registration and route counts, plus fallback traffic.
+
+        Returns a plain dict::
+
+            {
+              "registered": 3,
+              "total_routes": 120,
+              "fallback_routes": 7,
+              "formats": [
+                {"regex": ..., "length": 11, "routes": 64},
+                {"regex": ..., "length": None, "routes": 49},
+              ],
+            }
+
+        ``length`` is None for variable-length formats.  Counts include
+        every routing decision, whether made via :meth:`route` directly
+        or through ``__call__``.
+        """
+        from repro.core.regex_render import render_regex
+
+        formats: List[Dict[str, object]] = []
+        total = 0
+        for length in sorted(self._by_length):
+            for pattern, _function, counter in self._by_length[length]:
+                formats.append(
+                    {
+                        "regex": render_regex(pattern),
+                        "length": length,
+                        "routes": counter.value,
+                    }
+                )
+                total += counter.value
+        for pattern, _function, counter in self._variable:
+            formats.append(
+                {
+                    "regex": render_regex(pattern),
+                    "length": None,
+                    "routes": counter.value,
+                }
+            )
+            total += counter.value
+        fallback_routes = self._fallback_counter.value
+        return {
+            "registered": self.format_count,
+            "total_routes": total + fallback_routes,
+            "fallback_routes": fallback_routes,
+            "formats": formats,
+        }
 
 
 def build_dispatcher(

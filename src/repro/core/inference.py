@@ -20,6 +20,7 @@ from typing import Iterable, List, Sequence, Union
 from repro.core.pattern import KeyPattern
 from repro.core.quads import join_keys
 from repro.errors import EmptyKeySetError
+from repro.obs.trace import span
 
 KeyLike = Union[str, bytes]
 
@@ -53,7 +54,8 @@ def infer_pattern(keys: Iterable[KeyLike]) -> KeyPattern:
     key_bytes: List[bytes] = [_as_bytes(key) for key in keys]
     if not key_bytes:
         raise EmptyKeySetError("cannot infer a pattern from zero examples")
-    joined = join_keys(key_bytes)
+    with span("inference.join", keys=len(key_bytes)):
+        joined = join_keys(key_bytes)
     lengths = {len(key) for key in key_bytes}
     return KeyPattern(
         quads=tuple(joined),

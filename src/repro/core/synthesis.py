@@ -50,6 +50,7 @@ from repro.core.plan import (
 from repro.core.regex_expand import pattern_from_regex
 from repro.core.regex_render import render_regex
 from repro.errors import SynthesisError
+from repro.obs.trace import span
 
 FormatSource = Union[str, KeyPattern]
 
@@ -118,7 +119,8 @@ def _resolve_pattern(source: FormatSource) -> KeyPattern:
     if isinstance(source, KeyPattern):
         return source
     if isinstance(source, str):
-        return pattern_from_regex(source)
+        with span("synthesis.resolve_pattern", regex=source):
+            return pattern_from_regex(source)
     raise TypeError(
         f"expected a regex string or KeyPattern, got {type(source).__name__}"
     )
@@ -262,8 +264,11 @@ def build_plan(pattern: KeyPattern, family: HashFamily) -> SynthesisPlan:
             f"key body of {pattern.body_length} bytes is below one machine "
             "word; SEPE does not specialize such formats by default"
         )
-    regex = render_regex(pattern)
-    return _PLAN_BUILDERS[family](pattern, regex)
+    with span("synthesis.plan", family=family.value) as plan_span:
+        regex = render_regex(pattern)
+        plan = _PLAN_BUILDERS[family](pattern, regex)
+        plan_span.annotate("loads", len(plan.loads))
+        return plan
 
 
 def synthesize(
@@ -291,14 +296,17 @@ def synthesize(
     True
     """
     started = time.perf_counter()
-    pattern = _resolve_pattern(source)
-    plan = build_plan(pattern, family)
-    if final_mix:
-        plan = replace(plan, final_mix=True)
-    function_name = name or f"sepe_{family.value}_hash"
-    ir = optimize(build_ir(plan, name=function_name))
-    python_source = emit_python(ir)
-    compiled = compile_source(python_source, function_name)
+    with span("synthesize", family=family.value):
+        pattern = _resolve_pattern(source)
+        plan = build_plan(pattern, family)
+        if final_mix:
+            plan = replace(plan, final_mix=True)
+        function_name = name or f"sepe_{family.value}_hash"
+        with span("codegen.ir"):
+            ir = optimize(build_ir(plan, name=function_name))
+        python_source = emit_python(ir)
+        with span("codegen.python.compile", function=function_name):
+            compiled = compile_source(python_source, function_name)
     elapsed = time.perf_counter() - started
     return SynthesizedHash(
         family=family,
@@ -317,7 +325,8 @@ def synthesize_from_keys(
     name: Optional[str] = None,
 ) -> SynthesizedHash:
     """Synthesize from example keys (the ``keybuilder`` path, Figure 5a)."""
-    return synthesize(infer_pattern(keys), family=family, name=name)
+    with span("synthesize_from_keys", family=family.value):
+        return synthesize(infer_pattern(keys), family=family, name=name)
 
 
 def synthesize_all_families(
@@ -370,9 +379,12 @@ def synthesize_short_key(
         short_key=True,
     )
     function_name = f"sepe_{family.value}_short_hash"
-    ir = optimize(build_ir(plan, name=function_name))
-    python_source = emit_python(ir)
-    compiled = compile_source(python_source, function_name)
+    with span("synthesize.short_key", family=family.value):
+        with span("codegen.ir"):
+            ir = optimize(build_ir(plan, name=function_name))
+        python_source = emit_python(ir)
+        with span("codegen.python.compile", function=function_name):
+            compiled = compile_source(python_source, function_name)
     elapsed = time.perf_counter() - started
     return SynthesizedHash(
         family=family,

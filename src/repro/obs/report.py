@@ -1,0 +1,113 @@
+"""Rendering and aggregation over captured spans and metric snapshots.
+
+These helpers turn raw :class:`~repro.obs.trace.SpanRecord` streams into
+the two consumable shapes:
+
+- :func:`render_span_tree` — the indented tree ``sepe obs`` prints;
+- :func:`span_breakdown` — per-stage totals attached to bench results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["render_span_tree", "span_breakdown", "render_metrics"]
+
+
+def _children_by_parent(
+    records: Sequence[SpanRecord],
+) -> Dict[Any, List[SpanRecord]]:
+    children: Dict[Any, List[SpanRecord]] = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.started)
+    return children
+
+
+def render_span_tree(records: Sequence[SpanRecord]) -> str:
+    """Render spans as an indented tree with wall/CPU timings.
+
+    Spans whose parent is absent from ``records`` (e.g. a ring buffer
+    that dropped old events) are treated as roots rather than lost.
+    """
+    if not records:
+        return "(no spans recorded)"
+    known_ids = {record.span_id for record in records}
+    roots = [
+        record
+        for record in records
+        if record.parent_id is None or record.parent_id not in known_ids
+    ]
+    roots.sort(key=lambda r: r.started)
+    children = _children_by_parent(records)
+    lines: List[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        attrs = ""
+        if record.attributes:
+            rendered = ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(record.attributes.items())
+            )
+            attrs = f"  [{rendered}]"
+        lines.append(
+            f"{'  ' * depth}{record.name:<{max(1, 40 - 2 * depth)}s} "
+            f"wall {record.wall_seconds * 1000:9.3f} ms   "
+            f"cpu {record.cpu_seconds * 1000:9.3f} ms{attrs}"
+        )
+        for child in children.get(record.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def span_breakdown(records: Iterable[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: call count and total wall/CPU seconds."""
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        entry = breakdown.setdefault(
+            record.name, {"calls": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+        )
+        entry["calls"] += 1
+        entry["wall_seconds"] += record.wall_seconds
+        entry["cpu_seconds"] += record.cpu_seconds
+    return breakdown
+
+
+def render_metrics(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as readable lines."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<44s} {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<44s} {gauges[name]}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            data = histograms[name]
+            lines.append(
+                f"  {name:<44s} count={data['count']} "
+                f"mean={data['mean']:.3f} min={data['min']} "
+                f"max={data['max']}"
+            )
+            bounds = [str(bound) for bound in data["buckets"]] + ["+inf"]
+            pairs = ", ".join(
+                f"<={bound}: {count}"
+                for bound, count in zip(bounds, data["counts"])
+            )
+            lines.append(f"    {pairs}")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

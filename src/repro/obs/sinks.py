@@ -1,0 +1,112 @@
+"""Span sinks: where trace events go.
+
+Three built-ins cover the intended uses:
+
+- :class:`RingBufferSink` — bounded in-memory buffer, the default for
+  programmatic capture (CLI report, bench span breakdowns, tests).
+- :class:`JsonLinesSink` — one JSON object per line, the stable export
+  format (each line round-trips through ``SpanRecord.from_dict``).
+- :class:`LogSink` — human-readable lines on a text stream, for
+  watching a run live.
+
+A sink is anything with ``emit(record: SpanRecord) -> None``; custom
+sinks plug into ``Tracer.add_sink`` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["RingBufferSink", "JsonLinesSink", "LogSink", "read_jsonl"]
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` spans in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, record: SpanRecord) -> None:
+        self._buffer.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        """A snapshot of the buffered spans, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records())
+
+
+class JsonLinesSink:
+    """Append spans to a file (or stream) as JSON lines.
+
+    Args:
+        target: a path to open for writing, or an already-open text
+            stream (which the caller then owns — ``close`` leaves it).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, record: SpanRecord) -> None:
+        self._stream.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> List[SpanRecord]:
+    """Load spans back from a :class:`JsonLinesSink` file."""
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+class LogSink:
+    """Write one indented human-readable line per span."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, record: SpanRecord) -> None:
+        indent = "  " * record.depth
+        attrs = ""
+        if record.attributes:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in record.attributes.items()
+            )
+            attrs = f"  [{rendered}]"
+        self._stream.write(
+            f"[trace] {indent}{record.name}  "
+            f"wall={record.wall_seconds * 1000:.3f}ms  "
+            f"cpu={record.cpu_seconds * 1000:.3f}ms{attrs}\n"
+        )

@@ -1,0 +1,273 @@
+"""Zero-dependency tracing: context-manager spans over pluggable sinks.
+
+The synthesis pipeline (inference → analysis → plan → codegen →
+compile) and the benchmark harness wrap their stages in :func:`span`.
+When tracing is disabled — the default — ``span()`` returns a shared
+no-op singleton, so instrumented code pays one attribute check and no
+allocations; hot loops (compiled hash functions, container probes) are
+never instrumented per call in the first place.
+
+When tracing is enabled, each span records wall time
+(``time.perf_counter``), per-thread CPU time (``time.thread_time``),
+its depth, and its parent, and emits a :class:`SpanRecord` to every
+registered sink on exit (children therefore emit before their parents).
+Span stacks are thread-local: concurrent threads produce independent,
+correctly-nested trees that share one sink stream.
+
+Typical usage::
+
+    from repro.obs import capture_spans
+    with capture_spans() as sink:
+        synthesize(r"\\d{3}-\\d{2}-\\d{4}")
+    print(render_span_tree(sink.records()))
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as delivered to sinks.
+
+    Attributes:
+        span_id: unique (per-tracer) id of this span.
+        parent_id: id of the enclosing span, or None for a root.
+        name: span name, dotted by convention (``"synthesis.plan"``).
+        depth: nesting depth at entry (0 for a root span).
+        started: ``time.perf_counter()`` at entry, for ordering.
+        wall_seconds: wall-clock duration.
+        cpu_seconds: per-thread CPU time consumed inside the span.
+        thread: name of the thread that ran the span.
+        attributes: free-form key/value annotations.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    started: float
+    wall_seconds: float
+    cpu_seconds: float
+    thread: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view (the JSON-lines wire format)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "started": self.started,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            name=data["name"],
+            depth=data["depth"],
+            started=data["started"],
+            wall_seconds=data["wall_seconds"],
+            cpu_seconds=data["cpu_seconds"],
+            thread=data["thread"],
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class _NoopSpan:
+    """The span handed out while tracing is disabled: does nothing.
+
+    A single module-level instance is shared by every call, so the
+    disabled path allocates nothing per span.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Ignored; annotations only exist on live spans."""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """An active span; created only when the owning tracer is enabled."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "depth",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach a key/value to the span while it is open."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        parent = stack[-1] if stack else None
+        self.span_id = self._tracer._next_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._start_cpu = time.thread_time()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = time.perf_counter() - self._start_wall
+        cpu = time.thread_time() - self._start_cpu
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._emit(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                depth=self.depth,
+                started=self._start_wall,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                thread=threading.current_thread().name,
+                attributes=self.attributes,
+            )
+        )
+
+
+class Tracer:
+    """Owns the enabled flag, the sink list, and the thread-local stack.
+
+    Most code uses the module-level default tracer through :func:`span`;
+    tests may build private tracers to avoid global state.
+    """
+
+    def __init__(self, sinks: Optional[List[Any]] = None, enabled: bool = False):
+        self._sinks: List[Any] = list(sinks or [])
+        self._enabled = enabled
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- configuration -------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def add_sink(self, sink: Any) -> None:
+        """Register a sink (any object with ``emit(SpanRecord)``)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        """Unregister a sink; missing sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    # -- span creation -------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A context-manager span, or the no-op singleton when disabled."""
+        if not self._enabled:
+            return NOOP_SPAN
+        return _LiveSpan(self, name, attributes)
+
+    # -- internals -----------------------------------------------------
+
+    def _stack(self) -> List[_LiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _emit(self, record: SpanRecord) -> None:
+        for sink in self._sinks:
+            sink.emit(record)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the default tracer (no-op singleton when disabled)."""
+    tracer = _TRACER
+    if not tracer._enabled:
+        return NOOP_SPAN
+    return _LiveSpan(tracer, name, attributes)
+
+
+def tracing_enabled() -> bool:
+    """Whether the default tracer currently records spans."""
+    return _TRACER.enabled
+
+
+def enable_tracing(*sinks: Any) -> Tracer:
+    """Enable the default tracer, optionally registering sinks first."""
+    for sink in sinks:
+        _TRACER.add_sink(sink)
+    _TRACER.enable()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Disable the default tracer (sinks stay registered)."""
+    _TRACER.disable()

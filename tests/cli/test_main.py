@@ -82,3 +82,52 @@ class TestBench:
             ["bench", "2", "--key-types", "SSN", "--keys", "3000"]
         ) == 0
         assert "Table 2" in capsys.readouterr().out
+
+
+class TestObs:
+    def test_obs_prints_span_tree_and_exports_jsonl(self, capsys, tmp_path):
+        import json
+
+        export = str(tmp_path / "spans.jsonl")
+        assert run(
+            ["obs", r"\d{3}-\d{2}-\d{4}", "--export", export, "--routes", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        # The acceptance bar: a span tree with >= 4 pipeline stages.
+        for stage in (
+            "synthesize",
+            "synthesis.plan",
+            "codegen.ir",
+            "codegen.python.compile",
+        ):
+            assert stage in out
+        assert "dispatcher stats" in out
+        assert "routes 3" in out
+        with open(export) as handle:
+            events = [json.loads(line) for line in handle if line.strip()]
+        assert len(events) >= 4
+        assert {event["name"] for event in events} >= {
+            "synthesize",
+            "synthesis.plan",
+        }
+        assert all("wall_seconds" in event for event in events)
+
+    def test_obs_metrics_flag(self, capsys):
+        assert run(["obs", "--metrics", "--routes", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "process metrics" in out
+        assert "containers.inserts" in out
+
+    def test_obs_bad_family(self, capsys):
+        assert run(["obs", "--family", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_obs_bad_regex(self, capsys):
+        assert run(["obs", "[oops"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_obs_leaves_global_tracing_disabled(self, capsys):
+        from repro.obs import tracing_enabled
+
+        assert run(["obs"]) == 0
+        assert not tracing_enabled()

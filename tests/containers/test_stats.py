@@ -51,6 +51,10 @@ class TestPoissonExpectation:
         with pytest.raises(ValueError):
             expected_poisson_histogram(10, 0, 2)
 
+    def test_negative_element_count_rejected(self):
+        with pytest.raises(ValueError):
+            expected_poisson_histogram(-1, 13, 2)
+
 
 class TestPoissonDistance:
     def test_good_hash_near_poisson(self):
@@ -64,6 +68,49 @@ class TestPoissonDistance:
         table = filled_table(lambda key: (key[-1] % 4), count=500)
         good = filled_table(stl_hash_bytes, count=500)
         assert poisson_distance(table) > 10 * poisson_distance(good)
+
+
+class TestDegenerateTables:
+    """Regression: empty/zero-bucket tables must not divide by zero."""
+
+    def test_empty_table_distance_is_zero(self):
+        table = UnorderedSet(stl_hash_bytes)
+        assert poisson_distance(table) == 0.0
+
+    def test_zero_bucket_table_distance_is_zero(self):
+        from repro.containers.base import HashTableBase
+        from repro.containers.hashing_policy import PrimeRehashPolicy
+
+        class ZeroBucketPolicy(PrimeRehashPolicy):
+            def initial_bucket_count(self):
+                return 0
+
+        table = HashTableBase(stl_hash_bytes, policy=ZeroBucketPolicy())
+        assert table.bucket_count == 0
+        assert poisson_distance(table) == 0.0
+        assert max_chain_length(table) == 0
+
+    def test_zero_bucket_report_does_not_crash(self):
+        from repro.containers.base import HashTableBase
+        from repro.containers.hashing_policy import PrimeRehashPolicy
+
+        class ZeroBucketPolicy(PrimeRehashPolicy):
+            def initial_bucket_count(self):
+                return 0
+
+        report = distribution_report(
+            HashTableBase(stl_hash_bytes, policy=ZeroBucketPolicy())
+        )
+        assert report["elements"] == 0
+        assert report["buckets"] == 0
+        assert report["load_factor"] == 0.0
+        assert report["poisson_distance"] == 0.0
+
+    def test_empty_table_report(self):
+        report = distribution_report(UnorderedSet(stl_hash_bytes))
+        assert report["elements"] == 0
+        assert report["poisson_distance"] == 0.0
+        assert report["max_chain"] == 0
 
 
 class TestReport:

@@ -93,6 +93,69 @@ class TestVerification:
         assert dispatcher.route(b"123-45-6789") is not stl_hash_bytes
 
 
+class TestStats:
+    def test_counts_start_at_zero(self):
+        dispatcher = build_dispatcher([SSN, MAC])
+        stats = dispatcher.stats()
+        assert stats["registered"] == 2
+        assert stats["total_routes"] == 0
+        assert stats["fallback_routes"] == 0
+        assert len(stats["formats"]) == 2
+        assert all(entry["routes"] == 0 for entry in stats["formats"])
+
+    def test_route_traffic_split_by_format(self):
+        dispatcher = build_dispatcher([SSN, MAC])
+        for _ in range(3):
+            dispatcher(b"123-45-6789")          # SSN
+        dispatcher(b"aa-bb-cc-dd-ee-ff")        # MAC
+        dispatcher(b"unregistered-length-key")  # fallback
+        stats = dispatcher.stats()
+        by_length = {
+            entry["length"]: entry["routes"] for entry in stats["formats"]
+        }
+        assert by_length[11] == 3
+        assert by_length[17] == 1
+        assert stats["fallback_routes"] == 1
+        assert stats["total_routes"] == 5
+
+    def test_route_inspection_also_counted(self):
+        dispatcher = build_dispatcher([SSN])
+        dispatcher.route(b"123-45-6789")
+        assert dispatcher.stats()["total_routes"] == 1
+
+    def test_variable_length_format_reported_with_none_length(self):
+        dispatcher = FormatDispatcher()
+        dispatcher.register(r"abcdefgh[0-9]{4}.*", family=HashFamily.OFFXOR)
+        dispatcher(b"abcdefgh1234-tail")
+        stats = dispatcher.stats()
+        (entry,) = stats["formats"]
+        assert entry["length"] is None
+        assert entry["routes"] == 1
+
+    def test_dispatchers_do_not_share_counters(self):
+        first = build_dispatcher([SSN])
+        second = build_dispatcher([SSN])
+        first(b"123-45-6789")
+        assert first.stats()["total_routes"] == 1
+        assert second.stats()["total_routes"] == 0
+
+    def test_shared_registry_aggregates(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = FormatDispatcher(registry=registry)
+        second = FormatDispatcher(registry=registry)
+        first.register(SSN)
+        second.register(SSN)
+        first(b"123-45-6789")
+        second(b"123-45-6789")
+        counters = registry.snapshot()["counters"]
+        (route_name,) = [
+            name for name in counters if name.startswith("dispatch.route.")
+        ]
+        assert counters[route_name] == 2
+
+
 class TestVariableLengthFormats:
     def test_variable_format_routes_by_template(self):
         dispatcher = FormatDispatcher()

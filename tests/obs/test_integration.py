@@ -1,0 +1,241 @@
+"""End-to-end obs tests: pipeline spans, telemetry, no-op overhead."""
+
+import pytest
+
+from repro import obs
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize, synthesize_from_keys
+from repro.obs import capture_spans
+from repro.obs.report import render_span_tree, span_breakdown
+from repro.obs.sinks import RingBufferSink
+from repro.obs.trace import get_tracer
+
+SSN = r"\d{3}-\d{2}-\d{4}"
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with observability fully off."""
+    obs.disable_tracing()
+    obs.disable_container_telemetry()
+    yield
+    obs.disable_tracing()
+    obs.disable_container_telemetry()
+
+
+class TestPipelineSpans:
+    def test_synthesize_emits_pipeline_stages(self):
+        with capture_spans() as sink:
+            synthesize(SSN, HashFamily.PEXT)
+        names = [record.name for record in sink.records()]
+        for stage in (
+            "synthesize",
+            "synthesis.resolve_pattern",
+            "synthesis.plan",
+            "analysis.fixed_loads",
+            "codegen.ir",
+            "codegen.python.emit",
+            "codegen.python.compile",
+        ):
+            assert stage in names, f"missing pipeline stage {stage}"
+        # The acceptance bar: at least four stages under one synthesis.
+        assert len(names) >= 4
+
+    def test_stages_nest_under_synthesize_root(self):
+        with capture_spans() as sink:
+            synthesize(SSN, HashFamily.OFFXOR)
+        records = {record.name: record for record in sink.records()}
+        root = records["synthesize"]
+        assert root.parent_id is None
+        assert records["synthesis.plan"].parent_id == root.span_id
+        assert (
+            records["analysis.fixed_loads"].parent_id
+            == records["synthesis.plan"].span_id
+        )
+
+    def test_inference_joins_are_traced(self):
+        with capture_spans() as sink:
+            synthesize_from_keys([b"123-45-6789", b"987-65-4321"])
+        names = {record.name for record in sink.records()}
+        assert "inference.join" in names
+        assert "synthesize_from_keys" in names
+
+    def test_variable_length_analysis_traced(self):
+        with capture_spans() as sink:
+            synthesize(r"abcdefgh[0-9]{4}.*", HashFamily.OFFXOR)
+        names = {record.name for record in sink.records()}
+        assert "analysis.variable_loads" in names
+
+    def test_cpp_backend_traced(self):
+        synthesized = synthesize(SSN, HashFamily.OFFXOR)
+        with capture_spans() as sink:
+            synthesized.cpp_source("x86")
+        assert {r.name for r in sink.records()} == {"codegen.cpp.emit"}
+
+    def test_interp_traced(self):
+        from repro.codegen.interp import interpret
+        from repro.codegen.ir import build_ir, optimize
+
+        synthesized = synthesize(SSN, HashFamily.PEXT)
+        func = optimize(build_ir(synthesized.plan, name="f"))
+        with capture_spans() as sink:
+            value = interpret(func, b"123-45-6789")
+        assert value == synthesized(b"123-45-6789")
+        assert {r.name for r in sink.records()} == {"codegen.interp"}
+
+    def test_render_span_tree_shows_nesting(self):
+        with capture_spans() as sink:
+            synthesize(SSN, HashFamily.PEXT)
+        tree = render_span_tree(sink.records())
+        lines = tree.splitlines()
+        assert lines[0].startswith("synthesize")
+        assert any(line.startswith("  synthesis.plan") for line in lines)
+        assert any(
+            line.startswith("    analysis.fixed_loads") for line in lines
+        )
+        assert "wall" in lines[0] and "cpu" in lines[0]
+
+    def test_span_breakdown_aggregates_by_name(self):
+        with capture_spans() as sink:
+            synthesize(SSN, HashFamily.PEXT)
+            synthesize(SSN, HashFamily.NAIVE)
+        breakdown = span_breakdown(sink.records())
+        assert breakdown["synthesize"]["calls"] == 2
+        assert breakdown["synthesize"]["wall_seconds"] > 0
+
+
+class TestDisabledModeNoOverhead:
+    def test_hot_loop_emits_nothing_when_disabled(self):
+        """The acceptance check: H-Time-style loops stay event-free."""
+        sink = RingBufferSink()
+        tracer = get_tracer()
+        tracer.add_sink(sink)  # a sink is present, tracing is off
+        try:
+            hash_function = synthesize(SSN, HashFamily.PEXT).function
+            for _ in range(2000):
+                hash_function(b"123-45-6789")
+            assert len(sink) == 0
+        finally:
+            tracer.remove_sink(sink)
+
+    def test_measure_h_time_emits_nothing_when_disabled(self):
+        from repro.bench.runner import measure_h_time
+
+        sink = RingBufferSink()
+        tracer = get_tracer()
+        tracer.add_sink(sink)
+        try:
+            hash_function = synthesize(SSN, HashFamily.PEXT).function
+            measure_h_time(hash_function, [b"123-45-6789"] * 100, repeats=2)
+            assert len(sink) == 0
+        finally:
+            tracer.remove_sink(sink)
+
+    def test_disabled_synthesis_allocates_no_span_objects(self):
+        from repro.obs.trace import NOOP_SPAN, span
+
+        assert span("synthesize") is NOOP_SPAN
+        synthesize(SSN, HashFamily.PEXT)  # must not raise, must not emit
+
+
+class TestContainerTelemetry:
+    def _fill(self, table, count=64):
+        for i in range(count):
+            table.insert(f"{i:03d}-45-6789".encode(), i)
+
+    def test_tables_have_no_telemetry_by_default(self):
+        from repro.containers.unordered_map import UnorderedMap
+
+        table = UnorderedMap(synthesize(SSN, HashFamily.PEXT).function)
+        assert table.telemetry is None
+        self._fill(table)
+
+    def test_telemetry_records_inserts_and_resizes(self):
+        from repro.containers.base import ContainerTelemetry
+        from repro.containers.unordered_map import UnorderedMap
+        from repro.obs.metrics import MetricsRegistry
+
+        table = UnorderedMap(
+            synthesize(SSN, HashFamily.PEXT).function,
+            telemetry=ContainerTelemetry(MetricsRegistry()),
+        )
+        assert table.telemetry is not None
+        self._fill(table, count=100)
+        snapshot = table.telemetry.snapshot()
+        assert snapshot["inserts"] == 100
+        assert snapshot["resizes"] >= 1, "100 inserts must trigger growth"
+        assert snapshot["chain_on_insert"]["count"] == 100
+        for old, new, _elements in snapshot["resize_events"]:
+            assert new > old
+
+    def test_flag_applies_to_new_tables_only(self):
+        from repro.containers.unordered_map import UnorderedMap
+
+        hash_function = synthesize(SSN, HashFamily.PEXT).function
+        before = UnorderedMap(hash_function)
+        obs.enable_container_telemetry()
+        after = UnorderedMap(hash_function)
+        assert before.telemetry is None
+        assert after.telemetry is not None
+
+    def test_explicit_telemetry_records_chain_lengths(self):
+        from repro.containers.base import ContainerTelemetry
+        from repro.containers.unordered_map import UnorderedMap
+        from repro.hashes.fnv import fnv1a_64
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        table = UnorderedMap(
+            fnv1a_64, telemetry=ContainerTelemetry(registry)
+        )
+        self._fill(table, count=32)
+        hist = registry.snapshot()["histograms"][
+            "containers.chain_length_on_insert"
+        ]
+        assert hist["count"] == 32
+        assert hist["min"] == 0
+
+    def test_duplicate_rejection_not_counted_as_insert(self):
+        from repro.containers.base import ContainerTelemetry
+        from repro.containers.unordered_map import UnorderedMap
+        from repro.hashes.fnv import fnv1a_64
+        from repro.obs.metrics import MetricsRegistry
+
+        table = UnorderedMap(
+            fnv1a_64, telemetry=ContainerTelemetry(MetricsRegistry())
+        )
+        assert table.insert(b"same-key", 1)
+        assert not table.insert(b"same-key", 2)
+        assert table.telemetry.snapshot()["inserts"] == 1
+
+
+class TestBenchSpanBreakdown:
+    def test_run_experiment_attaches_breakdown(self):
+        from repro.bench.experiment import experiment_grid
+        from repro.bench.runner import run_experiment
+        from repro.hashes.fnv import fnv1a_64
+
+        cell = experiment_grid(key_types=["SSN"], reduced=True)[0]
+        results = run_experiment(
+            {"FNV": fnv1a_64},
+            cell,
+            samples=2,
+            affectations=200,
+            collect_spans=True,
+        )
+        (result,) = results
+        assert result.span_breakdown is not None
+        assert result.span_breakdown["bench.sample"]["calls"] == 2
+        assert result.span_breakdown["bench.b_time"]["calls"] == 1
+        assert result.span_breakdown["bench.sample"]["wall_seconds"] > 0
+
+    def test_breakdown_absent_by_default(self):
+        from repro.bench.experiment import experiment_grid
+        from repro.bench.runner import run_experiment
+        from repro.hashes.fnv import fnv1a_64
+
+        cell = experiment_grid(key_types=["SSN"], reduced=True)[0]
+        results = run_experiment(
+            {"FNV": fnv1a_64}, cell, samples=1, affectations=100
+        )
+        assert results[0].span_breakdown is None

@@ -1,0 +1,141 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == 1.5
+
+
+class TestHistogramBucketing:
+    def test_observations_land_in_correct_buckets(self):
+        hist = Histogram("h", buckets=(1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 100):
+            hist.observe(value)
+        # bounds: <=1, <=2, <=4, +inf
+        assert hist.counts == [2, 1, 2, 1]
+        assert hist.count == 6
+
+    def test_boundary_values_are_inclusive(self):
+        hist = Histogram("h", buckets=(10,))
+        hist.observe(10)
+        assert hist.counts == [1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1, 2))
+        hist.observe(1_000_000)
+        assert hist.counts[-1] == 1
+
+    def test_summary_statistics(self):
+        hist = Histogram("h", buckets=(8,))
+        for value in (1, 2, 3):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 6
+        assert hist.mean == 2
+        assert hist.min == 1
+        assert hist.max == 3
+
+    def test_empty_histogram_is_sane(self):
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+        assert hist.min is None and hist.max is None
+
+    def test_buckets_sorted_automatically(self):
+        hist = Histogram("h", buckets=(4, 1, 2))
+        assert hist.buckets == (1, 2, 4)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_reset(self):
+        hist = Histogram("h", buckets=(1,))
+        hist.observe(0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.counts == [0, 0]
+        assert hist.min is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_namespaces_are_independent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x").value == 0
+        registry.gauge("x").set(7)
+        assert registry.counter("x").value == 0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("level").set(1.5)
+        registry.histogram("sizes", buckets=(1, 2)).observe(2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"level": 1.5}
+        assert snap["histograms"]["sizes"]["count"] == 1
+        assert snap["histograms"]["sizes"]["counts"] == [0, 1, 0]
+
+    def test_reset_zeroes_but_keeps_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+    def test_default_registry_is_process_wide(self):
+        assert get_registry() is get_registry()
+
+
+class TestRenderMetrics:
+    def test_renders_every_section(self):
+        from repro.obs.report import render_metrics
+
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(2)
+        registry.gauge("depth").set(3)
+        registry.histogram("chain", buckets=(1,)).observe(0)
+        text = render_metrics(registry.snapshot())
+        assert "requests" in text and "2" in text
+        assert "depth" in text
+        assert "chain" in text and "<=1: 1" in text
+
+    def test_empty_snapshot(self):
+        from repro.obs.report import render_metrics
+
+        assert "no metrics" in render_metrics(MetricsRegistry().snapshot())

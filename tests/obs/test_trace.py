@@ -1,0 +1,238 @@
+"""Tests for spans, sinks, and the disabled-mode no-op path."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.sinks import JsonLinesSink, LogSink, RingBufferSink, read_jsonl
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+def make_tracer():
+    sink = RingBufferSink()
+    return Tracer(sinks=[sink], enabled=True), sink
+
+
+class TestSpanNesting:
+    def test_nested_spans_link_parent_and_depth(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        records = {record.name: record for record in sink.records()}
+        assert records["outer"].parent_id is None
+        assert records["outer"].depth == 0
+        assert records["middle"].parent_id == records["outer"].span_id
+        assert records["middle"].depth == 1
+        assert records["inner"].parent_id == records["middle"].span_id
+        assert records["inner"].depth == 2
+
+    def test_children_emit_before_parents(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [record.name for record in sink.records()]
+        assert names == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer, sink = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        records = {record.name: record for record in sink.records()}
+        assert records["a"].parent_id == records["root"].span_id
+        assert records["b"].parent_id == records["root"].span_id
+        assert records["a"].span_id != records["b"].span_id
+
+    def test_span_survives_exception(self):
+        tracer, sink = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        assert {r.name for r in sink.records()} == {"outer", "failing"}
+        # The stack unwound cleanly: a new span is a root again.
+        with tracer.span("after"):
+            pass
+        assert sink.records()[-1].parent_id is None
+
+
+class TestSpanTiming:
+    def test_wall_time_covers_inner_work(self):
+        tracer, sink = make_tracer()
+        with tracer.span("timed"):
+            total = 0
+            for i in range(50_000):
+                total += i
+        (record,) = sink.records()
+        assert record.wall_seconds > 0
+        assert record.cpu_seconds >= 0
+
+    def test_outer_wall_at_least_inner(self):
+        tracer, sink = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(10_000))
+        records = {record.name: record for record in sink.records()}
+        assert records["outer"].wall_seconds >= records["inner"].wall_seconds
+
+    def test_annotate_attaches_attributes(self):
+        tracer, sink = make_tracer()
+        with tracer.span("s", family="pext") as live:
+            live.annotate("loads", 3)
+        (record,) = sink.records()
+        assert record.attributes == {"family": "pext", "loads": 3}
+
+
+class TestThreadLocality:
+    def test_threads_get_independent_stacks(self):
+        tracer, sink = make_tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        with tracer.span("main-root"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        by_name = {record.name: record for record in sink.records()}
+        # Spans opened on other threads are roots there, not children of
+        # the main thread's open span.
+        assert by_name["t0"].parent_id is None
+        assert by_name["t1"].parent_id is None
+        assert by_name["t0"].depth == 0
+
+
+class TestDisabledNoop:
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is NOOP_SPAN
+        assert tracer.span("b") is tracer.span("c")
+
+    def test_disabled_emits_no_events(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=[sink], enabled=False)
+        for _ in range(1000):
+            with tracer.span("hot"):
+                pass
+        assert len(sink) == 0
+
+    def test_default_tracer_disabled_by_default(self):
+        disable_tracing()
+        assert not tracing_enabled()
+        assert span("anything") is NOOP_SPAN
+
+    def test_noop_span_accepts_annotate(self):
+        with Tracer(enabled=False).span("x") as noop:
+            noop.annotate("key", "value")  # must not raise
+
+
+class TestRingBufferSink:
+    def test_capacity_bounds_memory(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer(sinks=[sink], enabled=True)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(sink) == 3
+        assert [record.name for record in sink] == ["s7", "s8", "s9"]
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=[sink], enabled=True)
+        with tracer.span("s"):
+            pass
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestJsonLinesSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer(enabled=True)
+        with JsonLinesSink(path) as sink:
+            tracer.add_sink(sink)
+            with tracer.span("outer", family="aes"):
+                with tracer.span("inner"):
+                    pass
+            tracer.remove_sink(sink)
+        loaded = read_jsonl(path)
+        assert [record.name for record in loaded] == ["inner", "outer"]
+        outer = loaded[1]
+        assert outer.attributes == {"family": "aes"}
+        assert loaded[0].parent_id == outer.span_id
+
+    def test_each_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer(enabled=True)
+        with JsonLinesSink(path) as sink:
+            tracer.add_sink(sink)
+            for i in range(5):
+                with tracer.span(f"s{i}"):
+                    pass
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 5
+        for line in lines:
+            data = json.loads(line)
+            assert SpanRecord.from_dict(data).name.startswith("s")
+
+    def test_stream_target_not_closed(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        tracer = Tracer(sinks=[sink], enabled=True)
+        with tracer.span("s"):
+            pass
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["name"] == "s"
+
+
+class TestLogSink:
+    def test_human_readable_lines(self):
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[LogSink(stream)], enabled=True)
+        with tracer.span("outer", family="pext"):
+            with tracer.span("inner"):
+                pass
+        output = stream.getvalue()
+        assert "[trace] outer" in output
+        assert "[trace]   inner" in output
+        assert "family=pext" in output
+        assert "wall=" in output and "cpu=" in output
+
+
+class TestGlobalTracerHygiene:
+    def test_capture_spans_restores_state(self):
+        from repro.obs import capture_spans
+
+        disable_tracing()
+        tracer = get_tracer()
+        sink_count = len(tracer.sinks)
+        with capture_spans() as sink:
+            assert tracing_enabled()
+            with span("inside"):
+                pass
+        assert not tracing_enabled()
+        assert len(tracer.sinks) == sink_count
+        assert [record.name for record in sink.records()] == ["inside"]
