@@ -1,0 +1,65 @@
+"""Batch engine headline: scalar vs batched H-Time per family.
+
+The batch backend wraps the same unrolled lowering in one generated
+loop, so a batch call pays CPython's function-call overhead once per
+*batch* instead of once per key.  This bench measures both forms of
+every family on fixed-length formats and produces ``BENCH_batch.json``
+— the committed perf-trajectory artifact and the CI smoke-bench upload.
+
+Run under pytest (``pytest benchmarks/bench_batch.py``) like the other
+benches, or standalone for CI/artifact generation::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --out BENCH_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.batch_compare import (
+    best_speedup,
+    compare_scalar_batch,
+    render_comparison,
+    write_report,
+)
+
+
+def test_batch_vs_scalar(benchmark):
+    from conftest import emit_report
+
+    report = benchmark.pedantic(
+        lambda: compare_scalar_batch(keys_per_type=5000, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("batch", render_comparison(report))
+    # The whole point of the batch layer: amortizing call overhead must
+    # win clearly on at least one fixed-length format.
+    assert best_speedup(report) >= 1.5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs batch H-Time; writes BENCH_batch.json"
+    )
+    parser.add_argument("--out", default="BENCH_batch.json")
+    parser.add_argument("--keys", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--key-types", nargs="*", default=["SSN", "MAC"]
+    )
+    args = parser.parse_args(argv)
+    report = compare_scalar_batch(
+        key_types=args.key_types,
+        keys_per_type=args.keys,
+        repeats=args.repeats,
+    )
+    print(render_comparison(report))
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,6 +135,12 @@ def _run_obs(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    # Trace a *cold* synthesis: with a warm compile cache the IR and
+    # compile stages would be elided from the span tree, which is the
+    # very pipeline this command exists to show.  Counter totals survive.
+    from repro.codegen.cache import get_compile_cache
+
+    get_compile_cache().clear()
     exporter = None
     if args.export:
         try:
@@ -204,6 +210,18 @@ def _run_obs(args: argparse.Namespace) -> int:
         f"  fallback routes: {stats['fallback_routes']}  "
         f"(total {stats['total_routes']})"
     )
+    print()
+    from repro.codegen.cache import get_compile_cache
+
+    cache_stats = get_compile_cache().stats()
+    exec_calls = get_registry().counter("codegen.python.exec_calls").value
+    print(
+        f"compile cache: {cache_stats['hits']} hits, "
+        f"{cache_stats['misses']} misses, "
+        f"{cache_stats['disk_hits']} disk hits, "
+        f"{cache_stats['entries']} entries "
+        f"({exec_calls} exec calls this process)"
+    )
     if args.metrics:
         print()
         print("process metrics:")
@@ -218,6 +236,13 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
 
+    if args.batch:
+        return _run_bench_batch(args)
+    if args.table is None:
+        print(
+            "error: choose a table (1/2/3) or pass --batch", file=sys.stderr
+        )
+        return 1
     if args.table == 1:
         rows = tables.table1(key_types=args.key_types, samples=args.samples)
     elif args.table == 2:
@@ -227,6 +252,26 @@ def _run_bench(args: argparse.Namespace) -> int:
     else:
         rows = tables.table3(key_types=args.key_types, samples=args.samples)
     print(render_table(rows, title=f"Table {args.table} (reduced scale)"))
+    return 0
+
+
+def _run_bench_batch(args: argparse.Namespace) -> int:
+    """Scalar-vs-batch H-Time comparison (``sepe bench --batch``)."""
+    from repro.bench.batch_compare import (
+        compare_scalar_batch,
+        render_comparison,
+        write_report,
+    )
+
+    report = compare_scalar_batch(
+        key_types=args.key_types,
+        keys_per_type=args.keys,
+        repeats=max(args.samples, 3),
+    )
+    print(render_comparison(report))
+    if args.batch_out:
+        write_report(report, args.batch_out)
+        print(f"wrote {args.batch_out}")
     return 0
 
 
@@ -298,10 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bench = subparsers.add_parser("bench", help="run a paper table")
-    bench.add_argument("table", type=int, choices=[1, 2, 3])
+    bench.add_argument(
+        "table", type=int, choices=[1, 2, 3], nargs="?", default=None
+    )
     bench.add_argument("--key-types", nargs="*", default=["SSN", "MAC"])
     bench.add_argument("--samples", type=int, default=2)
     bench.add_argument("--keys", type=int, default=20_000)
+    bench.add_argument(
+        "--batch",
+        action="store_true",
+        help="compare scalar vs batched H-Time instead of a paper table",
+    )
+    bench.add_argument(
+        "--batch-out",
+        metavar="FILE",
+        help="with --batch, also write the comparison as JSON to FILE",
+    )
 
     full = subparsers.add_parser(
         "bench-full", help="regenerate every table and figure"

@@ -11,17 +11,35 @@ A :class:`repro.core.plan.SynthesisPlan` is lowered to a small linear IR
   output, Figure 5c/10/12), for both x86 (BMI2 ``pext`` + ``aesenc``) and
   aarch64 (no bit-extract; the Pext family is unavailable there, matching
   Section 4.4).
+
+Two amortization layers sit alongside the backends:
+
+- :mod:`repro.codegen.batch` — emits a batched ``hash_many(keys)``
+  variant of the same lowering, removing per-key call overhead.
+- :mod:`repro.codegen.cache` — a content-addressed compile cache so
+  repeated synthesis of the same plan skips IR, emission, and ``exec``.
 """
 
+from repro.codegen.batch import compile_plan_batch, emit_python_batch
+from repro.codegen.cache import (
+    CompileCache,
+    get_compile_cache,
+    plan_fingerprint,
+)
 from repro.codegen.cpp_backend import emit_cpp
 from repro.codegen.ir import IRFunction, Instr, build_ir
 from repro.codegen.python_backend import compile_plan, emit_python
 
 __all__ = [
+    "CompileCache",
     "IRFunction",
     "Instr",
     "build_ir",
     "compile_plan",
+    "compile_plan_batch",
     "emit_cpp",
     "emit_python",
+    "emit_python_batch",
+    "get_compile_cache",
+    "plan_fingerprint",
 ]

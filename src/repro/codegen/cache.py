@@ -1,0 +1,242 @@
+"""Content-addressed compile cache for synthesized hash functions.
+
+Synthesis is deterministic in the plan: two plans with the same loads,
+masks, skip table, combine op and flags lower to byte-identical source.
+The dispatcher's common case — many services registering the same key
+format — therefore re-runs ``build_ir → optimize → emit → exec`` for
+work that has already been done.  This module memoizes that tail of the
+pipeline behind a stable *plan fingerprint* (SHA-256 over a canonical
+JSON rendering of every codegen-relevant plan field).
+
+Two tiers:
+
+- an in-memory LRU of :class:`CompiledArtifact` (source + callable),
+  keyed by ``(fingerprint, function name, scalar|batch)`` — a warm hit
+  performs **zero** ``exec`` calls (pinned by
+  ``tests.codegen.test_cache`` via the ``codegen.python.exec_calls``
+  counter);
+- an optional on-disk generated-source cache (``source_dir``): a
+  process restart still skips IR construction and emission, paying only
+  the ``exec``.
+
+Hit/miss/eviction counters live in :mod:`repro.obs.metrics` under
+``codegen.cache.*`` and surface through ``sepe obs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.codegen.batch import emit_python_batch
+from repro.codegen.ir import IRFunction, build_ir, optimize
+from repro.codegen.python_backend import compile_source, emit_python
+from repro.core.plan import SynthesisPlan
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import span
+
+__all__ = [
+    "CompileCache",
+    "CompiledArtifact",
+    "get_compile_cache",
+    "plan_fingerprint",
+]
+
+
+def plan_fingerprint(plan: SynthesisPlan) -> str:
+    """A stable content hash of everything codegen consumes from a plan.
+
+    Plans with equal fingerprints lower to identical source; any
+    perturbation of family, length, loads (offset/mask/shift/rotate/
+    width), skip table, combine op, flags, or the format regex (which
+    lands in the generated docstring) changes the fingerprint.
+    """
+    payload = {
+        "family": plan.family.value,
+        "key_length": plan.key_length,
+        "loads": [
+            [load.offset, load.mask, load.shift, load.rotate, load.width]
+            for load in plan.loads
+        ],
+        "skip_table": (
+            [plan.skip_table.initial_offset, list(plan.skip_table.skips)]
+            if plan.skip_table is not None
+            else None
+        ),
+        "combine": plan.combine.value,
+        "regex": plan.pattern_regex,
+        "short_key": plan.short_key,
+        "final_mix": plan.final_mix,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """One cached compilation: generated source plus the live callable."""
+
+    fingerprint: str
+    name: str
+    kind: str  # "scalar" | "batch"
+    source: str
+    function: Callable
+
+
+_EMITTERS: Dict[str, Callable[[IRFunction], str]] = {
+    "scalar": emit_python,
+    "batch": emit_python_batch,
+}
+
+
+class CompileCache:
+    """LRU cache of compiled scalar/batch hash callables.
+
+    Args:
+        maxsize: in-memory entry cap; least-recently-used artifacts are
+            evicted beyond it.
+        registry: metrics registry for the hit/miss/eviction counters
+            (the process-wide one by default, so ``sepe obs`` sees it).
+        source_dir: when set, generated source is also persisted to
+            ``<fingerprint>.<kind>.<name>.py`` files there and reloaded
+            on an in-memory miss, skipping IR construction and emission.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+        source_dir: Optional[Union[str, Path]] = None,
+    ):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str, str], CompiledArtifact]"
+        self._entries = OrderedDict()
+        self._source_dir = Path(source_dir) if source_dir else None
+        registry = registry if registry is not None else get_registry()
+        self._hits = registry.counter("codegen.cache.hits")
+        self._misses = registry.counter("codegen.cache.misses")
+        self._disk_hits = registry.counter("codegen.cache.disk_hits")
+        self._evictions = registry.counter("codegen.cache.evictions")
+
+    # -- lookup ----------------------------------------------------------
+
+    def scalar(
+        self, plan: SynthesisPlan, name: str = "sepe_hash"
+    ) -> CompiledArtifact:
+        """The compiled scalar ``hash(key) -> int`` for ``plan``."""
+        return self._get(plan, name, "scalar")
+
+    def batch(
+        self, plan: SynthesisPlan, name: str = "sepe_hash_many"
+    ) -> CompiledArtifact:
+        """The compiled batch ``hash_many(keys) -> list[int]``."""
+        return self._get(plan, name, "batch")
+
+    def _get(
+        self, plan: SynthesisPlan, name: str, kind: str
+    ) -> CompiledArtifact:
+        fingerprint = plan_fingerprint(plan)
+        key = (fingerprint, name, kind)
+        with self._lock:
+            artifact = self._entries.get(key)
+            if artifact is not None:
+                self._entries.move_to_end(key)
+                self._hits.inc()
+                return artifact
+            self._misses.inc()
+            artifact = self._compile_miss(plan, name, kind, fingerprint)
+            self._entries[key] = artifact
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions.inc()
+            return artifact
+
+    def _compile_miss(
+        self, plan: SynthesisPlan, name: str, kind: str, fingerprint: str
+    ) -> CompiledArtifact:
+        source = self._read_disk(fingerprint, name, kind)
+        if source is not None:
+            self._disk_hits.inc()
+        else:
+            with span("codegen.ir"):
+                func = optimize(build_ir(plan, name=name))
+            source = _EMITTERS[kind](func)
+            self._write_disk(fingerprint, name, kind, source)
+        with span("codegen.python.compile", function=name):
+            function = compile_source(source, name)
+        return CompiledArtifact(
+            fingerprint=fingerprint,
+            name=name,
+            kind=kind,
+            source=source,
+            function=function,
+        )
+
+    # -- on-disk source tier --------------------------------------------
+
+    def _disk_path(self, fingerprint: str, name: str, kind: str) -> Path:
+        assert self._source_dir is not None
+        return self._source_dir / f"{fingerprint}.{kind}.{name}.py"
+
+    def _read_disk(
+        self, fingerprint: str, name: str, kind: str
+    ) -> Optional[str]:
+        if self._source_dir is None:
+            return None
+        path = self._disk_path(fingerprint, name, kind)
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def _write_disk(
+        self, fingerprint: str, name: str, kind: str, source: str
+    ) -> None:
+        if self._source_dir is None:
+            return
+        try:
+            self._source_dir.mkdir(parents=True, exist_ok=True)
+            self._disk_path(fingerprint, name, kind).write_text(
+                source, encoding="utf-8"
+            )
+        except OSError:
+            pass  # Disk tier is best-effort; memory tier already holds it.
+
+    # -- maintenance -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (counters keep their totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Plain-dict counter snapshot plus current size."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "disk_hits": self._disk_hits.value,
+                "evictions": self._evictions.value,
+            }
+
+
+_DEFAULT_CACHE = CompileCache()
+
+
+def get_compile_cache() -> CompileCache:
+    """The process-wide compile cache used by :func:`repro.core.synthesis
+    .synthesize` and the dispatcher."""
+    return _DEFAULT_CACHE

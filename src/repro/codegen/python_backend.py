@@ -31,6 +31,7 @@ from repro.codegen.ir import AES_ROUND_KEY, IRFunction, build_ir, optimize
 from repro.core.plan import SynthesisPlan
 from repro.isa.aes import _TTABLES, aesenc_fast
 from repro.isa.bits import mask_to_runs
+from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 
 MASK64 = (1 << 64) - 1
@@ -60,14 +61,16 @@ def _pext_expression(src: str, mask: int) -> str:
     return " | ".join(terms)
 
 
-def _emit_aes_absorb(dest: str, state: str, lo: str, hi: str) -> List[str]:
+def _emit_aes_absorb(
+    dest: str, state: str, lo: str, hi: str, indent: str = "    "
+) -> List[str]:
     """Inline one AES round: extract bytes, gather through the T-tables.
 
     The emitted code mirrors :func:`repro.isa.aes.aesenc_fast` with the
     byte list and the helper call flattened away; ``_T0.._T3`` are bound
     at compile time.
     """
-    lines = [f"    _x = {state} ^ ({lo} | ({hi} << 64))"]
+    lines = [f"{indent}_x = {state} ^ ({lo} | ({hi} << 64))"]
     column_terms: List[str] = []
     for col in range(4):
         terms = []
@@ -82,7 +85,7 @@ def _emit_aes_absorb(dest: str, state: str, lo: str, hi: str) -> List[str]:
         else:
             column_terms.append(f"(({column}) << {32 * col})")
     lines.append(
-        f"    {dest} = ({' | '.join(column_terms)}) ^ "
+        f"{indent}{dest} = ({' | '.join(column_terms)}) ^ "
         f"{hex(AES_ROUND_KEY)}"
     )
     return lines
@@ -102,6 +105,94 @@ def emit_python(func: IRFunction) -> str:
         return _emit_python_lines(func)
 
 
+def emit_body_lines(
+    func: IRFunction,
+    indent: str = "    ",
+    ret_template: str = "return {0}",
+) -> List[str]:
+    """Render the instruction sequence of ``func`` as statement lines.
+
+    Shared by the scalar emitter and the batch emitter
+    (:mod:`repro.codegen.batch`): the batch backend emits the same body
+    at loop depth, with ``ret`` lowered to an ``append`` instead of a
+    ``return`` (``ret_template`` receives the result register).
+
+    Raises:
+        ValueError: on an unknown opcode or a body without ``ret``.
+    """
+    lines: List[str] = []
+    body_emitted = False
+    for instr in func.instrs:
+        op, dest, args = instr.opcode, instr.dest, instr.args
+        if op == "const":
+            lines.append(f"{indent}{dest} = {hex(args[0])}")
+        elif op == "load64":
+            offset, width = args
+            lines.append(
+                f"{indent}{dest} = "
+                f"_ifb(key[{offset}:{offset + width}], 'little')"
+            )
+        elif op == "pext":
+            lines.append(
+                f"{indent}{dest} = {_pext_expression(args[0], args[1])}"
+            )
+        elif op == "shl":
+            lines.append(
+                f"{indent}{dest} = ({args[0]} << {args[1]}) & {hex(MASK64)}"
+            )
+        elif op == "shr":
+            lines.append(f"{indent}{dest} = {args[0]} >> {args[1]}")
+        elif op == "mul64":
+            lines.append(
+                f"{indent}{dest} = ({args[0]} * {hex(args[1])}) & "
+                f"{hex(MASK64)}"
+            )
+        elif op == "rotl":
+            amount = args[1]
+            lines.append(
+                f"{indent}{dest} = (({args[0]} << {amount}) | "
+                f"({args[0]} >> {64 - amount})) & {hex(MASK64)}"
+            )
+        elif op == "xor":
+            lines.append(f"{indent}{dest} = {args[0]} ^ {args[1]}")
+        elif op == "or":
+            lines.append(f"{indent}{dest} = {args[0]} | {args[1]}")
+        elif op == "add":
+            lines.append(
+                f"{indent}{dest} = ({args[0]} + {args[1]}) & {hex(MASK64)}"
+            )
+        elif op == "aes_absorb":
+            state, lo, hi = args
+            lines.extend(_emit_aes_absorb(dest, state, lo, hi, indent))
+        elif op == "aes_fold":
+            lines.append(
+                f"{indent}{dest} = ({args[0]} ^ ({args[0]} >> 64)) & "
+                f"{hex(MASK64)}"
+            )
+        elif op == "tail_xor":
+            acc, start = args
+            lines.extend(
+                [
+                    f"{indent}{dest} = {acc}",
+                    f"{indent}_n = len(key)",
+                    f"{indent}_p = {start}",
+                    f"{indent}while _p + 8 <= _n:",
+                    f"{indent}    {dest} ^= _ifb(key[_p:_p + 8], 'little')",
+                    f"{indent}    _p += 8",
+                    f"{indent}if _p < _n:",
+                    f"{indent}    {dest} ^= _ifb(key[_p:_n], 'little')",
+                ]
+            )
+        elif op == "ret":
+            lines.append(f"{indent}{ret_template.format(args[0])}")
+            body_emitted = True
+        else:
+            raise ValueError(f"unknown IR opcode: {op}")
+    if not body_emitted:
+        raise ValueError("IR function has no return")
+    return lines
+
+
 def _emit_python_lines(func: IRFunction) -> str:
     lines: List[str] = []
     lines.append(f"def {func.name}(key, _ifb=int.from_bytes, _aes=_aesenc):")
@@ -109,73 +200,18 @@ def _emit_python_lines(func: IRFunction) -> str:
     if func.plan.pattern_regex:
         doc += f" for format {func.plan.pattern_regex!r}"
     lines.append(f'    """{doc}."""')
-    body_emitted = False
-    for instr in func.instrs:
-        op, dest, args = instr.opcode, instr.dest, instr.args
-        if op == "const":
-            lines.append(f"    {dest} = {hex(args[0])}")
-        elif op == "load64":
-            offset, width = args
-            lines.append(
-                f"    {dest} = _ifb(key[{offset}:{offset + width}], 'little')"
-            )
-        elif op == "pext":
-            lines.append(f"    {dest} = {_pext_expression(args[0], args[1])}")
-        elif op == "shl":
-            lines.append(
-                f"    {dest} = ({args[0]} << {args[1]}) & {hex(MASK64)}"
-            )
-        elif op == "shr":
-            lines.append(f"    {dest} = {args[0]} >> {args[1]}")
-        elif op == "mul64":
-            lines.append(
-                f"    {dest} = ({args[0]} * {hex(args[1])}) & {hex(MASK64)}"
-            )
-        elif op == "rotl":
-            amount = args[1]
-            lines.append(
-                f"    {dest} = (({args[0]} << {amount}) | "
-                f"({args[0]} >> {64 - amount})) & {hex(MASK64)}"
-            )
-        elif op == "xor":
-            lines.append(f"    {dest} = {args[0]} ^ {args[1]}")
-        elif op == "or":
-            lines.append(f"    {dest} = {args[0]} | {args[1]}")
-        elif op == "add":
-            lines.append(f"    {dest} = ({args[0]} + {args[1]}) & {hex(MASK64)}")
-        elif op == "aes_absorb":
-            state, lo, hi = args
-            lines.extend(_emit_aes_absorb(dest, state, lo, hi))
-        elif op == "aes_fold":
-            lines.append(
-                f"    {dest} = ({args[0]} ^ ({args[0]} >> 64)) & {hex(MASK64)}"
-            )
-        elif op == "tail_xor":
-            acc, start = args
-            lines.extend(
-                [
-                    f"    {dest} = {acc}",
-                    f"    _n = len(key)",
-                    f"    _p = {start}",
-                    f"    while _p + 8 <= _n:",
-                    f"        {dest} ^= _ifb(key[_p:_p + 8], 'little')",
-                    f"        _p += 8",
-                    f"    if _p < _n:",
-                    f"        {dest} ^= _ifb(key[_p:_n], 'little')",
-                ]
-            )
-        elif op == "ret":
-            lines.append(f"    return {args[0]}")
-            body_emitted = True
-        else:
-            raise ValueError(f"unknown IR opcode: {op}")
-    if not body_emitted:
-        raise ValueError("IR function has no return")
+    lines.extend(emit_body_lines(func))
     return "\n".join(lines) + "\n"
 
 
 def compile_source(source: str, name: str) -> HashCallable:
-    """``exec`` generated source and return the named function."""
+    """``exec`` generated source and return the named function.
+
+    Every call bumps the ``codegen.python.exec_calls`` counter in the
+    process-wide metrics registry — the compile cache's tests (and
+    ``sepe obs``) use it to prove a warm cache performs zero ``exec``.
+    """
+    get_registry().counter("codegen.python.exec_calls").inc()
     namespace: Dict[str, object] = {
         "_aesenc": aesenc_fast,
         "_T0": _TTABLES[0],

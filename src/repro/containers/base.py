@@ -13,7 +13,16 @@ B-Time) is governed by the same policy as the paper's C++: chaining,
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.containers.hashing_policy import PrimeRehashPolicy
 from repro.obs.metrics import MetricsRegistry, get_registry
@@ -134,6 +143,25 @@ class HashTableBase:
                     old_count, new_count, self._size
                 )
 
+    def reserve(self, element_count: int) -> None:
+        """Grow the table to hold ``element_count`` elements up front.
+
+        One rehash straight to the target prime (STL ``reserve``),
+        instead of the O(log n) doubling rehashes an element-at-a-time
+        fill pays.  Shrinking is never performed.
+        """
+        target = self._policy.bucket_count_for(element_count)
+        if target <= len(self._buckets):
+            return
+        old_count = len(self._buckets)
+        old_buckets = self._buckets
+        self._buckets = [[] for _ in range(target)]
+        for bucket in old_buckets:
+            for node in bucket:
+                self._buckets[self._bucket_index(node[0])].append(node)
+        if self._telemetry is not None:
+            self._telemetry.record_resize(old_count, target, self._size)
+
     # -- core operations -------------------------------------------------
 
     def _insert(self, key: bytes, value: Any) -> bool:
@@ -152,6 +180,24 @@ class HashTableBase:
         if self._telemetry is not None:
             self._telemetry.record_insert(len(target) - 1)
         return True
+
+    def _insert_many(self, items: Iterable[Tuple[bytes, Any]]) -> int:
+        """Bulk insert with a single upfront reservation.
+
+        Reserves capacity for every incoming item before the loop, so
+        the per-item ``_maybe_rehash`` check never fires — one resize
+        replaces the O(log n) a key-at-a-time fill performs.  Returns
+        the number of items actually inserted (duplicates may be
+        rejected, per the container's uniqueness rule).
+        """
+        items = list(items)
+        self.reserve(self._size + len(items))
+        insert = self._insert
+        inserted = 0
+        for key, value in items:
+            if insert(key, value):
+                inserted += 1
+        return inserted
 
     def _find(self, key: bytes) -> Optional[Tuple[int, bytes, Any]]:
         hash_value = self._hash(key)

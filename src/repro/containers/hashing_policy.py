@@ -89,3 +89,10 @@ class PrimeRehashPolicy:
         the pending element count."""
         required = int((element_count + 1) / self.max_load_factor) + 1
         return next_prime(max(2 * bucket_count + 1, required))
+
+    def bucket_count_for(self, element_count: int) -> int:
+        """Smallest acceptable bucket count to hold ``element_count``
+        elements without a rehash (libstdc++ ``reserve`` semantics: one
+        jump straight to the target prime instead of doubling there)."""
+        required = int(element_count / self.max_load_factor) + 1
+        return next_prime(max(required, self.INITIAL_BUCKETS))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Tuple
+from typing import Any, Iterable, Iterator, Optional, Tuple
 
 from repro.containers.base import HashTableBase
 
@@ -31,6 +31,19 @@ class UnorderedMap(HashTableBase):
     def insert(self, key: bytes, value: Any) -> bool:
         """Insert; returns False if the key already exists (STL insert)."""
         return self._insert(key, value)
+
+    def insert_many(self, items: Iterable[Tuple[bytes, Any]]) -> int:
+        """Bulk insert with one upfront resize; returns the count
+        actually inserted (existing keys are skipped, like ``insert``)."""
+        return self._insert_many(items)
+
+    def update(self, items: Iterable[Tuple[bytes, Any]]) -> None:
+        """Bulk ``operator[]``: insert-or-overwrite every pair, after a
+        single upfront reservation for the incoming batch."""
+        items = list(items)
+        self.reserve(len(self) + len(items))
+        for key, value in items:
+            self.assign(key, value)
 
     def assign(self, key: bytes, value: Any) -> None:
         """``operator[]`` semantics: insert or overwrite."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterable, Iterator, List, Tuple
 
 from repro.containers.base import HashTableBase
 
@@ -27,6 +27,10 @@ class UnorderedMultimap(HashTableBase):
     def insert(self, key: bytes, value: Any) -> bool:
         """Insert; always succeeds for multi containers."""
         return self._insert(key, value)
+
+    def insert_many(self, items: Iterable[Tuple[bytes, Any]]) -> int:
+        """Bulk insert with one upfront resize; every item lands."""
+        return self._insert_many(items)
 
     def find(self, key: bytes) -> Any:
         """The first mapped value for the key, or None."""

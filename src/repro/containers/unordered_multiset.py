@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.containers.base import HashTableBase
 
@@ -24,6 +24,10 @@ class UnorderedMultiset(HashTableBase):
     def insert(self, key: bytes, value=None) -> bool:
         """Insert; always succeeds for multi containers."""
         return self._insert(key, None)
+
+    def insert_many(self, keys: Iterable[bytes]) -> int:
+        """Bulk insert with one upfront resize; every key lands."""
+        return self._insert_many((key, None) for key in keys)
 
     def find(self, key: bytes) -> bool:
         """Membership test."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.containers.base import HashTableBase
 
@@ -28,6 +28,11 @@ class UnorderedSet(HashTableBase):
         call-compatible for the benchmark driver.
         """
         return self._insert(key, None)
+
+    def insert_many(self, keys: Iterable[bytes]) -> int:
+        """Bulk insert with one upfront resize; returns the count
+        actually inserted (duplicates are skipped)."""
+        return self._insert_many((key, None) for key in keys)
 
     def find(self, key: bytes) -> bool:
         """Membership test (the driver's search operation)."""

@@ -30,7 +30,7 @@ HashCallable = Callable[[bytes], int]
 
 FormatSource = Union[str, KeyPattern, SynthesizedHash]
 
-_Entry = Tuple[KeyPattern, HashCallable, Counter]
+_Entry = Tuple[KeyPattern, HashCallable, Counter, SynthesizedHash]
 
 
 class FormatDispatcher:
@@ -68,6 +68,11 @@ class FormatDispatcher:
         self._registry = registry if registry is not None else MetricsRegistry()
         self._fallback_counter = self._registry.counter("dispatch.fallback")
         self._labels: List[str] = []
+        # Resolved-route cache: key length -> entry, for lengths where
+        # resolution is unambiguous (one candidate, no verification).
+        # Saves the candidate-list walk on every call; invalidated on
+        # registration.
+        self._route_cache: Dict[int, _Entry] = {}
 
     # -- registration --------------------------------------------------
 
@@ -93,11 +98,12 @@ class FormatDispatcher:
         label = synthesized.plan.pattern_regex or f"format-{len(self._labels)}"
         counter = self._registry.counter(f"dispatch.route.{label}")
         self._labels.append(label)
-        entry = (pattern, synthesized.function, counter)
+        entry = (pattern, synthesized.function, counter, synthesized)
         if pattern.is_fixed_length:
             self._by_length.setdefault(pattern.body_length, []).append(entry)
         else:
             self._variable.append(entry)
+        self._route_cache.clear()
         return synthesized
 
     @property
@@ -109,27 +115,82 @@ class FormatDispatcher:
 
     # -- dispatch --------------------------------------------------------
 
-    def route(self, key: bytes) -> HashCallable:
-        """The function that would hash ``key`` (for inspection/tests)."""
-        candidates = self._by_length.get(len(key))
+    def _resolve(self, key: bytes) -> Optional[_Entry]:
+        """Find the entry for ``key`` without touching any counter.
+
+        Caches the resolution by key length when it is unambiguous (one
+        fixed-length candidate, verification off) so steady-state calls
+        skip the candidate walk — the compiled callable is re-used, not
+        re-resolved, per call.
+        """
+        length = len(key)
+        entry = self._route_cache.get(length)
+        if entry is not None:
+            return entry
+        candidates = self._by_length.get(length)
         if candidates:
             if len(candidates) == 1 and not self._verify:
                 entry = candidates[0]
-                entry[2].inc()
-                return entry[1]
-            for pattern, function, counter in candidates:
-                if pattern.matches(key):
-                    counter.inc()
-                    return function
-        for pattern, function, counter in self._variable:
-            if pattern.matches(key):
-                counter.inc()
-                return function
-        self._fallback_counter.inc()
-        return self._fallback
+                self._route_cache[length] = entry
+                return entry
+            for entry in candidates:
+                if entry[0].matches(key):
+                    return entry
+        for entry in self._variable:
+            if entry[0].matches(key):
+                return entry
+        return None
+
+    def route(self, key: bytes) -> HashCallable:
+        """The function that would hash ``key`` (for inspection/tests)."""
+        entry = self._resolve(key)
+        if entry is None:
+            self._fallback_counter.inc()
+            return self._fallback
+        entry[2].inc()
+        return entry[1]
 
     def __call__(self, key: bytes) -> int:
         return self.route(key)(key)
+
+    def hash_many(self, keys: Sequence[bytes]) -> List[int]:
+        """Hash a batch of keys, routing once per group, not per key.
+
+        Keys are grouped by resolved format; each group is hashed by one
+        call to that format's batch kernel (compiled lazily through the
+        compile cache), so per-key dispatch and function-call overhead
+        is paid once per *group*.  Unrecognized keys go through the
+        scalar fallback.  Results are positionally aligned with
+        ``keys``, and route/fallback counters advance by group sizes
+        exactly as per-key routing would.
+        """
+        out: List[int] = [0] * len(keys)
+        groups: Dict[int, Tuple[_Entry, List[int], List[bytes]]] = {}
+        fallback_indices: List[int] = []
+        fallback_keys: List[bytes] = []
+        for index, key in enumerate(keys):
+            entry = self._resolve(key)
+            if entry is None:
+                fallback_indices.append(index)
+                fallback_keys.append(key)
+                continue
+            group = groups.get(id(entry))
+            if group is None:
+                groups[id(entry)] = (entry, [index], [key])
+            else:
+                group[1].append(index)
+                group[2].append(key)
+        for entry, indices, grouped_keys in groups.values():
+            entry[2].inc(len(indices))
+            values = entry[3].hash_many(grouped_keys)
+            for index, value in zip(indices, values):
+                out[index] = value
+        if fallback_indices:
+            self._fallback_counter.inc(len(fallback_indices))
+            fallback = self._fallback
+            for index, key in zip(fallback_indices, fallback_keys):
+                out[index] = fallback(key)
+        return out
 
     # -- introspection -----------------------------------------------------
 
@@ -139,9 +200,9 @@ class FormatDispatcher:
 
         lines = []
         for length in sorted(self._by_length):
-            for pattern, _function, _counter in self._by_length[length]:
+            for pattern, _function, _counter, _synth in self._by_length[length]:
                 lines.append(f"len {length:4d}: {render_regex(pattern)}")
-        for pattern, _function, _counter in self._variable:
+        for pattern, _function, _counter, _synth in self._variable:
             lines.append(
                 f"len {pattern.min_length}+  : {render_regex(pattern)}"
             )
@@ -172,7 +233,7 @@ class FormatDispatcher:
         formats: List[Dict[str, object]] = []
         total = 0
         for length in sorted(self._by_length):
-            for pattern, _function, counter in self._by_length[length]:
+            for pattern, _function, counter, _synth in self._by_length[length]:
                 formats.append(
                     {
                         "regex": render_regex(pattern),
@@ -181,7 +242,7 @@ class FormatDispatcher:
                     }
                 )
                 total += counter.value
-        for pattern, _function, counter in self._variable:
+        for pattern, _function, counter, _synth in self._variable:
             formats.append(
                 {
                     "regex": render_regex(pattern),

@@ -18,15 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.codegen.batch import BatchHashCallable
+from repro.codegen.cache import get_compile_cache
 from repro.codegen.cpp_backend import emit_cpp
-from repro.codegen.ir import build_ir, optimize
-from repro.codegen.python_backend import (
-    HashCallable,
-    compile_source,
-    emit_python,
-)
+from repro.codegen.python_backend import HashCallable
 from repro.core.analysis import (
     analyze_fixed_loads,
     analyze_variable_loads,
@@ -78,6 +75,9 @@ class SynthesizedHash:
     synthesis_seconds: float
     _callable: HashCallable = field(repr=False)
     name: str = "sepe_hash"
+    _batch_callable: Optional[BatchHashCallable] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __repr__(self) -> str:
         length = (
@@ -104,6 +104,25 @@ class SynthesizedHash:
     def function(self) -> HashCallable:
         """The bare compiled callable (no dataclass indirection)."""
         return self._callable
+
+    @property
+    def batch_function(self) -> BatchHashCallable:
+        """A ``hash_many(keys) -> list[int]`` over the same plan.
+
+        Compiled lazily through the process compile cache on first
+        access, so hashes that never batch pay nothing and repeated
+        formats share one compilation.
+        """
+        if self._batch_callable is None:
+            artifact = get_compile_cache().batch(
+                self.plan, name=f"{self.name}_many"
+            )
+            self._batch_callable = artifact.function
+        return self._batch_callable
+
+    def hash_many(self, keys: Sequence[bytes]) -> List[int]:
+        """Hash a batch of conforming keys with one generated call."""
+        return self.batch_function(keys)
 
     @property
     def is_bijective(self) -> bool:
@@ -302,11 +321,11 @@ def synthesize(
         if final_mix:
             plan = replace(plan, final_mix=True)
         function_name = name or f"sepe_{family.value}_hash"
-        with span("codegen.ir"):
-            ir = optimize(build_ir(plan, name=function_name))
-        python_source = emit_python(ir)
-        with span("codegen.python.compile", function=function_name):
-            compiled = compile_source(python_source, function_name)
+        # The compile cache skips build_ir → optimize → emit → exec
+        # entirely when this plan was already lowered under this name.
+        artifact = get_compile_cache().scalar(plan, name=function_name)
+        python_source = artifact.source
+        compiled = artifact.function
     elapsed = time.perf_counter() - started
     return SynthesizedHash(
         family=family,
@@ -380,11 +399,9 @@ def synthesize_short_key(
     )
     function_name = f"sepe_{family.value}_short_hash"
     with span("synthesize.short_key", family=family.value):
-        with span("codegen.ir"):
-            ir = optimize(build_ir(plan, name=function_name))
-        python_source = emit_python(ir)
-        with span("codegen.python.compile", function=function_name):
-            compiled = compile_source(python_source, function_name)
+        artifact = get_compile_cache().scalar(plan, name=function_name)
+        python_source = artifact.source
+        compiled = artifact.function
     elapsed = time.perf_counter() - started
     return SynthesizedHash(
         family=family,

@@ -16,6 +16,7 @@ with the hardware instruction; tests cross-check them.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 MASK64 = (1 << 64) - 1
@@ -93,6 +94,30 @@ def pdep(src: int, mask: int) -> int:
     return dst
 
 
+@lru_cache(maxsize=1024)
+def _mask_to_runs_cached(mask: int) -> Tuple[Tuple[int, int, int], ...]:
+    """Memoized core of :func:`mask_to_runs` over the normalized mask.
+
+    Repeated synthesis of the same format decomposes the same masks for
+    every pext emission; the decomposition is pure in the 64-bit mask, so
+    it is cached (as an immutable tuple — callers get fresh lists).
+    """
+    runs: List[Tuple[int, int, int]] = []
+    out_pos = 0
+    bit = 0
+    while mask >> bit:
+        if (mask >> bit) & 1:
+            start = bit
+            while (mask >> bit) & 1:
+                bit += 1
+            length = bit - start
+            runs.append((start, (1 << length) - 1, out_pos))
+            out_pos += length
+        else:
+            bit += 1
+    return tuple(runs)
+
+
 def mask_to_runs(mask: int) -> List[Tuple[int, int, int]]:
     """Decompose ``mask`` into contiguous runs of set bits.
 
@@ -112,21 +137,7 @@ def mask_to_runs(mask: int) -> List[Tuple[int, int, int]]:
     """
     if mask < 0:
         raise ValueError("mask must be non-negative")
-    mask &= MASK64
-    runs: List[Tuple[int, int, int]] = []
-    out_pos = 0
-    bit = 0
-    while mask >> bit:
-        if (mask >> bit) & 1:
-            start = bit
-            while (mask >> bit) & 1:
-                bit += 1
-            length = bit - start
-            runs.append((start, (1 << length) - 1, out_pos))
-            out_pos += length
-        else:
-            bit += 1
-    return runs
+    return list(_mask_to_runs_cached(mask & MASK64))
 
 
 def pext_via_runs(src: int, runs: List[Tuple[int, int, int]]) -> int:

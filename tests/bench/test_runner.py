@@ -66,3 +66,53 @@ class TestRunExperiment:
         suite = {"STL": stl_hash_bytes}
         grouped = run_grid(suite, [cell, cell], samples=1, affectations=200)
         assert len(grouped["STL"]) == 2
+
+
+class TestCalibration:
+    def test_calibration_reduces_reported_time(self, ssn_keys):
+        raw = measure_h_time(
+            stl_hash_bytes, ssn_keys, repeats=3, calibrate=False
+        )
+        calibrated = measure_h_time(
+            stl_hash_bytes, ssn_keys, repeats=3, calibrate=True
+        )
+        # Subtracting the empty-loop baseline can only shrink the figure
+        # (up to timing noise; allow a small margin).
+        assert calibrated <= raw * 1.2
+
+    def test_calibrated_time_clamped_at_zero(self, ssn_keys):
+        # A no-op "hash" is indistinguishable from loop overhead; after
+        # subtraction the figure must never go negative.
+        noop = measure_h_time(lambda key: 0, ssn_keys, repeats=3)
+        assert noop >= 0.0
+
+
+class TestHTimeBatch:
+    def test_batch_measurement_positive(self, ssn_keys):
+        from repro.bench.runner import measure_h_time_batch
+
+        def hash_many(keys):
+            return [stl_hash_bytes(key) for key in keys]
+
+        assert measure_h_time_batch(hash_many, ssn_keys) > 0
+
+    def test_empty_rejected(self):
+        from repro.bench.runner import measure_h_time_batch
+
+        with pytest.raises(ValueError):
+            measure_h_time_batch(lambda keys: [], [])
+
+    def test_specialized_batch_beats_scalar(self, ssn_keys):
+        """The tentpole claim, in miniature: the synthesized batch kernel
+        is faster per key than per-key scalar calls on the same sample."""
+        from repro.bench.runner import measure_h_time_batch
+        from repro.core.plan import HashFamily
+        from repro.core.synthesis import synthesize
+        from repro.keygen.keyspec import KEY_TYPES
+
+        synthesized = synthesize(KEY_TYPES["SSN"].regex, HashFamily.PEXT)
+        scalar = measure_h_time(synthesized.function, ssn_keys, repeats=3)
+        batch = measure_h_time_batch(
+            synthesized.batch_function, ssn_keys, repeats=3
+        )
+        assert batch < scalar

@@ -131,3 +131,43 @@ class TestObs:
 
         assert run(["obs"]) == 0
         assert not tracing_enabled()
+
+
+class TestBenchBatch:
+    def test_bench_batch_tiny(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "batch.json")
+        assert run(
+            [
+                "bench",
+                "--batch",
+                "--key-types",
+                "SSN",
+                "--keys",
+                "2000",
+                "--samples",
+                "2",
+                "--batch-out",
+                out_path,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "best batch speedup" in out
+        with open(out_path) as handle:
+            report = json.load(handle)
+        assert report["experiment"] == "batch_vs_scalar_h_time"
+        assert len(report["rows"]) == 4  # one per family
+
+    def test_bench_without_table_or_batch_errors(self, capsys):
+        assert run(["bench"]) == 1
+        assert "--batch" in capsys.readouterr().err
+
+
+class TestObsCompileCache:
+    def test_obs_reports_compile_cache(self, capsys):
+        assert run(["obs", r"\d{3}-\d{2}-\d{4}"]) == 0
+        out = capsys.readouterr().out
+        assert "compile cache:" in out
+        assert "exec calls" in out

@@ -1,0 +1,127 @@
+"""Tests for reserve() and the bulk insert paths.
+
+STL semantics: ``reserve(n)`` jumps the bucket table straight to the
+policy's prime for ``n`` elements, so a subsequent bulk insert rehashes
+zero times — telemetry's ``resize_events`` is the witness.
+"""
+
+import pytest
+
+from repro.containers import (
+    UnorderedMap,
+    UnorderedMultimap,
+    UnorderedMultiset,
+    UnorderedSet,
+)
+from repro.containers.base import ContainerTelemetry
+from repro.hashes import stl_hash_bytes
+
+
+def keyed(count):
+    return [(b"key-%06d" % i, i) for i in range(count)]
+
+
+class TestReserve:
+    def test_reserve_prevents_incremental_rehashes(self):
+        telemetry = ContainerTelemetry()
+        table = UnorderedMap(stl_hash_bytes, telemetry=telemetry)
+        table.reserve(5000)
+        resizes_after_reserve = len(telemetry.resize_events)
+        assert resizes_after_reserve == 1  # the single upfront jump
+        for key, value in keyed(5000):
+            table.insert(key, value)
+        assert len(telemetry.resize_events) == resizes_after_reserve
+
+    def test_unreserved_growth_rehashes_many_times(self):
+        telemetry = ContainerTelemetry()
+        table = UnorderedMap(stl_hash_bytes, telemetry=telemetry)
+        for key, value in keyed(5000):
+            table.insert(key, value)
+        assert len(telemetry.resize_events) > 1
+
+    def test_reserve_is_monotonic(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.reserve(1000)
+        buckets = table.bucket_count
+        table.reserve(10)  # shrinking is a no-op, as in STL
+        assert table.bucket_count == buckets
+
+    def test_reserve_respects_load_factor(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.reserve(1000)
+        for key, value in keyed(1000):
+            table.insert(key, value)
+        assert table.load_factor <= table._policy.max_load_factor + 1e-9
+
+
+class TestInsertMany:
+    def test_map_insert_many(self):
+        table = UnorderedMap(stl_hash_bytes)
+        inserted = table.insert_many(keyed(500))
+        assert inserted == 500
+        assert len(table) == 500
+        assert table.find(b"key-000123") == 123
+
+    def test_map_insert_many_skips_duplicates(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.insert(b"key-000001", "original")
+        inserted = table.insert_many(keyed(10))
+        assert inserted == 9
+        assert table.find(b"key-000001") == "original"  # STL: first wins
+
+    def test_insert_many_single_resize(self):
+        telemetry = ContainerTelemetry()
+        table = UnorderedMap(stl_hash_bytes, telemetry=telemetry)
+        table.insert_many(keyed(5000))
+        assert len(telemetry.resize_events) == 1
+
+    def test_insert_many_accepts_generator(self):
+        table = UnorderedMap(stl_hash_bytes)
+        assert table.insert_many((k, v) for k, v in keyed(50)) == 50
+
+    def test_insert_many_matches_loop_inserts(self):
+        bulk = UnorderedMap(stl_hash_bytes)
+        loop = UnorderedMap(stl_hash_bytes)
+        bulk.insert_many(keyed(300))
+        for key, value in keyed(300):
+            loop.insert(key, value)
+        assert sorted(bulk.items()) == sorted(loop.items())
+
+    def test_set_insert_many(self):
+        table = UnorderedSet(stl_hash_bytes)
+        inserted = table.insert_many([b"a", b"b", b"c", b"a"])
+        assert inserted == 3
+        assert len(table) == 3
+        assert table.find(b"b")
+
+    def test_multimap_insert_many_keeps_duplicates(self):
+        table = UnorderedMultimap(stl_hash_bytes)
+        inserted = table.insert_many([(b"k", 1), (b"k", 2), (b"x", 3)])
+        assert inserted == 3
+        assert table.count(b"k") == 2
+
+    def test_multiset_insert_many_keeps_duplicates(self):
+        table = UnorderedMultiset(stl_hash_bytes)
+        inserted = table.insert_many([b"k", b"k", b"x"])
+        assert inserted == 3
+        assert table.count(b"k") == 2
+
+
+class TestUpdate:
+    def test_update_overwrites_like_assign(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.insert(b"key-000001", "stale")
+        table.update(keyed(10))
+        assert table.find(b"key-000001") == 1
+        assert len(table) == 10
+
+    def test_update_single_resize(self):
+        telemetry = ContainerTelemetry()
+        table = UnorderedMap(stl_hash_bytes, telemetry=telemetry)
+        table.update(keyed(5000))
+        assert len(telemetry.resize_events) == 1
+
+    def test_update_accepts_generator(self):
+        table = UnorderedMap(stl_hash_bytes)
+        table.update((k, v) for k, v in keyed(25))
+        assert len(table) == 25

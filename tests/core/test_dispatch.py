@@ -170,3 +170,88 @@ class TestVariableLengthFormats:
 
         dispatcher = FormatDispatcher(fallback=fnv1a_64)
         assert dispatcher(b"anything") == fnv1a_64(b"anything")
+
+
+class TestHashMany:
+    @pytest.fixture(scope="class")
+    def dispatcher(self):
+        return build_dispatcher([SSN, IPV4, MAC])
+
+    def test_matches_per_key_dispatch(self, dispatcher):
+        keys = []
+        for name in ("SSN", "IPV4", "MAC"):
+            keys.extend(generate_keys(name, 40, Distribution.UNIFORM, seed=2))
+        keys.append(b"no-format-has-this-length!")
+        assert dispatcher.hash_many(keys) == [dispatcher(k) for k in keys]
+
+    def test_interleaved_formats_stay_aligned(self, dispatcher):
+        ssn = generate_keys("SSN", 30, Distribution.UNIFORM, seed=3)
+        mac = generate_keys("MAC", 30, Distribution.UNIFORM, seed=3)
+        keys = [k for pair in zip(ssn, mac) for k in pair]
+        results = dispatcher.hash_many(keys)
+        for key, value in zip(keys, results):
+            assert value == dispatcher(key)
+
+    def test_empty_batch(self, dispatcher):
+        assert dispatcher.hash_many([]) == []
+
+    def test_counters_advance_by_group_size(self):
+        dispatcher = build_dispatcher([SSN, MAC])
+        keys = (
+            generate_keys("SSN", 5, Distribution.UNIFORM, seed=4)
+            + generate_keys("MAC", 7, Distribution.UNIFORM, seed=4)
+            + [b"??", b"???"]
+        )
+        dispatcher.hash_many(keys)
+        stats = dispatcher.stats()
+        by_length = {
+            entry["length"]: entry["routes"] for entry in stats["formats"]
+        }
+        assert by_length[11] == 5
+        assert by_length[17] == 7
+        assert stats["fallback_routes"] == 2
+
+    def test_fallback_values_match_scalar_fallback(self):
+        dispatcher = build_dispatcher([SSN])
+        keys = [b"odd", b"123-45-6789", b"another-unknown-length"]
+        results = dispatcher.hash_many(keys)
+        assert results[0] == stl_hash_bytes(keys[0])
+        assert results[2] == stl_hash_bytes(keys[2])
+
+
+class TestCompileOnce:
+    def test_routing_same_format_twice_compiles_once(self):
+        """Steady-state routing performs zero exec: the callable compiled
+        at registration is reused for every subsequent route."""
+        from repro.obs.metrics import get_registry
+
+        dispatcher = build_dispatcher([SSN])
+        exec_counter = get_registry().counter("codegen.python.exec_calls")
+        dispatcher(b"123-45-6789")  # warm any lazy path
+        before = exec_counter.value
+        for _ in range(50):
+            dispatcher(b"123-45-6789")
+        assert exec_counter.value == before
+
+    def test_reregistering_format_hits_compile_cache(self):
+        """A second dispatcher registering the same format gets its
+        callable from the content-addressed cache — no new exec."""
+        from repro.obs.metrics import get_registry
+
+        build_dispatcher([MAC])  # ensure the cache entry exists
+        exec_counter = get_registry().counter("codegen.python.exec_calls")
+        before = exec_counter.value
+        build_dispatcher([MAC])
+        assert exec_counter.value == before
+
+    def test_hash_many_reuses_batch_kernel(self):
+        from repro.obs.metrics import get_registry
+
+        dispatcher = build_dispatcher([SSN])
+        keys = generate_keys("SSN", 30, Distribution.UNIFORM, seed=5)
+        dispatcher.hash_many(keys)  # compiles the batch kernel lazily
+        exec_counter = get_registry().counter("codegen.python.exec_calls")
+        before = exec_counter.value
+        for _ in range(10):
+            dispatcher.hash_many(keys)
+        assert exec_counter.value == before

@@ -15,7 +15,15 @@ SSN = r"\d{3}-\d{2}-\d{4}"
 
 @pytest.fixture(autouse=True)
 def _clean_obs_state():
-    """Every test starts and ends with observability fully off."""
+    """Every test starts and ends with observability fully off.
+
+    The compile cache is cleared too: these tests assert on the spans of
+    a *cold* synthesis pipeline, and a warm cache legitimately elides
+    the codegen stages.
+    """
+    from repro.codegen.cache import get_compile_cache
+
+    get_compile_cache().clear()
     obs.disable_tracing()
     obs.disable_container_telemetry()
     yield
