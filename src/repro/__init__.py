@@ -23,9 +23,11 @@ paper-versus-measured record.
 from repro.core import (
     HashFamily,
     KeyPattern,
+    PatternAccumulator,
     SynthesizedHash,
     ValidationReport,
     infer_pattern,
+    infer_pattern_parallel,
     pattern_from_regex,
     render_regex,
     synthesize,
@@ -49,6 +51,7 @@ __all__ = [
     "HashFamily",
     "KeyFormatError",
     "KeyPattern",
+    "PatternAccumulator",
     "RegexSyntaxError",
     "SepeError",
     "SynthesisError",
@@ -56,6 +59,7 @@ __all__ = [
     "UnsupportedPatternError",
     "ValidationReport",
     "infer_pattern",
+    "infer_pattern_parallel",
     "pattern_from_regex",
     "render_regex",
     "synthesize",

@@ -21,7 +21,12 @@ This package implements the paper's primary contribution:
   producing the **Naive**, **OffXor**, **Aes** and **Pext** families.
 """
 
-from repro.core.inference import infer_pattern
+from repro.core.fast_infer import (
+    PatternAccumulator,
+    infer_pattern_parallel,
+    join_keys_fast,
+)
+from repro.core.inference import coverage_report, infer_pattern
 from repro.core.pattern import TOP, KeyPattern
 from repro.core.quads import join, join_many, key_to_quads
 from repro.core.regex_expand import pattern_from_regex
@@ -43,12 +48,16 @@ __all__ = [
     "FormatDispatcher",
     "HashFamily",
     "KeyPattern",
+    "PatternAccumulator",
     "SynthesizedHash",
     "ValidationReport",
     "build_dispatcher",
+    "coverage_report",
     "explain",
     "explain_format",
     "infer_pattern",
+    "infer_pattern_parallel",
+    "join_keys_fast",
     "invert_hash",
     "invertible",
     "join",

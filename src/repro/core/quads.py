@@ -68,6 +68,15 @@ def leq(a: Quad, b: Quad) -> bool:
     return join(a, b) == b
 
 
+_BYTE_QUADS: Tuple[Tuple[int, int, int, int], ...] = tuple(
+    ((byte >> 6) & 3, (byte >> 4) & 3, (byte >> 2) & 3, byte & 3)
+    for byte in range(256)
+)
+"""All 256 byte→quads splits, precomputed: the reference join calls
+:func:`byte_to_quads` four times per byte per key, so the split must be
+a tuple load, not four shifts and a tuple build."""
+
+
 def byte_to_quads(byte: int) -> Tuple[int, int, int, int]:
     """Split a byte into its four bit pairs, most significant first.
 
@@ -76,12 +85,7 @@ def byte_to_quads(byte: int) -> Tuple[int, int, int, int]:
     """
     if not 0 <= byte <= 0xFF:
         raise ValueError(f"byte out of range: {byte}")
-    return (
-        (byte >> 6) & 3,
-        (byte >> 4) & 3,
-        (byte >> 2) & 3,
-        byte & 3,
-    )
+    return _BYTE_QUADS[byte]
 
 
 def quads_to_byte(quads: Sequence[int]) -> int:
@@ -111,9 +115,8 @@ def key_to_quads(key: bytes, pad_to_bytes: int = 0) -> List[Quad]:
     >>> key_to_quads(b'J', pad_to_bytes=2)
     [1, 0, 2, 2, None, None, None, None]
     """
-    quads: List[Quad] = []
-    for byte in key:
-        quads.extend(byte_to_quads(byte))
+    table = _BYTE_QUADS
+    quads: List[Quad] = [quad for byte in key for quad in table[byte]]
     if pad_to_bytes > len(key):
         quads.extend([None] * (QUADS_PER_BYTE * (pad_to_bytes - len(key))))
     return quads
@@ -149,12 +152,35 @@ def quads_const_mask(quads: Sequence[Quad]) -> Tuple[int, int]:
     >>> quads_const_mask([None, 3])  # high pair varies
     (3, 3)
     """
+    # Accumulate byte-sized groups and combine them with one
+    # ``int.from_bytes`` instead of left-shifting an ever-growing int
+    # per quad, which is quadratic in the pattern length.
+    total = len(quads)
+    lead = total % QUADS_PER_BYTE
     mask = 0
     value = 0
-    for quad in quads:
+    for index in range(lead):
+        quad = quads[index]
         mask <<= 2
         value <<= 2
         if quad is not None:
             mask |= 3
             value |= quad
+    mask_bytes = bytearray()
+    value_bytes = bytearray()
+    for index in range(lead, total, QUADS_PER_BYTE):
+        mask_byte = 0
+        value_byte = 0
+        for quad in quads[index : index + QUADS_PER_BYTE]:
+            mask_byte <<= 2
+            value_byte <<= 2
+            if quad is not None:
+                mask_byte |= 3
+                value_byte |= quad
+        mask_bytes.append(mask_byte)
+        value_bytes.append(value_byte)
+    if mask_bytes:
+        shift = 8 * len(mask_bytes)
+        mask = (mask << shift) | int.from_bytes(mask_bytes, "big")
+        value = (value << shift) | int.from_bytes(value_bytes, "big")
     return mask, value
