@@ -9,6 +9,8 @@ Subcommands:
 - ``sepe bench`` — run one of the paper's tables at reduced scale.
 - ``sepe obs`` — trace a synthesis run; print the span tree, dispatcher
   routing stats, and (optionally) a metrics snapshot / JSON-lines export.
+- ``sepe fuzz`` — run a seeded differential/metamorphic fuzz campaign
+  over the whole pipeline; minimized reproducers land in the corpus.
 """
 
 from __future__ import annotations
@@ -232,6 +234,62 @@ def _run_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    """Seeded fuzz campaign: JSON report to stdout, summary to stderr."""
+    import json
+    from pathlib import Path
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+    from repro.fuzz.oracles import ORACLES
+
+    if args.list_oracles:
+        for oracle in ORACLES.values():
+            print(f"{oracle.name:20s} [{oracle.group}] {oracle.description}")
+        return 0
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget_seconds=args.budget,
+            max_cases=args.max_cases,
+            oracles=args.oracles or None,
+            keys_per_case=args.keys_per_case,
+            shrink_seconds=args.shrink_budget,
+            corpus_dir=Path(args.corpus) if args.corpus else None,
+        )
+        report = run_fuzz(config)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    document = report.to_dict()
+    print(
+        f"fuzz: seed {report.seed}, {report.cases} cases, "
+        f"{report.total_executions} oracle executions in "
+        f"{report.elapsed_seconds:.1f}s "
+        f"({document['executions_per_second']}/s)",
+        file=sys.stderr,
+    )
+    for failure in report.failures:
+        where = (
+            f" -> {failure.reproducer_path}"
+            if failure.reproducer_path
+            else ""
+        )
+        print(
+            f"FAIL [{failure.oracle}] {failure.message} "
+            f"(shrunk to {len(failure.shrunk.keys)} keys, "
+            f"regex {failure.shrunk.spec.regex()!r}){where}",
+            file=sys.stderr,
+        )
+    if report.ok:
+        print("all oracles held", file=sys.stderr)
+    output = json.dumps(document, indent=2, sort_keys=True)
+    if args.report:
+        Path(args.report).write_text(output + "\n")
+        print(f"wrote report to {args.report}", file=sys.stderr)
+    print(output)
+    return 0 if report.ok else 1
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
@@ -355,6 +413,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the process-wide metrics registry snapshot",
     )
 
+    fuzz = subparsers.add_parser(
+        "fuzz", help="fuzz the pipeline with differential/metamorphic oracles"
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=30.0,
+        help="wall-clock seconds for the case loop (default: 30)",
+    )
+    fuzz.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        help="stop after exactly N cases regardless of budget",
+    )
+    fuzz.add_argument(
+        "--oracles",
+        nargs="*",
+        metavar="NAME",
+        help="run only these oracles (default: all; see --list-oracles)",
+    )
+    fuzz.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="list oracle names and exit",
+    )
+    fuzz.add_argument(
+        "--keys-per-case",
+        type=int,
+        default=24,
+        help="conforming keys drawn per sampled format",
+    )
+    fuzz.add_argument(
+        "--shrink-budget",
+        type=float,
+        default=5.0,
+        help="seconds spent minimizing each distinct failure",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="persist minimized reproducers under DIR",
+    )
+    fuzz.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+
     bench = subparsers.add_parser("bench", help="run a paper table")
     bench.add_argument(
         "table", type=int, choices=[1, 2, 3], nargs="?", default=None
@@ -408,6 +516,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_validate(args)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-full":

@@ -32,7 +32,10 @@ MASK64 = (1 << 64) - 1
 
 
 def sample_conforming_keys(
-    pattern: KeyPattern, count: int, seed: int = 0
+    pattern: KeyPattern,
+    count: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[bytes]:
     """Draw random keys conforming to ``pattern``.
 
@@ -40,12 +43,19 @@ def sample_conforming_keys(
     variable-length patterns get a uniformly chosen tail length (up to
     ``max_length`` or body + 16 for unbounded tails).
 
+    Randomness comes either from ``seed`` (a fresh ``random.Random`` per
+    call, so equal seeds give byte-for-byte equal samples) or from an
+    explicit ``rng`` — the form fuzzing and shrinking use to thread one
+    replayable stream through many draws.  When ``rng`` is given,
+    ``seed`` is ignored.
+
     Raises:
         SynthesisError: for a pattern with an empty body.
     """
     if pattern.body_length == 0:
         raise SynthesisError("cannot sample keys for an empty pattern")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     choices = [
         pattern.byte_pattern(index).possible_bytes()
         for index in range(pattern.num_bytes)

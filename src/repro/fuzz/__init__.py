@@ -1,0 +1,101 @@
+"""``repro.fuzz``: differential fuzzing for the synthesis pipeline.
+
+The pipeline has many independently-implemented paths that must agree
+bit for bit — compiled Python vs the IR interpreter, batch vs scalar,
+three inference engines, serialization round trips — plus algebraic
+laws the paper proves (the quad join is a bounded semilattice).  This
+package turns those facts into a standing correctness engine:
+
+- :mod:`repro.fuzz.generators` — seeded format/key samplers stratified
+  along the paper's length/const/range constraint axes, with one
+  mutation operator per axis;
+- :mod:`repro.fuzz.oracles` — differential and metamorphic invariant
+  checks over one (format, key-set) case;
+- :mod:`repro.fuzz.harness` — the seeded, time-budgeted campaign loop;
+- :mod:`repro.fuzz.shrink` — greedy minimization of failing cases;
+- :mod:`repro.fuzz.corpus` — JSON reproducers under ``tests/corpora/``
+  with deterministic replay;
+- :mod:`repro.fuzz.faults` — deliberate bug injection, so the test
+  suite can prove the fuzzer catches what it claims to catch.
+
+Entry points: ``sepe fuzz`` on the command line, or::
+
+    from repro.fuzz import FuzzConfig, run_fuzz
+    report = run_fuzz(FuzzConfig(seed=0, budget_seconds=30))
+    assert report.ok, report.to_dict()
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import (
+    case_from_dict,
+    case_to_dict,
+    corpus_files,
+    load_reproducer,
+    replay_case,
+    replay_corpus,
+    save_reproducer,
+)
+from repro.fuzz.faults import FAULT_KINDS, injected_fault
+from repro.fuzz.generators import (
+    ALPHABETS,
+    MUTATORS,
+    UNBOUNDED,
+    FormatSpec,
+    Piece,
+    conforms,
+    mutate_format,
+    sample_format,
+    sample_keys,
+)
+from repro.fuzz.harness import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    run_fuzz,
+)
+from repro.fuzz.oracles import (
+    GROUP_DIFFERENTIAL,
+    GROUP_METAMORPHIC,
+    ORACLES,
+    CaseContext,
+    FuzzCase,
+    Oracle,
+    all_oracles,
+    resolve_oracles,
+)
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "ALPHABETS",
+    "CaseContext",
+    "FAULT_KINDS",
+    "FormatSpec",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "GROUP_DIFFERENTIAL",
+    "GROUP_METAMORPHIC",
+    "MUTATORS",
+    "ORACLES",
+    "Oracle",
+    "Piece",
+    "UNBOUNDED",
+    "all_oracles",
+    "case_from_dict",
+    "case_to_dict",
+    "conforms",
+    "corpus_files",
+    "injected_fault",
+    "load_reproducer",
+    "mutate_format",
+    "replay_case",
+    "replay_corpus",
+    "resolve_oracles",
+    "run_fuzz",
+    "sample_format",
+    "sample_keys",
+    "save_reproducer",
+    "shrink_case",
+]

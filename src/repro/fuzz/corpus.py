@@ -1,0 +1,170 @@
+"""Persistence and replay of minimized fuzz reproducers.
+
+Every failure the fuzzer shrinks is worth keeping: a reproducer file is
+a regression test that costs nothing to run and pins the exact (format,
+key-set) pair that once broke an invariant.  Reproducers live under
+``tests/corpora/`` as small JSON documents — versioned, diff-friendly,
+with keys and alphabets base64-encoded so arbitrary bytes survive the
+trip through text.
+
+Replay is deterministic by construction: a corpus entry records which
+oracle failed and the exact case; :func:`replay_case` re-runs that
+oracle (or all of them) with no randomness involved.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.generators import UNBOUNDED, FormatSpec, Piece
+from repro.fuzz.oracles import CaseContext, FuzzCase, resolve_oracles
+
+CORPUS_VERSION = 1
+
+DEFAULT_CORPUS_DIR = Path("tests") / "corpora"
+
+
+def _encode_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _decode_bytes(data: str) -> bytes:
+    return base64.b64decode(data.encode("ascii"))
+
+
+def case_to_dict(case: FuzzCase) -> Dict:
+    """A JSON-ready dict for one case (no failure metadata)."""
+    return {
+        "spec": {
+            "pieces": [
+                {
+                    "length": piece.length,
+                    "alphabet": _encode_bytes(piece.alphabet),
+                }
+                for piece in case.spec.pieces
+            ],
+            "tail": case.spec.tail,
+        },
+        "keys": [_encode_bytes(key) for key in case.keys],
+    }
+
+
+def case_from_dict(data: Dict) -> FuzzCase:
+    """Rebuild a case from :func:`case_to_dict` output."""
+    spec_data = data["spec"]
+    pieces = tuple(
+        Piece(entry["length"], _decode_bytes(entry["alphabet"]))
+        for entry in spec_data["pieces"]
+    )
+    spec = FormatSpec(pieces, spec_data.get("tail", 0))
+    keys = tuple(_decode_bytes(entry) for entry in data["keys"])
+    return FuzzCase(spec, keys)
+
+
+def reproducer_to_dict(
+    case: FuzzCase,
+    oracle: str,
+    message: str,
+    seed: Optional[int] = None,
+) -> Dict:
+    """The full corpus-file document for one minimized failure."""
+    document = {
+        "version": CORPUS_VERSION,
+        "oracle": oracle,
+        "message": message,
+        "regex": case.spec.regex(),
+        "case": case_to_dict(case),
+    }
+    if seed is not None:
+        document["seed"] = seed
+    return document
+
+
+def _slug(oracle: str, case: FuzzCase) -> str:
+    payload = json.dumps(case_to_dict(case), sort_keys=True).encode()
+    digest = hashlib.sha1(payload).hexdigest()[:8]
+    safe = re.sub(r"[^a-z0-9-]", "-", oracle.lower())
+    return f"{safe}-{digest}.json"
+
+
+def save_reproducer(
+    case: FuzzCase,
+    oracle: str,
+    message: str,
+    directory: Path,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Path:
+    """Write one reproducer file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (name or _slug(oracle, case))
+    document = reproducer_to_dict(case, oracle, message, seed=seed)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: Path) -> Tuple[FuzzCase, str, str]:
+    """Read one reproducer file: (case, oracle name, original message).
+
+    Raises:
+        ValueError: for an unsupported corpus version.
+    """
+    document = json.loads(Path(path).read_text())
+    version = document.get("version")
+    if version != CORPUS_VERSION:
+        raise ValueError(
+            f"{path}: corpus version {version!r}, expected {CORPUS_VERSION}"
+        )
+    case = case_from_dict(document["case"])
+    return case, document["oracle"], document.get("message", "")
+
+
+def corpus_files(directory: Path) -> List[Path]:
+    """All reproducer files under ``directory``, sorted for determinism."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def replay_case(
+    case: FuzzCase, oracle_name: Optional[str] = None
+) -> List[Tuple[str, str]]:
+    """Run oracles against a case; returns (oracle, message) failures.
+
+    With ``oracle_name`` only that oracle runs (the usual regression
+    check); with ``None`` every registered oracle runs, which is how a
+    reproducer for one bug can flag a second.  Exceptions escaping an
+    oracle are reported as ``crash: ...`` failures, mirroring the
+    harness.
+    """
+    names = [oracle_name] if oracle_name is not None else None
+    failures: List[Tuple[str, str]] = []
+    ctx = CaseContext(case)
+    for oracle in resolve_oracles(names):
+        try:
+            message = oracle.run(ctx)
+        except Exception as error:  # crash = failure, by design
+            message = f"crash: {type(error).__name__}: {error}"
+        if message is not None:
+            failures.append((oracle.name, message))
+    return failures
+
+
+def replay_corpus(directory: Path) -> Dict[str, List[Tuple[str, str]]]:
+    """Replay every reproducer in a directory.
+
+    Returns a mapping from file name to its (oracle, message) failures —
+    empty lists mean the historical bug stays fixed.
+    """
+    results: Dict[str, List[Tuple[str, str]]] = {}
+    for path in corpus_files(directory):
+        case, oracle_name, _ = load_reproducer(path)
+        results[path.name] = replay_case(case, oracle_name)
+    return results

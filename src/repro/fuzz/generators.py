@@ -1,0 +1,315 @@
+"""Seeded format and key generators for the fuzzing subsystem.
+
+The fuzzer does not sample regex *strings* — it samples a structured
+:class:`FormatSpec` (a sequence of byte-class pieces plus an optional
+variable tail) and derives the regex from it.  Structure is what makes
+shrinking possible: the minimizer can drop a piece and slice the
+corresponding byte span out of every key, keeping the (format, key-set)
+pair consistent at every step.
+
+Sampling is stratified along the paper's three constraint axes:
+
+- **length** — body size, fixed length vs bounded tail (``.{0,k}``) vs
+  unbounded tail (``.*``);
+- **const** — what fraction of the body is fully-constant separator
+  bytes (the paper's OffXor axis: constant subsequences to skip);
+- **range** — how wide each varying position's byte class is, from
+  two-byte sets through digits/hex/letters up to "any byte" (the Pext
+  axis: which bits of a byte are constant).
+
+Mutation operators perturb a spec along exactly *one* axis, so a fuzz
+campaign can walk the format space locally instead of only sampling
+independently.  Every function here draws randomness exclusively from
+the ``random.Random`` instance it is handed — no module-level RNG, no
+hidden state — which is what makes a fuzz run replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.regex_render import _escape_literal, _render_ranges
+
+UNBOUNDED = -1
+"""``FormatSpec.tail`` value for an unbounded ``.*`` tail."""
+
+_SEPARATORS = b"-._:/ ,;"
+"""Constant-piece byte pool: the separators real-world formats use."""
+
+_UNBOUNDED_SAMPLE_TAIL = 12
+"""Longest tail drawn for unbounded-tail formats when sampling keys."""
+
+ALPHABETS = {
+    "digits": bytes(range(ord("0"), ord("9") + 1)),
+    "lower": bytes(range(ord("a"), ord("z") + 1)),
+    "upper": bytes(range(ord("A"), ord("Z") + 1)),
+    "hex": bytes(range(ord("0"), ord("9") + 1))
+    + bytes(range(ord("a"), ord("f") + 1)),
+    "alnum": bytes(range(ord("0"), ord("9") + 1))
+    + bytes(range(ord("A"), ord("Z") + 1))
+    + bytes(range(ord("a"), ord("z") + 1)),
+    "binary": b"01",
+    "octal": bytes(range(ord("0"), ord("7") + 1)),
+    "printable": bytes(range(0x20, 0x7F)),
+    "any": bytes(range(0x100)),
+}
+"""Named byte pools the range axis draws classes from."""
+
+_POOL_NAMES = tuple(ALPHABETS)
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One run of identically-classed body bytes.
+
+    Attributes:
+        length: how many consecutive key bytes this piece covers.
+        alphabet: the sorted, distinct byte values each of those
+            positions admits; a single byte makes the piece constant.
+    """
+
+    length: int
+    alphabet: bytes
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("piece length must be positive")
+        if not self.alphabet:
+            raise ValueError("piece alphabet must be non-empty")
+        canonical = bytes(sorted(set(self.alphabet)))
+        if canonical != self.alphabet:
+            object.__setattr__(self, "alphabet", canonical)
+
+    @property
+    def is_const(self) -> bool:
+        """True when every position of this piece is one fixed byte."""
+        return len(self.alphabet) == 1
+
+    def fragment(self) -> str:
+        """The regex fragment for one position of this piece."""
+        if self.is_const:
+            return _escape_literal(self.alphabet[0])
+        return "[" + _render_ranges(sorted(self.alphabet)) + "]"
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """A fuzzable key format: body pieces plus an optional tail.
+
+    Attributes:
+        pieces: the fixed body, in key order.
+        tail: ``0`` for a fixed-length format, ``k > 0`` for a bounded
+            ``.{0,k}`` tail, :data:`UNBOUNDED` for a trailing ``.*``.
+    """
+
+    pieces: Tuple[Piece, ...]
+    tail: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tail < UNBOUNDED:
+            raise ValueError(f"invalid tail: {self.tail}")
+
+    @property
+    def body_length(self) -> int:
+        """Bytes guaranteed present in every conforming key."""
+        return sum(piece.length for piece in self.pieces)
+
+    @property
+    def is_fixed_length(self) -> bool:
+        return self.tail == 0
+
+    def regex(self) -> str:
+        """Render the spec as a format regex the pipeline accepts."""
+        parts: List[str] = []
+        for piece in self.pieces:
+            fragment = piece.fragment()
+            if piece.length > 1:
+                parts.append(f"{fragment}{{{piece.length}}}")
+            else:
+                parts.append(fragment)
+        if self.tail == UNBOUNDED:
+            parts.append(".*")
+        elif self.tail > 0:
+            parts.append(f".{{0,{self.tail}}}")
+        return "".join(parts)
+
+    def piece_spans(self) -> List[Tuple[int, int]]:
+        """Byte span ``(start, end)`` of each piece within a key."""
+        spans: List[Tuple[int, int]] = []
+        position = 0
+        for piece in self.pieces:
+            spans.append((position, position + piece.length))
+            position += piece.length
+        return spans
+
+    def sample_key(self, rng: random.Random) -> bytes:
+        """Draw one conforming key from the spec."""
+        key = bytearray()
+        for piece in self.pieces:
+            alphabet = piece.alphabet
+            for _ in range(piece.length):
+                key.append(alphabet[rng.randrange(len(alphabet))])
+        if self.tail == UNBOUNDED:
+            tail_length = rng.randint(0, _UNBOUNDED_SAMPLE_TAIL)
+        elif self.tail > 0:
+            tail_length = rng.randint(0, self.tail)
+        else:
+            tail_length = 0
+        for _ in range(tail_length):
+            key.append(rng.randrange(0x100))
+        return bytes(key)
+
+
+def sample_keys(
+    spec: FormatSpec, rng: random.Random, count: int
+) -> List[bytes]:
+    """Draw ``count`` conforming keys (duplicates possible, as in life)."""
+    return [spec.sample_key(rng) for _ in range(count)]
+
+
+def sample_format(
+    rng: random.Random,
+    min_body: int = 8,
+    max_body: int = 40,
+) -> FormatSpec:
+    """Sample a random-but-valid format, stratified along the three axes.
+
+    The result always has a body of at least ``min_body`` bytes, so it
+    is synthesizable by default (the paper refuses sub-word formats).
+    """
+    # Length axis: body size and tail shape.
+    target_body = rng.randint(min_body, max_body)
+    tail_kind = rng.random()
+    if tail_kind < 0.70:
+        tail = 0
+    elif tail_kind < 0.85:
+        tail = rng.randint(1, 8)
+    else:
+        tail = UNBOUNDED
+    # Const axis: fraction of constant separator bytes.
+    const_fraction = rng.choice((0.0, 0.0, 0.15, 0.3, 0.5))
+    # Range axis: which pool varying classes come from ("mixed" redraws
+    # the pool per piece).
+    pool_name = rng.choice(_POOL_NAMES + ("mixed",))
+    pieces: List[Piece] = []
+    body = 0
+    while body < target_body:
+        length = min(rng.randint(1, 6), target_body - body)
+        if pieces and rng.random() < const_fraction:
+            byte = _SEPARATORS[rng.randrange(len(_SEPARATORS))]
+            pieces.append(Piece(length, bytes([byte])))
+        else:
+            name = (
+                rng.choice(_POOL_NAMES) if pool_name == "mixed" else pool_name
+            )
+            pieces.append(Piece(length, ALPHABETS[name]))
+        body += length
+    return FormatSpec(tuple(pieces), tail)
+
+
+# -- mutation operators (one axis at a time) --------------------------------
+
+
+def mutate_length(spec: FormatSpec, rng: random.Random) -> FormatSpec:
+    """Perturb the length axis: resize a piece or reshape the tail."""
+    choice = rng.random()
+    if choice < 0.4 or not spec.pieces:
+        # Reshape the tail: fixed -> bounded -> unbounded -> fixed.
+        if spec.tail == 0:
+            tail = rng.randint(1, 8) if rng.random() < 0.5 else UNBOUNDED
+        elif spec.tail == UNBOUNDED:
+            tail = 0
+        else:
+            tail = 0 if rng.random() < 0.5 else UNBOUNDED
+        return replace(spec, tail=tail)
+    index = rng.randrange(len(spec.pieces))
+    piece = spec.pieces[index]
+    delta = rng.choice((-2, -1, 1, 2, 3))
+    new_length = max(1, piece.length + delta)
+    pieces = list(spec.pieces)
+    pieces[index] = replace(piece, length=new_length)
+    return replace(spec, pieces=tuple(pieces))
+
+
+def mutate_const(spec: FormatSpec, rng: random.Random) -> FormatSpec:
+    """Perturb the const axis: freeze a class piece or thaw a constant."""
+    if not spec.pieces:
+        return spec
+    index = rng.randrange(len(spec.pieces))
+    piece = spec.pieces[index]
+    pieces = list(spec.pieces)
+    if piece.is_const:
+        name = rng.choice(_POOL_NAMES)
+        pieces[index] = replace(piece, alphabet=ALPHABETS[name])
+    else:
+        byte = piece.alphabet[rng.randrange(len(piece.alphabet))]
+        pieces[index] = replace(piece, alphabet=bytes([byte]))
+    return replace(spec, pieces=tuple(pieces))
+
+
+def mutate_range(spec: FormatSpec, rng: random.Random) -> FormatSpec:
+    """Perturb the range axis: widen or narrow one piece's byte class."""
+    class_indexes = [
+        index
+        for index, piece in enumerate(spec.pieces)
+        if not piece.is_const
+    ]
+    if not class_indexes:
+        return mutate_const(spec, rng)
+    index = class_indexes[rng.randrange(len(class_indexes))]
+    piece = spec.pieces[index]
+    pieces = list(spec.pieces)
+    if rng.random() < 0.5:
+        widened = bytes(
+            sorted(
+                set(piece.alphabet)
+                | set(ALPHABETS[rng.choice(_POOL_NAMES)])
+            )
+        )
+        pieces[index] = replace(piece, alphabet=widened)
+    else:
+        size = max(2, len(piece.alphabet) // 2)
+        narrowed = bytes(sorted(rng.sample(list(piece.alphabet), size)))
+        pieces[index] = replace(piece, alphabet=narrowed)
+    return replace(spec, pieces=tuple(pieces))
+
+
+MUTATORS = {
+    "length": mutate_length,
+    "const": mutate_const,
+    "range": mutate_range,
+}
+"""One mutation operator per constraint axis."""
+
+
+def mutate_format(
+    spec: FormatSpec, rng: random.Random, axis: Optional[str] = None
+) -> FormatSpec:
+    """Mutate a spec along ``axis`` (or a random one).
+
+    Raises:
+        KeyError: for an unknown axis name.
+    """
+    if axis is None:
+        axis = rng.choice(tuple(MUTATORS))
+    return MUTATORS[axis](spec, rng)
+
+
+def conforms(spec: FormatSpec, key: bytes) -> bool:
+    """Check a key against the spec exactly (not the quad widening)."""
+    body = spec.body_length
+    if len(key) < body:
+        return False
+    if spec.tail == 0 and len(key) != body:
+        return False
+    if spec.tail > 0 and len(key) > body + spec.tail:
+        return False
+    position = 0
+    for piece in spec.pieces:
+        for _ in range(piece.length):
+            if key[position] not in piece.alphabet:
+                return False
+            position += 1
+    return True

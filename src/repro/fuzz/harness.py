@@ -1,0 +1,264 @@
+"""The seeded, time-budgeted fuzz loop.
+
+One call to :func:`run_fuzz` is one campaign: sample a format, draw
+conforming keys, run every selected oracle, repeat until the time
+budget (or case cap) runs out.  Half the formats are fresh samples and
+half are single-axis mutations of the previous format, so the campaign
+both covers the format space and walks it locally — mutation is where
+the length/const/range boundary bugs live.
+
+Failure handling:
+
+- an oracle returning a message is a failure; an exception escaping an
+  oracle is converted to a ``crash: ...`` failure (a valid format must
+  never crash the pipeline);
+- failures are deduplicated by (oracle, message-prefix) signature, so
+  one bug found two hundred times produces one reproducer, not two
+  hundred;
+- each new failure is greedily shrunk (:mod:`repro.fuzz.shrink`) and,
+  when a corpus directory is configured, persisted as a replayable
+  JSON reproducer (:mod:`repro.fuzz.corpus`).
+
+Everything is driven by one ``random.Random(seed)`` stream, so a
+campaign is replayable from its seed alone.  Observability: the loop
+runs under ``repro.obs`` spans and bumps ``fuzz.cases``,
+``fuzz.oracle.<name>.executions`` and ``fuzz.oracle.<name>.failures``
+counters, which is how a nightly job graphs executions-per-second.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.fuzz import shrink as shrink_module
+from repro.fuzz.corpus import save_reproducer
+from repro.fuzz.generators import (
+    FormatSpec,
+    mutate_format,
+    sample_format,
+    sample_keys,
+)
+from repro.fuzz.oracles import (
+    CaseContext,
+    FuzzCase,
+    Oracle,
+    resolve_oracles,
+)
+from repro.obs import get_registry, span
+
+
+@dataclass
+class FuzzConfig:
+    """Everything one fuzz campaign needs.
+
+    Attributes:
+        seed: root of the campaign's single RNG stream.
+        budget_seconds: wall-clock budget for the case loop (shrinking
+            failing cases is budgeted separately, per failure).
+        max_cases: optional hard cap on cases, for exact-count runs.
+        oracles: oracle names to run; ``None`` means all of them.
+        keys_per_case: conforming keys drawn per sampled format.
+        mutate_fraction: fraction of cases derived by mutating the
+            previous format instead of sampling fresh.
+        shrink_seconds: budget for minimizing each distinct failure.
+        corpus_dir: where to persist reproducers; ``None`` disables
+            persistence (failures are still shrunk and reported).
+        max_failures: stop the campaign early after this many distinct
+            failures — a broken build would otherwise spend the whole
+            budget shrinking.
+    """
+
+    seed: int = 0
+    budget_seconds: float = 10.0
+    max_cases: Optional[int] = None
+    oracles: Optional[Sequence[str]] = None
+    keys_per_case: int = 24
+    mutate_fraction: float = 0.5
+    shrink_seconds: float = shrink_module.DEFAULT_SHRINK_SECONDS
+    corpus_dir: Optional[Path] = None
+    max_failures: int = 8
+
+
+@dataclass
+class FuzzFailure:
+    """One distinct bug: the oracle, the message, the minimized case."""
+
+    oracle: str
+    message: str
+    case: FuzzCase
+    shrunk: FuzzCase
+    reproducer_path: Optional[Path] = None
+
+    def to_dict(self) -> Dict:
+        from repro.fuzz.corpus import case_to_dict
+
+        return {
+            "oracle": self.oracle,
+            "message": self.message,
+            "regex": self.shrunk.spec.regex(),
+            "keys": len(self.shrunk.keys),
+            "case": case_to_dict(self.shrunk),
+            "reproducer": (
+                str(self.reproducer_path) if self.reproducer_path else None
+            ),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """What a campaign did: counts per oracle plus distinct failures."""
+
+    seed: int
+    cases: int = 0
+    elapsed_seconds: float = 0.0
+    executions: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_executions(self) -> int:
+        return sum(self.executions.values())
+
+    def to_dict(self) -> Dict:
+        per_oracle = {
+            name: {
+                "executions": count,
+                "failures": sum(
+                    1 for failure in self.failures if failure.oracle == name
+                ),
+            }
+            for name, count in sorted(self.executions.items())
+        }
+        rate = (
+            self.total_executions / self.elapsed_seconds
+            if self.elapsed_seconds > 0
+            else 0.0
+        )
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "cases": self.cases,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "total_executions": self.total_executions,
+            "executions_per_second": round(rate, 1),
+            "oracles": per_oracle,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
+def _signature(oracle: str, message: str) -> str:
+    """Dedup key: oracle plus the shape of the message, not its data."""
+    return f"{oracle}:{message.split(' for ')[0][:80]}"
+
+
+def _failing_oracle_check(oracle: Oracle):
+    """A shrink predicate: does this oracle still fail on the case?"""
+
+    def check(candidate: FuzzCase) -> bool:
+        try:
+            return oracle.run(CaseContext(candidate)) is not None
+        except Exception:
+            return True  # Still crashing counts as still failing.
+
+    return check
+
+
+def _run_oracles(
+    oracles: Sequence[Oracle],
+    case: FuzzCase,
+    report: FuzzReport,
+    registry,
+) -> List[tuple]:
+    """Run every oracle on one case; returns raw (oracle, message) hits."""
+    ctx = CaseContext(case)
+    hits = []
+    for oracle in oracles:
+        report.executions[oracle.name] = (
+            report.executions.get(oracle.name, 0) + 1
+        )
+        registry.counter(f"fuzz.oracle.{oracle.name}.executions").inc()
+        try:
+            message = oracle.run(ctx)
+        except Exception as error:
+            message = f"crash: {type(error).__name__}: {error}"
+        if message is not None:
+            registry.counter(
+                f"fuzz.oracle.{oracle.name}.failures"
+            ).inc()
+            hits.append((oracle, message))
+    return hits
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run one fuzz campaign; never raises for bugs it *finds*.
+
+    Raises:
+        KeyError: for unknown oracle names in the config.
+    """
+    oracles = resolve_oracles(
+        list(config.oracles) if config.oracles is not None else None
+    )
+    rng = random.Random(config.seed)
+    registry = get_registry()
+    report = FuzzReport(seed=config.seed)
+    seen_signatures: Dict[str, bool] = {}
+    previous_spec: Optional[FormatSpec] = None
+    started = time.monotonic()
+    deadline = started + config.budget_seconds
+    with span("fuzz.campaign", seed=config.seed):
+        while time.monotonic() < deadline:
+            if (
+                config.max_cases is not None
+                and report.cases >= config.max_cases
+            ):
+                break
+            if len(report.failures) >= config.max_failures:
+                break
+            if (
+                previous_spec is not None
+                and rng.random() < config.mutate_fraction
+            ):
+                spec = mutate_format(previous_spec, rng)
+            else:
+                spec = sample_format(rng)
+            previous_spec = spec
+            keys = sample_keys(spec, rng, config.keys_per_case)
+            case = FuzzCase(spec, tuple(keys))
+            report.cases += 1
+            registry.counter("fuzz.cases").inc()
+            hits = _run_oracles(oracles, case, report, registry)
+            for oracle, message in hits:
+                signature = _signature(oracle.name, message)
+                if signature in seen_signatures:
+                    continue
+                seen_signatures[signature] = True
+                with span("fuzz.shrink", oracle=oracle.name):
+                    shrunk = shrink_module.shrink_case(
+                        case,
+                        _failing_oracle_check(oracle),
+                        seconds=config.shrink_seconds,
+                    )
+                failure = FuzzFailure(
+                    oracle=oracle.name,
+                    message=message,
+                    case=case,
+                    shrunk=shrunk,
+                )
+                if config.corpus_dir is not None:
+                    failure.reproducer_path = save_reproducer(
+                        shrunk,
+                        oracle.name,
+                        message,
+                        directory=config.corpus_dir,
+                        seed=config.seed,
+                    )
+                report.failures.append(failure)
+    report.elapsed_seconds = time.monotonic() - started
+    return report

@@ -1,0 +1,531 @@
+"""Differential and metamorphic oracles over one fuzz case.
+
+An *oracle* is a predicate that must hold for **every** valid (format,
+key-set) pair, not just the paper's eight formats.  Two groups:
+
+- **differential** — independently-implemented execution paths must
+  agree bit for bit: compiled Python vs the IR interpreter, batch vs
+  scalar kernels, all inference engines vs the reference join, a plan
+  round-tripped through JSON vs the original, the rendered regex vs
+  Python's own ``re`` engine.
+- **metamorphic** — algebraic laws of the pipeline itself: the quad
+  join is a commutative, associative, idempotent monoid fold
+  (Definition 3.2 / Theorem 3.3), Pext masks partition exactly the
+  varying bits, dispatcher routing is deterministic, containers stay
+  coherent under any synthesized hash.
+
+Oracles receive a :class:`CaseContext` (which lazily synthesizes and
+caches per-case artifacts so several oracles share one synthesis) and
+return ``None`` on success or a failure message.  Degenerate cases an
+oracle cannot judge (e.g. sub-word bodies, which synthesis refuses by
+design) are *skipped* by returning ``None`` — a skip is not evidence.
+
+Crashes are not caught here: the harness treats any exception escaping
+an oracle as a failure in its own right, because "valid format crashes
+the pipeline" is exactly the class of bug the fuzzer exists to find.
+"""
+
+from __future__ import annotations
+
+import random
+import re as stdlib_re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.interp import interpret
+from repro.codegen.ir import IRFunction, build_ir, optimize
+from repro.codegen.serialize import compile_serialized, dumps, loads
+from repro.core.fast_infer import PatternAccumulator, numpy_available
+from repro.core.inference import infer_pattern
+from repro.core.pattern import KeyPattern
+from repro.core.plan import HashFamily
+from repro.core.quads import leq
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.regex_render import render_regex
+from repro.core.synthesis import SynthesizedHash, synthesize
+from repro.core.validate import sample_conforming_keys
+from repro.containers import UnorderedMap
+from repro.core.dispatch import FormatDispatcher
+from repro.errors import SynthesisError
+from repro.fuzz.generators import FormatSpec
+from repro.hashes.murmur_stl import stl_hash_bytes
+from repro.isa.bits import popcount
+
+GROUP_DIFFERENTIAL = "differential"
+GROUP_METAMORPHIC = "metamorphic"
+
+_SMALL_BATCH = 3
+"""Batch size forced through the generated loop fallback (below the
+vectorized guard's minimum) so both batch lowerings are exercised."""
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One unit of fuzz work: a format spec plus conforming keys."""
+
+    spec: FormatSpec
+    keys: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.keys, tuple):
+            object.__setattr__(self, "keys", tuple(self.keys))
+
+
+class CaseContext:
+    """Lazily-built, per-case artifacts shared by all oracles.
+
+    Synthesis, IR building and pattern expansion run at most once per
+    case regardless of how many oracles consume them; the process-wide
+    compile cache already dedupes the ``exec`` cost across cases.
+    """
+
+    def __init__(self, case: FuzzCase):
+        self.case = case
+        self.spec = case.spec
+        self.keys: Tuple[bytes, ...] = case.keys
+        self._regex: Optional[str] = None
+        self._pattern: Optional[KeyPattern] = None
+        self._synthesized: Dict[HashFamily, SynthesizedHash] = {}
+        self._ir: Dict[HashFamily, IRFunction] = {}
+
+    @property
+    def regex(self) -> str:
+        if self._regex is None:
+            self._regex = self.spec.regex()
+        return self._regex
+
+    @property
+    def pattern(self) -> KeyPattern:
+        if self._pattern is None:
+            self._pattern = pattern_from_regex(self.regex)
+        return self._pattern
+
+    @property
+    def synthesizable(self) -> bool:
+        """Whether the default pipeline accepts this format at all."""
+        return self.pattern.body_length >= 8
+
+    def synthesized(self, family: HashFamily) -> SynthesizedHash:
+        cached = self._synthesized.get(family)
+        if cached is None:
+            cached = synthesize(self.pattern, family)
+            self._synthesized[family] = cached
+        return cached
+
+    def ir(self, family: HashFamily) -> IRFunction:
+        cached = self._ir.get(family)
+        if cached is None:
+            synthesized = self.synthesized(family)
+            cached = optimize(
+                build_ir(synthesized.plan, name=synthesized.name)
+            )
+            self._ir[family] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """A named invariant check over a :class:`CaseContext`."""
+
+    name: str
+    group: str
+    check: Callable[[CaseContext], Optional[str]]
+    description: str
+
+    def run(self, ctx: CaseContext) -> Optional[str]:
+        """None on success/skip, a human-readable message on failure."""
+        return self.check(ctx)
+
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def _oracle(name: str, group: str):
+    def decorate(fn: Callable[[CaseContext], Optional[str]]):
+        ORACLES[name] = Oracle(
+            name=name,
+            group=group,
+            check=fn,
+            description=(fn.__doc__ or "").strip().splitlines()[0],
+        )
+        return fn
+
+    return decorate
+
+
+def all_oracles() -> List[Oracle]:
+    """Every registered oracle, in registration order."""
+    return list(ORACLES.values())
+
+
+def resolve_oracles(names: Optional[Sequence[str]]) -> List[Oracle]:
+    """Map oracle names to oracles; ``None`` selects all.
+
+    Raises:
+        KeyError: for an unknown oracle name.
+    """
+    if names is None:
+        return all_oracles()
+    selected = []
+    for name in names:
+        if name not in ORACLES:
+            raise KeyError(
+                f"unknown oracle {name!r}; known: {', '.join(ORACLES)}"
+            )
+        selected.append(ORACLES[name])
+    return selected
+
+
+# -- differential oracles ----------------------------------------------------
+
+
+@_oracle("python-vs-interp", GROUP_DIFFERENTIAL)
+def check_python_vs_interp(ctx: CaseContext) -> Optional[str]:
+    """Compiled Python backend agrees with the IR interpreter, all families."""
+    if not ctx.synthesizable:
+        return None
+    for family in HashFamily:
+        synthesized = ctx.synthesized(family)
+        func = ctx.ir(family)
+        for key in ctx.keys:
+            expected = interpret(func, key)
+            actual = synthesized(key)
+            if actual != expected:
+                return (
+                    f"{family.value}: compiled {actual:#x} != "
+                    f"interpreted {expected:#x} for key {key!r}"
+                )
+    return None
+
+
+@_oracle("batch-vs-scalar", GROUP_DIFFERENTIAL)
+def check_batch_vs_scalar(ctx: CaseContext) -> Optional[str]:
+    """hash_many agrees with the scalar callable, vector and loop paths."""
+    if not ctx.synthesizable:
+        return None
+    keys = list(ctx.keys)
+    for family in HashFamily:
+        synthesized = ctx.synthesized(family)
+        scalar = [synthesized(key) for key in keys]
+        batched = synthesized.hash_many(keys)
+        if batched != scalar:
+            index = next(
+                i for i, (a, b) in enumerate(zip(batched, scalar)) if a != b
+            )
+            return (
+                f"{family.value}: hash_many[{index}] = {batched[index]:#x} "
+                f"!= scalar {scalar[index]:#x} for key {keys[index]!r}"
+            )
+        small = keys[:_SMALL_BATCH]
+        if synthesized.hash_many(small) != scalar[: len(small)]:
+            return f"{family.value}: small-batch loop path diverges"
+    return None
+
+
+@_oracle("infer-engines", GROUP_DIFFERENTIAL)
+def check_infer_engines(ctx: CaseContext) -> Optional[str]:
+    """All inference engines produce the reference join's pattern."""
+    if not ctx.keys:
+        return None
+    keys = list(ctx.keys)
+    reference = infer_pattern(keys, engine="reference")
+    engines = ["bigint"]
+    if numpy_available() and len({len(key) for key in keys}) == 1:
+        # The numpy engine only accepts equal-length key batches (by
+        # contract); ragged batches exercise the bigint engine alone.
+        engines.append("numpy")
+    for engine in engines:
+        result = infer_pattern(keys, engine=engine)
+        if result != reference:
+            return (
+                f"engine {engine} inferred {render_regex(result)!r}, "
+                f"reference says {render_regex(reference)!r}"
+            )
+    return None
+
+
+@_oracle("serialize-roundtrip", GROUP_DIFFERENTIAL)
+def check_serialize_roundtrip(ctx: CaseContext) -> Optional[str]:
+    """serialize -> deserialize -> re-execute matches plan and interpreter."""
+    if not ctx.synthesizable:
+        return None
+    for family in HashFamily:
+        plan = ctx.synthesized(family).plan
+        rebuilt_plan = loads(dumps(plan))
+        if rebuilt_plan != plan:
+            return f"{family.value}: plan round-trip not equal"
+        rebuilt = compile_serialized(
+            dumps(plan), name=f"fuzz_{family.value}_roundtrip"
+        )
+        func = ctx.ir(family)
+        for key in ctx.keys:
+            expected = interpret(func, key)
+            actual = rebuilt(key)
+            if actual != expected:
+                return (
+                    f"{family.value}: deserialized function {actual:#x} != "
+                    f"interpreted {expected:#x} for key {key!r}"
+                )
+    return None
+
+
+@_oracle("regex-roundtrip", GROUP_DIFFERENTIAL)
+def check_regex_roundtrip(ctx: CaseContext) -> Optional[str]:
+    """pattern -> render -> parse -> expand reproduces the same pattern."""
+    pattern = ctx.pattern
+    for key in ctx.keys:
+        if not pattern.matches(key):
+            return f"expanded pattern rejects conforming key {key!r}"
+    rendered = render_regex(pattern)
+    reparsed = pattern_from_regex(rendered)
+    if reparsed != pattern:
+        return (
+            f"render/parse round trip changed the pattern: "
+            f"{rendered!r} re-expanded differently"
+        )
+    if render_regex(reparsed) != rendered:
+        return f"rendering is not a fixed point for {rendered!r}"
+    return None
+
+
+@_oracle("stdlib-re", GROUP_DIFFERENTIAL)
+def check_stdlib_re(ctx: CaseContext) -> Optional[str]:
+    """Pattern.matches agrees with Python's re on the rendered regex."""
+    pattern = ctx.pattern
+    if pattern.body_length == 0:
+        return None
+    rendered = stdlib_re.compile(
+        render_regex(pattern), stdlib_re.DOTALL
+    )
+    rng = random.Random(0xF0221)
+    probes: List[bytes] = list(ctx.keys)
+    probes.extend(sample_conforming_keys(pattern, 8, rng=rng))
+    # Perturbed probes: flip one byte, extend, truncate.
+    for key in list(probes[:8]):
+        if key:
+            mutated = bytearray(key)
+            index = rng.randrange(len(mutated))
+            mutated[index] ^= 1 << rng.randrange(8)
+            probes.append(bytes(mutated))
+        probes.append(key + b"\x00")
+        probes.append(key[:-1])
+    for probe in probes:
+        ours = pattern.matches(probe)
+        theirs = rendered.fullmatch(probe.decode("latin-1")) is not None
+        if ours != theirs:
+            return (
+                f"pattern.matches={ours} but re.fullmatch={theirs} for "
+                f"{probe!r} under {rendered.pattern!r}"
+            )
+    return None
+
+
+@_oracle("cpp-emit", GROUP_DIFFERENTIAL)
+def check_cpp_emit(ctx: CaseContext) -> Optional[str]:
+    """The C++ backend emits deterministic, well-formed source."""
+    if not ctx.synthesizable:
+        return None
+    for family in HashFamily:
+        synthesized = ctx.synthesized(family)
+        for target in ("x86", "aarch64"):
+            if (
+                target == "aarch64"
+                and synthesized.plan.family is HashFamily.PEXT
+            ):
+                continue  # No aarch64 pext; x86-only by design (§4.4).
+            source = synthesized.cpp_source(target)
+            if not source or "uint64_t" not in source:
+                return f"{family.value}/{target}: implausible C++ output"
+            if synthesized.cpp_source(target) != source:
+                return f"{family.value}/{target}: emission not deterministic"
+    return None
+
+
+# -- metamorphic oracles -----------------------------------------------------
+
+
+@_oracle("join-permutation", GROUP_METAMORPHIC)
+def check_join_permutation(ctx: CaseContext) -> Optional[str]:
+    """The quad join is order-independent (commutativity)."""
+    if not ctx.keys:
+        return None
+    keys = list(ctx.keys)
+    baseline = infer_pattern(keys)
+    if infer_pattern(list(reversed(keys))) != baseline:
+        return "join(reversed(keys)) differs from join(keys)"
+    shuffled = list(keys)
+    random.Random(0x5EED5).shuffle(shuffled)
+    if infer_pattern(shuffled) != baseline:
+        return "join(shuffled(keys)) differs from join(keys)"
+    return None
+
+
+@_oracle("join-merge", GROUP_METAMORPHIC)
+def check_join_merge(ctx: CaseContext) -> Optional[str]:
+    """Chunked accumulator merges equal the monolithic join (associativity)."""
+    if not ctx.keys:
+        return None
+    keys = list(ctx.keys)
+    baseline = infer_pattern(keys)
+    third = max(1, len(keys) // 3)
+    chunks = [keys[:third], keys[third : 2 * third], keys[2 * third :]]
+    chunks = [chunk for chunk in chunks if chunk]
+    accumulators = []
+    for chunk in chunks:
+        accumulator = PatternAccumulator()
+        accumulator.update(chunk)
+        accumulators.append(accumulator)
+    forward = PatternAccumulator()
+    for accumulator in accumulators:
+        forward.merge(accumulator)
+    if forward.finish() != baseline:
+        return "left-to-right accumulator merge differs from whole join"
+    backward = PatternAccumulator()
+    for accumulator in reversed(accumulators):
+        backward.merge(accumulator)
+    if backward.finish() != baseline:
+        return "right-to-left accumulator merge differs from whole join"
+    return None
+
+
+@_oracle("join-idempotent", GROUP_METAMORPHIC)
+def check_join_idempotent(ctx: CaseContext) -> Optional[str]:
+    """Joining the same evidence twice changes nothing (idempotence)."""
+    if not ctx.keys:
+        return None
+    keys = list(ctx.keys)
+    baseline = infer_pattern(keys)
+    if infer_pattern(keys + keys) != baseline:
+        return "join(keys + keys) differs from join(keys)"
+    if infer_pattern(keys + [keys[0]]) != baseline:
+        return "re-joining an already-seen key changed the pattern"
+    return None
+
+
+@_oracle("join-monotone", GROUP_METAMORPHIC)
+def check_join_monotone(ctx: CaseContext) -> Optional[str]:
+    """Extra evidence only widens a pattern, never narrows it."""
+    if not ctx.keys:
+        return None
+    keys = list(ctx.keys)
+    baseline = infer_pattern(keys)
+    if baseline.body_length == 0:
+        return None  # Nothing to sample from an all-tail pattern.
+    rng = random.Random(0xA11CE)
+    extras = sample_conforming_keys(baseline, 4, rng=rng)
+    widened = infer_pattern(keys + extras)
+    for index, (old, new) in enumerate(
+        zip(baseline.quads, widened.quads)
+    ):
+        if not leq(old, new):
+            return (
+                f"quad {index} narrowed from {old!r} to {new!r} after "
+                f"joining conforming evidence"
+            )
+    if widened.min_length > baseline.min_length:
+        return "min_length grew after joining conforming evidence"
+    return None
+
+
+@_oracle("pext-invariants", GROUP_METAMORPHIC)
+def check_pext_invariants(ctx: CaseContext) -> Optional[str]:
+    """Pext masks cover each varying bit exactly once; bijections hold."""
+    if not ctx.synthesizable:
+        return None
+    pattern = ctx.pattern
+    synthesized = ctx.synthesized(HashFamily.PEXT)
+    plan = synthesized.plan
+    if plan.family is not HashFamily.PEXT:
+        return None  # Fully-constant formats fall back to OffXor by design.
+    if not pattern.is_fixed_length:
+        return None  # Tail bytes are folded outside the masks.
+    total_mask_bits = sum(
+        popcount(load.mask) for load in plan.loads if load.mask is not None
+    )
+    variable_bits = pattern.variable_bit_count()
+    if total_mask_bits != variable_bits:
+        return (
+            f"masks extract {total_mask_bits} bits but the format has "
+            f"{variable_bits} varying bits"
+        )
+    for load in plan.loads:
+        if load.mask is None:
+            return f"pext load at {load.offset} has no mask"
+        const_mask, _ = pattern.word_const_mask(load.offset, load.width)
+        if load.mask & const_mask:
+            return (
+                f"mask at offset {load.offset} selects constant bits: "
+                f"{load.mask & const_mask:#x}"
+            )
+    if plan.bijective:
+        if variable_bits > 64:
+            return f"bijective plan with {variable_bits} > 64 varying bits"
+        values = {}
+        for key in ctx.keys:
+            value = synthesized(key)
+            if value in values and values[value] != key:
+                return (
+                    f"bijection collided: {values[value]!r} and {key!r} "
+                    f"both hash to {value:#x}"
+                )
+            values[value] = key
+    return None
+
+
+@_oracle("dispatcher", GROUP_METAMORPHIC)
+def check_dispatcher(ctx: CaseContext) -> Optional[str]:
+    """Dispatcher routing is deterministic and equals direct hashing."""
+    if not ctx.synthesizable:
+        return None
+    if not ctx.keys:
+        return None
+    synthesized = ctx.synthesized(HashFamily.PEXT)
+    dispatcher = FormatDispatcher()
+    dispatcher.register(synthesized)
+    first_key = ctx.keys[0]
+    if dispatcher.route(first_key) is not dispatcher.route(first_key):
+        return "routing the same key twice chose different callables"
+    for key in ctx.keys:
+        if dispatcher(key) != synthesized(key):
+            return f"dispatched hash differs from direct hash for {key!r}"
+    keys = list(ctx.keys)
+    if dispatcher.hash_many(keys) != [synthesized(key) for key in keys]:
+        return "dispatcher.hash_many misaligned with per-key routing"
+    if ctx.pattern.is_fixed_length:
+        stranger = b"\x00" * (ctx.pattern.body_length + 1)
+        if dispatcher(stranger) != stl_hash_bytes(stranger):
+            return "unrecognized key did not take the fallback hash"
+    return None
+
+
+@_oracle("container", GROUP_METAMORPHIC)
+def check_container(ctx: CaseContext) -> Optional[str]:
+    """UnorderedMap stays coherent under the synthesized hash."""
+    if not ctx.synthesizable:
+        return None
+    if not ctx.keys:
+        return None
+    synthesized = ctx.synthesized(HashFamily.PEXT)
+    table = UnorderedMap(synthesized.function)
+    expected: Dict[bytes, int] = {}
+    for index, key in enumerate(ctx.keys):
+        table.assign(key, index)
+        expected[key] = index
+    if len(table) != len(expected):
+        return (
+            f"table holds {len(table)} entries, expected {len(expected)} "
+            f"distinct keys"
+        )
+    for key, value in expected.items():
+        found = table.find(key)
+        if found != value:
+            return f"find({key!r}) = {found!r}, expected {value}"
+    bulk = UnorderedMap(synthesized.function)
+    bulk.update(expected.items())
+    for key, value in expected.items():
+        if bulk.find(key) != value:
+            return f"bulk-built table disagrees on {key!r}"
+    victim = ctx.keys[0]
+    if table.erase(victim) != 1 or victim in table:
+        return f"erase({victim!r}) did not remove the key"
+    return None

@@ -1,0 +1,214 @@
+"""Greedy minimization of failing fuzz cases.
+
+Once an oracle fails, the raw case is noise: dozens of keys, a format
+with many irrelevant pieces.  The shrinker reduces both coordinates of
+the (format, key-set) pair while re-checking the failure after every
+candidate step, ending at a local minimum that is small enough to read,
+to commit as a corpus reproducer, and to step through under a debugger.
+
+Reduction passes, in order (each runs to a fixpoint):
+
+1. **keys** — ddmin-style: drop chunks of the key list, halving the
+   chunk size down to single keys;
+2. **structure** — drop whole pieces from the spec (slicing the
+   corresponding byte span out of every key), shorten pieces, and
+   remove the variable tail (truncating keys to the body);
+3. **bytes** — canonicalize surviving key bytes to each piece's
+   smallest admissible byte, whole-key first, then byte by byte.
+
+The predicate is "this oracle still fails", not "fails with the same
+message" — greedy shrinking may slide between manifestations of the
+same bug, which is standard and acceptable (delta debugging's ddmin has
+the same property).  A wall-clock deadline bounds the whole search, so
+a pathological case cannot stall the fuzz loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.fuzz.generators import FormatSpec, Piece
+from repro.fuzz.oracles import FuzzCase
+
+CheckFn = Callable[[FuzzCase], bool]
+"""Returns True when the candidate case still reproduces the failure."""
+
+DEFAULT_SHRINK_SECONDS = 5.0
+
+
+class _Budget:
+    """Wall-clock deadline shared by every pass of one shrink run."""
+
+    def __init__(self, seconds: float):
+        self._deadline = time.monotonic() + seconds
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._deadline
+
+
+def shrink_case(
+    case: FuzzCase,
+    check: CheckFn,
+    seconds: float = DEFAULT_SHRINK_SECONDS,
+) -> FuzzCase:
+    """Minimize a failing case under ``check`` within ``seconds``.
+
+    ``check`` must return True for ``case`` itself; the result is the
+    smallest case found for which ``check`` still returns True.
+    """
+    budget = _Budget(seconds)
+    best = case
+    changed = True
+    while changed and not budget.expired():
+        changed = False
+        reduced = _shrink_keys(best, check, budget)
+        if reduced is not best:
+            best, changed = reduced, True
+        reduced = _shrink_structure(best, check, budget)
+        if reduced is not best:
+            best, changed = reduced, True
+    best = _shrink_bytes(best, check, budget)
+    return best
+
+
+# -- pass 1: the key list ----------------------------------------------------
+
+
+def _shrink_keys(case: FuzzCase, check: CheckFn, budget: _Budget) -> FuzzCase:
+    """Drop chunks of keys, halving chunk size — classic ddmin shape."""
+    keys = list(case.keys)
+    chunk = max(1, len(keys) // 2)
+    best = case
+    while chunk >= 1 and len(keys) > 1:
+        index = 0
+        while index < len(keys) and len(keys) > 1:
+            if budget.expired():
+                return best
+            candidate_keys = keys[:index] + keys[index + chunk :]
+            if not candidate_keys:
+                index += chunk
+                continue
+            candidate = FuzzCase(best.spec, tuple(candidate_keys))
+            if check(candidate):
+                keys = candidate_keys
+                best = candidate
+            else:
+                index += chunk
+        chunk //= 2
+    return best
+
+
+# -- pass 2: the format structure --------------------------------------------
+
+
+def _remove_span(keys: Tuple[bytes, ...], start: int, end: int) -> List[bytes]:
+    """Slice byte span [start, end) out of every key."""
+    return [key[:start] + key[end:] for key in keys]
+
+
+def _shrink_structure(
+    case: FuzzCase, check: CheckFn, budget: _Budget
+) -> FuzzCase:
+    """Drop pieces, shorten pieces, and drop the tail, re-slicing keys."""
+    best = case
+    # Drop the variable tail first: truncating keys to the body is the
+    # single biggest simplification for variable-length failures.
+    if best.spec.tail != 0:
+        body = best.spec.body_length
+        candidate = FuzzCase(
+            replace(best.spec, tail=0),
+            tuple(key[:body] for key in best.keys),
+        )
+        if not budget.expired() and check(candidate):
+            best = candidate
+    progress = True
+    while progress and not budget.expired():
+        progress = False
+        spans = best.spec.piece_spans()
+        for index in range(len(best.spec.pieces)):
+            if budget.expired():
+                return best
+            start, end = spans[index]
+            # Try removing the piece outright.
+            pieces = (
+                best.spec.pieces[:index] + best.spec.pieces[index + 1 :]
+            )
+            if pieces:
+                candidate = FuzzCase(
+                    replace(best.spec, pieces=pieces),
+                    tuple(_remove_span(best.keys, start, end)),
+                )
+                if check(candidate):
+                    best = candidate
+                    progress = True
+                    break
+            # Try shrinking the piece to a single byte.
+            piece = best.spec.pieces[index]
+            if piece.length > 1:
+                pieces = (
+                    best.spec.pieces[:index]
+                    + (replace(piece, length=1),)
+                    + best.spec.pieces[index + 1 :]
+                )
+                candidate = FuzzCase(
+                    replace(best.spec, pieces=pieces),
+                    tuple(_remove_span(best.keys, start + 1, end)),
+                )
+                if check(candidate):
+                    best = candidate
+                    progress = True
+                    break
+    return best
+
+
+# -- pass 3: the key bytes ---------------------------------------------------
+
+
+def _canonical_key(spec: FormatSpec, key: bytes) -> bytes:
+    """The key with every body byte replaced by its piece's minimum."""
+    out = bytearray(key)
+    position = 0
+    for piece in spec.pieces:
+        low = piece.alphabet[0]
+        for _ in range(piece.length):
+            if position >= len(out):
+                return bytes(out)
+            out[position] = low
+            position += 1
+    for index in range(position, len(out)):
+        out[index] = 0
+    return bytes(out)
+
+
+def _shrink_bytes(case: FuzzCase, check: CheckFn, budget: _Budget) -> FuzzCase:
+    """Canonicalize key bytes: whole key first, then position by position."""
+    best = case
+    for key_index, key in enumerate(best.keys):
+        if budget.expired():
+            return best
+        canonical = _canonical_key(best.spec, key)
+        if canonical != key:
+            keys = list(best.keys)
+            keys[key_index] = canonical
+            candidate = FuzzCase(best.spec, tuple(keys))
+            if check(candidate):
+                best = candidate
+                continue
+        # Whole-key canonicalization broke reproduction; go byte by byte.
+        for position in range(len(key)):
+            if budget.expired():
+                return best
+            current = best.keys[key_index]
+            low = canonical[position] if position < len(canonical) else 0
+            if current[position] == low:
+                continue
+            mutated = bytearray(current)
+            mutated[position] = low
+            keys = list(best.keys)
+            keys[key_index] = bytes(mutated)
+            candidate = FuzzCase(best.spec, tuple(keys))
+            if check(candidate):
+                best = candidate
+    return best

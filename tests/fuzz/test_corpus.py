@@ -1,0 +1,130 @@
+"""Tests for corpus persistence, plus the tier-1 corpus replay gate.
+
+``TestCorpusReplay.test_committed_corpus_replays_clean`` is the
+regression test the ISSUE asks for: every minimized reproducer under
+``tests/corpora/`` is re-run against its oracle on every test run, so a
+bug once found can never silently return.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    case_from_dict,
+    case_to_dict,
+    corpus_files,
+    load_reproducer,
+    replay_case,
+    replay_corpus,
+    save_reproducer,
+)
+from repro.fuzz.generators import UNBOUNDED, FormatSpec, Piece
+from repro.fuzz.oracles import FuzzCase
+
+COMMITTED_CORPUS = Path(__file__).resolve().parents[1] / "corpora"
+
+
+def _sample_case():
+    spec = FormatSpec(
+        (Piece(4, b"0123456789"), Piece(1, b"-"), Piece(4, b"\x00\xffab")),
+        tail=UNBOUNDED,
+    )
+    return FuzzCase(spec, (b"1234-a\x00\xff\x00", b"0000-bbbb" + b"\xfe" * 5))
+
+
+class TestSerialization:
+    def test_case_round_trip(self):
+        case = _sample_case()
+        assert case_from_dict(case_to_dict(case)) == case
+
+    def test_arbitrary_bytes_survive_json(self):
+        case = _sample_case()
+        payload = json.dumps(case_to_dict(case))
+        assert case_from_dict(json.loads(payload)) == case
+
+    def test_save_and_load(self, tmp_path):
+        case = _sample_case()
+        path = save_reproducer(
+            case, "python-vs-interp", "mismatch for ...", tmp_path, seed=7
+        )
+        assert path.parent == tmp_path
+        loaded, oracle, message = load_reproducer(path)
+        assert loaded == case
+        assert oracle == "python-vs-interp"
+        assert message == "mismatch for ..."
+        document = json.loads(path.read_text())
+        assert document["version"] == CORPUS_VERSION
+        assert document["seed"] == 7
+        assert document["regex"] == case.spec.regex()
+
+    def test_save_is_deterministic(self, tmp_path):
+        case = _sample_case()
+        a = save_reproducer(case, "container", "msg", tmp_path / "a")
+        b = save_reproducer(case, "container", "msg", tmp_path / "b")
+        assert a.name == b.name
+        assert a.read_text() == b.read_text()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = save_reproducer(_sample_case(), "container", "m", tmp_path)
+        document = json.loads(path.read_text())
+        document["version"] = CORPUS_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="corpus version"):
+            load_reproducer(path)
+
+    def test_corpus_files_sorted_and_filtered(self, tmp_path):
+        save_reproducer(_sample_case(), "b-oracle", "m", tmp_path)
+        save_reproducer(_sample_case(), "a-oracle", "m", tmp_path)
+        (tmp_path / "notes.txt").write_text("not a reproducer")
+        files = corpus_files(tmp_path)
+        assert [p.suffix for p in files] == [".json", ".json"]
+        assert files == sorted(files)
+
+    def test_missing_directory_is_empty_corpus(self, tmp_path):
+        assert corpus_files(tmp_path / "nope") == []
+
+
+class TestReplay:
+    def test_healthy_case_replays_clean(self):
+        spec = FormatSpec((Piece(9, b"0123456789"),))
+        case = FuzzCase(spec, (b"123456789", b"000000000"))
+        assert replay_case(case, "python-vs-interp") == []
+
+    def test_replay_reports_failures_under_fault(self):
+        from repro.fuzz.faults import injected_fault
+
+        spec = FormatSpec((Piece(9, b"0123456789"),))
+        case = FuzzCase(spec, (b"123456781", b"000000003"))
+        with injected_fault("interp-bitflip"):
+            failures = replay_case(case, "python-vs-interp")
+        assert failures and failures[0][0] == "python-vs-interp"
+
+    def test_replay_crash_is_reported_not_raised(self):
+        # A one-byte body: sub-word, so oracles skip — but an unknown
+        # oracle name must still raise, not be swallowed.
+        spec = FormatSpec((Piece(1, b"a"),))
+        case = FuzzCase(spec, (b"a",))
+        with pytest.raises(KeyError):
+            replay_case(case, "no-such-oracle")
+
+
+class TestCorpusReplay:
+    """Tier-1 gate: the committed corpus must replay clean."""
+
+    def test_committed_corpus_replays_clean(self):
+        results = replay_corpus(COMMITTED_CORPUS)
+        assert results, (
+            "committed corpus is empty — tests/corpora/ should hold at "
+            "least the seed reproducers"
+        )
+        regressions = {
+            name: failures
+            for name, failures in results.items()
+            if failures
+        }
+        assert not regressions, (
+            f"historical bugs have returned: {regressions}"
+        )

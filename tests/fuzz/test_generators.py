@@ -1,0 +1,162 @@
+"""Tests for the fuzz format/key generators."""
+
+import random
+
+import pytest
+
+from repro.core.regex_expand import pattern_from_regex
+from repro.fuzz.generators import (
+    ALPHABETS,
+    MUTATORS,
+    UNBOUNDED,
+    FormatSpec,
+    Piece,
+    conforms,
+    mutate_format,
+    sample_format,
+    sample_keys,
+)
+
+
+class TestPiece:
+    def test_alphabet_canonicalized(self):
+        assert Piece(1, b"cba").alphabet == b"abc"
+        assert Piece(1, b"aaa").alphabet == b"a"
+
+    def test_const_detection(self):
+        assert Piece(3, b"-").is_const
+        assert not Piece(3, b"01").is_const
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Piece(0, b"a")
+        with pytest.raises(ValueError):
+            Piece(1, b"")
+
+
+class TestFormatSpec:
+    def test_body_length_and_spans(self):
+        spec = FormatSpec((Piece(3, b"0123"), Piece(1, b"-"), Piece(2, b"ab")))
+        assert spec.body_length == 6
+        assert spec.piece_spans() == [(0, 3), (3, 4), (4, 6)]
+
+    def test_regex_parses_through_the_pipeline(self):
+        spec = FormatSpec(
+            (Piece(4, ALPHABETS["digits"]), Piece(1, b"-"), Piece(4, b"ab")),
+            tail=3,
+        )
+        pattern = pattern_from_regex(spec.regex())
+        assert pattern.body_length == 9
+        assert not pattern.is_fixed_length
+
+    def test_sampled_keys_conform(self):
+        rng = random.Random(42)
+        for _ in range(20):
+            spec = sample_format(rng)
+            for key in sample_keys(spec, rng, 10):
+                assert conforms(spec, key), (spec.regex(), key)
+
+    def test_sampled_keys_match_expanded_pattern(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            spec = sample_format(rng)
+            pattern = pattern_from_regex(spec.regex())
+            for key in sample_keys(spec, rng, 5):
+                assert pattern.matches(key), (spec.regex(), key)
+
+
+class TestDeterminism:
+    def test_same_seed_same_formats_and_keys(self):
+        def draw(seed):
+            rng = random.Random(seed)
+            out = []
+            for _ in range(10):
+                spec = sample_format(rng)
+                out.append((spec, tuple(sample_keys(spec, rng, 8))))
+            return out
+
+        assert draw(123) == draw(123)
+        assert draw(123) != draw(124)
+
+
+class TestSampling:
+    def test_body_at_least_min_body(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert sample_format(rng).body_length >= 8
+
+    def test_all_tail_kinds_appear(self):
+        rng = random.Random(0)
+        tails = {sample_format(rng).tail for _ in range(200)}
+        assert 0 in tails
+        assert UNBOUNDED in tails
+        assert any(tail > 0 for tail in tails)
+
+    def test_const_pieces_appear(self):
+        rng = random.Random(0)
+        assert any(
+            piece.is_const
+            for _ in range(100)
+            for piece in sample_format(rng).pieces
+        )
+
+
+class TestMutators:
+    def test_every_axis_produces_valid_specs(self):
+        rng = random.Random(5)
+        for axis in MUTATORS:
+            for _ in range(25):
+                spec = sample_format(rng)
+                mutated = MUTATORS[axis](spec, rng)
+                # Still renders to a parseable format regex.
+                pattern_from_regex(mutated.regex())
+                key = mutated.sample_key(rng)
+                assert conforms(mutated, key)
+
+    def test_length_mutation_leaves_alphabets_alone(self):
+        rng = random.Random(9)
+        spec = sample_format(rng)
+        mutated = MUTATORS["length"](spec, rng)
+        assert {p.alphabet for p in mutated.pieces} <= (
+            {p.alphabet for p in spec.pieces}
+        )
+
+    def test_const_mutation_flips_exactly_one_piece(self):
+        rng = random.Random(11)
+        spec = sample_format(rng)
+        mutated = MUTATORS["const"](spec, rng)
+        changed = [
+            index
+            for index, (old, new) in enumerate(
+                zip(spec.pieces, mutated.pieces)
+            )
+            if old != new
+        ]
+        assert len(changed) == 1
+        assert len(mutated.pieces) == len(spec.pieces)
+
+    def test_unknown_axis_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(KeyError):
+            mutate_format(sample_format(rng), rng, axis="chaos")
+
+
+class TestConforms:
+    def test_length_discipline(self):
+        spec = FormatSpec((Piece(2, b"ab"),))
+        assert conforms(spec, b"ab")
+        assert not conforms(spec, b"a")
+        assert not conforms(spec, b"abc")
+
+    def test_bounded_and_unbounded_tails(self):
+        bounded = FormatSpec((Piece(2, b"ab"),), tail=2)
+        assert conforms(bounded, b"ab")
+        assert conforms(bounded, b"ab??")
+        assert not conforms(bounded, b"ab???")
+        unbounded = FormatSpec((Piece(2, b"ab"),), tail=UNBOUNDED)
+        assert conforms(unbounded, b"ab" + b"x" * 50)
+
+    def test_alphabet_discipline(self):
+        spec = FormatSpec((Piece(2, b"01"),))
+        assert conforms(spec, b"01")
+        assert not conforms(spec, b"02")

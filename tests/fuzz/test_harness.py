@@ -1,0 +1,120 @@
+"""Tests for the fuzz campaign loop, including the injected-bug smoke check.
+
+The acceptance bar for the whole subsystem lives here: a deliberately
+planted backend bug must be *found* by the oracles, *shrunk* to a
+reproducer of at most four keys, and *persisted* as a replayable corpus
+file — the full find→shrink→persist path, end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import load_reproducer, replay_case
+from repro.fuzz.faults import injected_fault
+from repro.fuzz.harness import FuzzConfig, FuzzReport, run_fuzz
+
+
+def _quick_config(**overrides):
+    defaults = dict(
+        seed=0,
+        budget_seconds=20.0,
+        max_cases=6,
+        keys_per_case=12,
+        shrink_seconds=4.0,
+    )
+    defaults.update(overrides)
+    return FuzzConfig(**defaults)
+
+
+class TestCampaign:
+    def test_clean_pipeline_reports_ok(self):
+        report = run_fuzz(_quick_config())
+        assert report.ok
+        assert report.cases == 6
+        assert report.total_executions > 0
+
+    def test_deterministic_given_seed(self):
+        first = run_fuzz(_quick_config())
+        second = run_fuzz(_quick_config())
+        assert first.executions == second.executions
+        assert first.cases == second.cases
+
+    def test_oracle_selection(self):
+        config = _quick_config(
+            oracles=["regex-roundtrip", "join-permutation"], max_cases=3
+        )
+        report = run_fuzz(config)
+        assert set(report.executions) == {
+            "regex-roundtrip",
+            "join-permutation",
+        }
+        assert report.executions["regex-roundtrip"] == 3
+
+    def test_unknown_oracle_raises(self):
+        with pytest.raises(KeyError):
+            run_fuzz(_quick_config(oracles=["no-such-oracle"]))
+
+    def test_report_json_shape(self):
+        report = run_fuzz(_quick_config(max_cases=2))
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["seed"] == 0
+        assert document["cases"] == 2
+        assert "executions_per_second" in document
+        for name, entry in document["oracles"].items():
+            assert entry["executions"] == 2, name
+            assert entry["failures"] == 0
+
+    def test_obs_counters_bumped(self):
+        from repro.obs import get_registry
+
+        registry = get_registry()
+        before = registry.counter("fuzz.cases").value
+        run_fuzz(_quick_config(max_cases=2))
+        assert registry.counter("fuzz.cases").value == before + 2
+
+
+class TestInjectedFaultSmokeCheck:
+    """A planted bug must be caught and shrunk to <= 4 keys."""
+
+    def test_interp_fault_caught_and_shrunk(self, tmp_path):
+        corpus = tmp_path / "corpora"
+        config = _quick_config(
+            oracles=["python-vs-interp"],
+            max_cases=12,
+            corpus_dir=corpus,
+        )
+        with injected_fault("interp-bitflip"):
+            report = run_fuzz(config)
+        assert not report.ok, "injected interpreter bug went unnoticed"
+        failure = report.failures[0]
+        assert failure.oracle == "python-vs-interp"
+        assert len(failure.shrunk.keys) <= 4
+        # The reproducer replays: with the fault present it fails...
+        path = failure.reproducer_path
+        assert path is not None and path.exists()
+        case, oracle_name, _ = load_reproducer(path)
+        with injected_fault("interp-bitflip"):
+            assert replay_case(case, oracle_name)
+        # ...and with the bug "fixed" (fault lifted) it passes.
+        assert replay_case(case, oracle_name) == []
+
+    def test_batch_fault_caught_and_shrunk(self):
+        config = _quick_config(oracles=["batch-vs-scalar"], max_cases=12)
+        with injected_fault("batch-flip"):
+            report = run_fuzz(config)
+        assert not report.ok, "injected batch bug went unnoticed"
+        failure = report.failures[0]
+        assert failure.oracle == "batch-vs-scalar"
+        assert len(failure.shrunk.keys) <= 4
+
+    def test_duplicate_failures_deduplicated(self):
+        """One bug hit on many cases yields one reproducer, not many."""
+        config = _quick_config(oracles=["python-vs-interp"], max_cases=10)
+        with injected_fault("interp-bitflip"):
+            report = run_fuzz(config)
+        signatures = {
+            (failure.oracle, failure.message.split(" for ")[0])
+            for failure in report.failures
+        }
+        assert len(report.failures) == len(signatures)

@@ -1,0 +1,134 @@
+"""Tests for the greedy failure minimizer."""
+
+import random
+
+from repro.fuzz.generators import FormatSpec, Piece, sample_keys
+from repro.fuzz.oracles import FuzzCase
+from repro.fuzz.shrink import shrink_case
+
+DIGITS = b"0123456789"
+
+
+def _case(pieces, tail=0, seed=0, count=20):
+    spec = FormatSpec(pieces, tail)
+    rng = random.Random(seed)
+    return FuzzCase(spec, tuple(sample_keys(spec, rng, count)))
+
+
+class TestKeyReduction:
+    def test_single_bad_key_isolated(self):
+        """A failure triggered by one key shrinks to exactly that key."""
+        case = _case((Piece(10, DIGITS),))
+        culprit = case.keys[7]
+
+        def check(candidate):
+            return culprit in candidate.keys
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert shrunk.keys == (culprit,)
+
+    def test_pairwise_failure_keeps_two_keys(self):
+        """A collision-style failure needs two keys; shrink keeps two."""
+        case = _case((Piece(10, DIGITS),))
+        a, b = case.keys[3], case.keys[11]
+
+        def check(candidate):
+            return a in candidate.keys and b in candidate.keys
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert set(shrunk.keys) >= {a, b}
+        assert len(shrunk.keys) == 2
+
+
+class TestStructureReduction:
+    def test_irrelevant_pieces_dropped(self):
+        """Only the first piece matters; the rest disappear, and keys
+        are re-sliced to stay conforming."""
+        case = _case(
+            (Piece(4, DIGITS), Piece(1, b"-"), Piece(4, b"abcdef"))
+        )
+
+        def check(candidate):
+            return any(key[:1].isdigit() for key in candidate.keys)
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert len(shrunk.spec.pieces) == 1
+        assert len(shrunk.keys) == 1
+        assert len(shrunk.keys[0]) == shrunk.spec.body_length
+
+    def test_tail_dropped_when_irrelevant(self):
+        case = _case((Piece(8, DIGITS),), tail=6, seed=3)
+
+        def check(candidate):
+            return len(candidate.keys) >= 1
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert shrunk.spec.tail == 0
+        assert all(len(k) == shrunk.spec.body_length for k in shrunk.keys)
+
+    def test_pieces_shortened(self):
+        case = _case((Piece(12, DIGITS),))
+
+        def check(candidate):
+            return bool(candidate.keys) and len(candidate.keys[0]) >= 1
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert shrunk.spec.body_length == 1
+
+
+class TestByteCanonicalization:
+    def test_bytes_driven_to_alphabet_minimum(self):
+        case = _case((Piece(8, DIGITS),))
+
+        def check(candidate):
+            return bool(candidate.keys)
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert shrunk.keys == (b"0" * shrunk.spec.body_length,)
+
+    def test_essential_byte_survives(self):
+        """Canonicalization must not erase the byte the failure needs."""
+        case = _case((Piece(8, DIGITS),), seed=1)
+
+        def check(candidate):
+            return any(b"7" in key for key in candidate.keys)
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert any(b"7" in key for key in shrunk.keys)
+
+
+class TestDiscipline:
+    def test_result_still_fails(self):
+        """Whatever the shrinker returns must satisfy the predicate."""
+        case = _case((Piece(6, DIGITS), Piece(6, b"xy")), tail=4, seed=9)
+
+        def check(candidate):
+            return sum(len(key) for key in candidate.keys) >= 6
+
+        shrunk = shrink_case(case, check, seconds=10)
+        assert check(shrunk)
+
+    def test_keys_conform_after_shrinking(self):
+        from repro.fuzz.generators import conforms
+
+        case = _case((Piece(5, DIGITS), Piece(1, b"-"), Piece(5, DIGITS)))
+
+        def check(candidate):
+            return bool(candidate.keys)
+
+        shrunk = shrink_case(case, check, seconds=10)
+        for key in shrunk.keys:
+            assert conforms(shrunk.spec, key)
+
+    def test_budget_respected(self):
+        import time
+
+        case = _case((Piece(20, DIGITS),), count=40)
+
+        def slow_check(candidate):
+            time.sleep(0.01)
+            return True
+
+        started = time.monotonic()
+        shrink_case(case, slow_check, seconds=0.3)
+        assert time.monotonic() - started < 3.0

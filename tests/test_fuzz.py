@@ -1,150 +1,81 @@
-"""Pipeline-wide differential fuzzing.
+"""Pipeline-wide differential fuzzing, driven by ``repro.fuzz``.
 
-Hypothesis drives random key formats through the entire stack —
-inference, regex round trip, synthesis of all families, compiled-Python
-vs IR-interpreter agreement, bijection and inversion claims, and
-container behaviour — asserting the invariants that must hold for *any*
-format, not just the paper's eight.
+Hypothesis supplies seeds; ``repro.fuzz.generators`` turns each seed
+into a random-but-valid (format, key-set) case; the ``repro.fuzz``
+oracle registry asserts every invariant that must hold for *any*
+format, not just the paper's eight.  The parity checks themselves live
+in one place — :mod:`repro.fuzz.oracles` — shared by this test, the
+``sepe fuzz`` CLI, and the corpus replay regression test.
 """
 
 import random
-import re as stdlib_re
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codegen.interp import interpret
-from repro.codegen.ir import build_ir, optimize
-from repro.core.inference import infer_pattern
 from repro.core.inverse import invert_hash, invertible
 from repro.core.plan import HashFamily
-from repro.core.regex_expand import pattern_from_regex
-from repro.core.regex_render import render_regex
-from repro.core.synthesis import synthesize
-from repro.core.validate import sample_conforming_keys
-from repro.containers import UnorderedMap
+from repro.fuzz import (
+    CaseContext,
+    FuzzCase,
+    all_oracles,
+    conforms,
+    mutate_format,
+    sample_format,
+    sample_keys,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31)
 
 
-@st.composite
-def random_format(draw):
-    """A random fixed-length format: fields of digits, hex, letters and
-    constant separators, at least 8 bytes total."""
-    field_kinds = [
-        ("[0-9]", "0123456789"),
-        ("[a-f]", "abcdef"),
-        ("[A-Z]", "ABCDEFGHIJKLMNOPQRSTUVWXYZ"),
-        ("[a-z0-9]", "abcdefghijklmnopqrstuvwxyz0123456789"),
-    ]
-    pieces = draw(
-        st.lists(
-            st.tuples(
-                st.sampled_from(["field", "const"]),
-                st.integers(min_value=1, max_value=5),
-                st.integers(min_value=0, max_value=3),
-            ),
-            min_size=2,
-            max_size=7,
-        )
-    )
-    regex_parts = []
-    alphabet_parts = []  # parallel: None for constants
-    length = 0
-    for kind, count, which in pieces:
-        if kind == "field":
-            klass, alphabet = field_kinds[which]
-            regex_parts.append(f"{klass}{{{count}}}")
-            alphabet_parts.extend([alphabet] * count)
-        else:
-            constant = "-._"[which % 3] * count
-            regex_parts.append(stdlib_re.escape(constant))
-            alphabet_parts.extend([None] * count)
-            # escape of '-' is '\-' etc.; literal in both regex and key
-            constant_chars = constant
-        length += count
-    if length < 8:
-        regex_parts.append(f"[0-9]{{{8 - length}}}")
-        alphabet_parts.extend(["0123456789"] * (8 - length))
-    # Rebuild the constant characters for key generation.
-    return "".join(regex_parts), alphabet_parts, pieces
+def _case_for_seed(seed, keys_per_case=20, mutate=False):
+    rng = random.Random(seed)
+    spec = sample_format(rng)
+    if mutate:
+        spec = mutate_format(spec, rng)
+    return FuzzCase(spec, tuple(sample_keys(spec, rng, keys_per_case)))
 
 
-def _random_keys(regex, alphabet_parts, pieces, rng, count):
-    """Draw conforming keys: random field chars, constants in place."""
-    const_chars = []
-    for kind, n, which in pieces:
-        if kind == "const":
-            const_chars.extend("-._"[which % 3] * n)
-    keys = []
-    for _ in range(count):
-        iterator = iter(const_chars)
-        key = "".join(
-            next(iterator) if alphabet is None else rng.choice(alphabet)
-            for alphabet in alphabet_parts
-        )
-        keys.append(key.encode())
-    return keys
+def _run_all_oracles(case):
+    ctx = CaseContext(case)
+    failures = []
+    for oracle in all_oracles():
+        message = oracle.run(ctx)  # exceptions propagate: crash = bug
+        if message is not None:
+            failures.append(f"[{oracle.name}] {message}")
+    return failures
 
 
 class TestFormatFuzz:
-    @given(random_format(), st.integers(min_value=0, max_value=2**31))
-    @settings(max_examples=40, deadline=None)
-    def test_full_pipeline_invariants(self, format_bundle, seed):
-        regex, alphabet_parts, pieces = format_bundle
-        rng = random.Random(seed)
-        keys = _random_keys(regex, alphabet_parts, pieces, rng, 30)
-
-        # 1. Generated keys match the declared format.
-        compiled_regex = stdlib_re.compile(regex.encode())
-        for key in keys:
-            assert compiled_regex.fullmatch(key), (regex, key)
-
-        # 2. Inference accepts its own evidence; rendering round-trips.
-        pattern = infer_pattern(keys)
-        for key in keys:
-            assert pattern.matches(key)
-        reparsed = pattern_from_regex(render_regex(pattern))
-        for key in keys:
-            assert reparsed.matches(key)
-
-        # 3. Every family synthesizes and agrees with the interpreter.
-        direct_pattern = pattern_from_regex(regex)
-        for family in HashFamily:
-            synthesized = synthesize(direct_pattern, family)
-            func = optimize(
-                build_ir(synthesized.plan, name=synthesized.name)
-            )
-            for key in keys[:10]:
-                assert interpret(func, key) == synthesized(key)
-
-        # 4. Bijection claims hold on the sample; inversion round-trips.
-        pext = synthesize(direct_pattern, HashFamily.PEXT)
-        values = [pext(key) for key in keys]
-        if pext.is_bijective:
-            assert len(set(values)) == len(set(keys))
-            if invertible(pext):
-                for key in keys[:10]:
-                    assert invert_hash(pext, pext(key)) == key
-
-        # 5. Containers stay coherent under the synthesized hash.
-        table = UnorderedMap(pext.function)
-        for index, key in enumerate(keys):
-            table.insert(key, index)
-        assert len(table) == len(set(keys))
-
-    @given(random_format())
+    @given(seeds)
     @settings(max_examples=25, deadline=None)
-    def test_template_sampler_agrees_with_regex(self, format_bundle):
-        """validate.sample_conforming_keys vs the format's own regex:
-        the quad template may widen classes, but every sampled key must
-        match the *rendered* template regex."""
-        regex, _alphabets, _pieces = format_bundle
-        pattern = pattern_from_regex(regex)
-        # DOTALL: our '.' means "any byte" (regex_render documents this),
-        # while Python's default '.' excludes newlines.
-        rendered = stdlib_re.compile(render_regex(pattern), stdlib_re.DOTALL)
-        for key in sample_conforming_keys(pattern, 20, seed=7):
-            assert rendered.fullmatch(key.decode("latin-1")), (
-                regex,
-                key,
-            )
+    def test_all_oracles_hold_on_sampled_formats(self, seed):
+        case = _case_for_seed(seed)
+        assert conforms(case.spec, case.keys[0])
+        assert _run_all_oracles(case) == [], case.spec.regex()
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_all_oracles_hold_on_mutated_formats(self, seed):
+        """Single-axis mutations stay inside the valid format space."""
+        case = _case_for_seed(seed, mutate=True)
+        assert _run_all_oracles(case) == [], case.spec.regex()
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_bijection_inverts(self, seed):
+        """Invertible Pext bijections round-trip hash -> key -> hash.
+
+        Inversion is not an oracle (it needs ``repro.core.inverse``,
+        which only some plans support), so the check rides here.
+        """
+        case = _case_for_seed(seed, keys_per_case=10)
+        ctx = CaseContext(case)
+        if not ctx.synthesizable or not ctx.pattern.is_fixed_length:
+            return
+        pext = ctx.synthesized(HashFamily.PEXT)
+        if not (pext.is_bijective and invertible(pext)):
+            return
+        for key in case.keys:
+            assert invert_hash(pext, pext(key)) == key
