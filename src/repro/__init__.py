@@ -42,6 +42,7 @@ from repro.errors import (
     SepeError,
     SynthesisError,
     UnsupportedPatternError,
+    VerificationError,
 )
 
 __version__ = "1.0.0"
@@ -58,6 +59,7 @@ __all__ = [
     "SynthesizedHash",
     "UnsupportedPatternError",
     "ValidationReport",
+    "VerificationError",
     "infer_pattern",
     "infer_pattern_parallel",
     "pattern_from_regex",

@@ -11,13 +11,17 @@ Subcommands:
   routing stats, and (optionally) a metrics snapshot / JSON-lines export.
 - ``sepe fuzz`` — run a seeded differential/metamorphic fuzz campaign
   over the whole pipeline; minimized reproducers land in the corpus.
+- ``sepe verify`` — statically verify one format's plans: lints plus
+  the bijectivity prover's certificate or refutation.
+- ``sepe lint`` — the CI gate: lint many formats (built-ins, explicit
+  regexes, corpus reproducers) and fail on error findings.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.cli import keybuilder, keysynth
 
@@ -290,6 +294,150 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _verify_families(value: str) -> List["HashFamily"]:
+    from repro.core.plan import HashFamily
+
+    if value == "all":
+        return list(HashFamily)
+    return [HashFamily(value.lower())]
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    """Statically verify one format across families (``sepe verify``)."""
+    import dataclasses
+    import json
+
+    from repro.core.regex_expand import pattern_from_regex
+    from repro.core.synthesis import build_plan
+    from repro.errors import SepeError
+    from repro.verify import verify_plan
+
+    try:
+        families = _verify_families(args.family)
+        pattern = pattern_from_regex(args.regex)
+    except (SepeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    reports = []
+    all_ok = True
+    for family in families:
+        try:
+            plan = build_plan(pattern, family)
+        except SepeError as error:
+            print(f"error: {family.value}: {error}", file=sys.stderr)
+            return 2
+        if args.final_mix:
+            plan = dataclasses.replace(plan, final_mix=True)
+        report = verify_plan(plan, pattern)
+        reports.append(report)
+        all_ok = all_ok and report.ok
+    if args.json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"format: {args.regex}")
+        for report in reports:
+            print(f"  {report.summary()}")
+            bijectivity = report.bijectivity
+            for reason in bijectivity.reasons:
+                print(f"      reason: {reason}")
+            for finding in report.lints.findings:
+                print(
+                    f"      [{finding.severity.value}] "
+                    f"{finding.rule}: {finding.message}"
+                )
+    return 0 if all_ok else 1
+
+
+def _lint_targets(args: argparse.Namespace) -> List[Tuple[str, str]]:
+    """Resolve ``sepe lint`` inputs to (label, regex) pairs."""
+    from repro.fuzz.corpus import corpus_files, load_reproducer
+    from repro.keygen.extended import EXTENDED_KEY_TYPES
+    from repro.keygen.keyspec import KEY_TYPES
+
+    targets: List[Tuple[str, str]] = []
+    for regex in args.regexes:
+        targets.append((regex, regex))
+    if args.formats:
+        for name, spec in {**KEY_TYPES, **EXTENDED_KEY_TYPES}.items():
+            targets.append((name, spec.regex))
+    if args.corpus:
+        from pathlib import Path
+
+        for path in corpus_files(Path(args.corpus)):
+            case, _oracle, _message = load_reproducer(path)
+            targets.append((path.name, case.spec.regex()))
+    return targets
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Lint plans for many formats; the CI gate (``sepe lint``)."""
+    import json
+
+    from repro.core.plan import HashFamily
+    from repro.core.regex_expand import pattern_from_regex
+    from repro.core.synthesis import build_plan
+    from repro.errors import SepeError
+    from repro.verify import run_lints
+
+    targets = _lint_targets(args)
+    if not targets:
+        print(
+            "error: nothing to lint (pass regexes, --formats, or --corpus)",
+            file=sys.stderr,
+        )
+        return 2
+    documents = []
+    errors = warnings_count = skipped = 0
+    for label, regex in targets:
+        try:
+            pattern = pattern_from_regex(regex)
+        except SepeError as error:
+            print(f"error: {label}: {error}", file=sys.stderr)
+            return 2
+        if pattern.body_length < 8:
+            # SEPE never specializes sub-word bodies (paper footnote 5),
+            # so there is no plan to lint; note it rather than failing.
+            skipped += 1
+            if not args.json:
+                print(f"{label}: skipped (body below one machine word)")
+            continue
+        for family in HashFamily:
+            try:
+                plan = build_plan(pattern, family)
+            except SepeError as error:
+                print(f"error: {label}/{family.value}: {error}",
+                      file=sys.stderr)
+                return 2
+            report = run_lints(plan, pattern)
+            counts = report.counts()
+            errors += counts["error"]
+            warnings_count += counts["warning"]
+            documents.append({"target": label, **report.to_dict()})
+            if not args.json and report.findings:
+                for finding in report.findings:
+                    print(
+                        f"{label}/{family.value}: "
+                        f"[{finding.severity.value}] {finding.rule}: "
+                        f"{finding.message}"
+                    )
+    if args.json:
+        print(json.dumps(documents, indent=2, sort_keys=True))
+    summary = (
+        f"linted {len(documents)} plan(s) across {len(targets)} target(s): "
+        f"{errors} error(s), {warnings_count} warning(s), "
+        f"{skipped} skipped"
+    )
+    print(summary, file=sys.stderr)
+    failed = errors > 0 or (args.fail_on == "warning" and warnings_count > 0)
+    return 1 if failed else 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
@@ -463,6 +611,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to FILE",
     )
 
+    verify = subparsers.add_parser(
+        "verify", help="statically verify a format's synthesis plans"
+    )
+    verify.add_argument("regex")
+    verify.add_argument(
+        "--family",
+        default="all",
+        choices=["all", "naive", "offxor", "aes", "pext"],
+    )
+    verify.add_argument("--final-mix", action="store_true")
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full verification reports as JSON",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="lint synthesis plans for many formats (CI gate)"
+    )
+    lint.add_argument(
+        "regexes", nargs="*", metavar="REGEX", help="formats to lint"
+    )
+    lint.add_argument(
+        "--formats",
+        action="store_true",
+        help="lint every built-in key format",
+    )
+    lint.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="also lint the formats of fuzz reproducers under DIR",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit all findings as JSON",
+    )
+    lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning"],
+        help="lowest severity that fails the run (default: error)",
+    )
+
     bench = subparsers.add_parser("bench", help="run a paper table")
     bench.add_argument(
         "table", type=int, choices=[1, 2, 3], nargs="?", default=None
@@ -518,6 +710,10 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_obs(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
+    if args.command == "verify":
+        return _run_verify(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-full":

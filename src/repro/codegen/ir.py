@@ -143,12 +143,7 @@ def build_ir(plan: SynthesisPlan, name: str = "sepe_hash") -> IRFunction:
     if acc is None:
         acc = func.emit("const", (0,), prefix="c")
     if not plan.is_fixed_length:
-        start = (
-            plan.skip_table.resume_offset
-            if plan.skip_table is not None
-            else plan.key_length
-        )
-        acc = func.emit("tail_xor", (acc, start), prefix="h")
+        acc = func.emit("tail_xor", (acc, plan.tail_start), prefix="h")
     if plan.final_mix:
         acc = _emit_final_mix(func, acc)
     func.emit_ret(acc)
@@ -188,12 +183,7 @@ def _build_aes_body(func: IRFunction) -> None:
         )
     folded = func.emit("aes_fold", (state,), prefix="h")
     if not plan.is_fixed_length:
-        start = (
-            plan.skip_table.resume_offset
-            if plan.skip_table is not None
-            else plan.key_length
-        )
-        folded = func.emit("tail_xor", (folded, start), prefix="h")
+        folded = func.emit("tail_xor", (folded, plan.tail_start), prefix="h")
     if plan.final_mix:
         folded = _emit_final_mix(func, folded)
     func.emit_ret(folded)
@@ -208,9 +198,12 @@ def optimize(func: IRFunction) -> IRFunction:
     hand-polished figures.
     """
     live = set()
-    result = func.result
-    if result is not None:
-        live.add(result)
+    for instr in func.instrs:
+        # Every ret's operand is live, not just the last one's: a
+        # multi-ret function returns at the *first* ret it reaches, so
+        # dropping an earlier return's chain would change its value.
+        if instr.opcode == "ret" and isinstance(instr.args[0], str):
+            live.add(instr.args[0])
     kept: List[Instr] = []
     for instr in reversed(func.instrs):
         if instr.opcode == "ret":

@@ -80,6 +80,14 @@ class LoadOp:
             raise ValueError(f"shift out of range: {self.shift}")
         if not 0 <= self.rotate < 64:
             raise ValueError(f"rotate out of range: {self.rotate}")
+        if self.mask is not None:
+            if self.mask < 0:
+                raise ValueError(f"negative extraction mask: {self.mask}")
+            if self.mask >= 1 << (8 * self.width):
+                raise ValueError(
+                    f"mask {self.mask:#x} selects bits outside the "
+                    f"{self.width}-byte loaded word"
+                )
 
 
 @dataclass(frozen=True)
@@ -181,3 +189,16 @@ class SynthesisPlan:
     @property
     def num_loads(self) -> int:
         return len(self.loads)
+
+    @property
+    def tail_start(self) -> Optional[int]:
+        """Byte offset where per-byte tail folding resumes (Figure 8).
+
+        With a skip table this is the position right after the last word
+        the table drives; without one it is the fixed key length (no
+        tail).  ``None`` only for the degenerate variable-length plan
+        with no skip table, which the builders reject anyway.
+        """
+        if self.skip_table is not None:
+            return self.skip_table.resume_offset
+        return self.key_length

@@ -17,8 +17,18 @@ like the paper's ``keysynth`` command line.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.codegen.batch import BatchHashCallable
 from repro.codegen.cache import get_compile_cache
@@ -46,10 +56,18 @@ from repro.core.plan import (
 )
 from repro.core.regex_expand import pattern_from_regex
 from repro.core.regex_render import render_regex
-from repro.errors import SynthesisError
+from repro.errors import SynthesisError, VerificationError
 from repro.obs.trace import span
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verify.verifier import VerificationReport
+
 FormatSource = Union[str, KeyPattern]
+
+VERIFY_MODES = (None, "warn", "strict")
+"""Accepted values of ``synthesize(..., verify=)``: ``None`` skips
+static verification, ``"warn"`` runs it and warns on error findings,
+``"strict"`` raises :class:`VerificationError` instead."""
 
 
 @dataclass
@@ -76,6 +94,9 @@ class SynthesizedHash:
     _callable: HashCallable = field(repr=False)
     name: str = "sepe_hash"
     _batch_callable: Optional[BatchHashCallable] = field(
+        default=None, repr=False, compare=False
+    )
+    verification: Optional["VerificationReport"] = field(
         default=None, repr=False, compare=False
     )
 
@@ -290,11 +311,41 @@ def build_plan(pattern: KeyPattern, family: HashFamily) -> SynthesisPlan:
         return plan
 
 
+def _verify_synthesis(
+    plan: SynthesisPlan, pattern: KeyPattern, mode: str
+) -> "VerificationReport":
+    """Run the static verifier on a freshly-built plan.
+
+    Imported lazily: :mod:`repro.verify` consumes plans and IR, so the
+    dependency must point from the verifier into the pipeline, not back.
+    """
+    from repro.verify.verifier import verify_plan
+
+    report = verify_plan(plan, pattern)
+    if not report.ok:
+        details = "; ".join(
+            f"{finding.rule}: {finding.message}"
+            for finding in report.lints.errors
+        )
+        if mode == "strict":
+            raise VerificationError(
+                f"static verification refutes the {plan.family.value} "
+                f"plan for {plan.pattern_regex!r}: {details}"
+            )
+        warnings.warn(
+            f"synthesized {plan.family.value} plan failed verification: "
+            f"{details}",
+            stacklevel=3,
+        )
+    return report
+
+
 def synthesize(
     source: FormatSource,
     family: HashFamily = HashFamily.PEXT,
     name: Optional[str] = None,
     final_mix: bool = False,
+    verify: Optional[str] = None,
 ) -> SynthesizedHash:
     """Synthesize one specialized hash function.
 
@@ -307,6 +358,11 @@ def synthesize(
         final_mix: append the murmur-style finalizer — an extension
             beyond the paper that restores uniformity (Table 2) at a
             fixed per-call cost; bijective plans stay bijective.
+        verify: ``None`` (default) skips static verification; ``"warn"``
+            runs :func:`repro.verify.verify_plan` and attaches the
+            report (warning on error findings); ``"strict"``
+            additionally raises :class:`VerificationError` when any
+            error-severity finding survives.
 
     >>> h = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
     >>> h(b"123-45-6789") != h(b"123-45-6780")
@@ -314,12 +370,19 @@ def synthesize(
     >>> h.is_bijective
     True
     """
+    if verify not in VERIFY_MODES:
+        raise ValueError(
+            f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+        )
     started = time.perf_counter()
     with span("synthesize", family=family.value):
         pattern = _resolve_pattern(source)
         plan = build_plan(pattern, family)
         if final_mix:
             plan = replace(plan, final_mix=True)
+        report = (
+            _verify_synthesis(plan, pattern, verify) if verify else None
+        )
         function_name = name or f"sepe_{family.value}_hash"
         # The compile cache skips build_ir → optimize → emit → exec
         # entirely when this plan was already lowered under this name.
@@ -335,6 +398,7 @@ def synthesize(
         synthesis_seconds=elapsed,
         _callable=compiled,
         name=function_name,
+        verification=report,
     )
 
 
@@ -342,10 +406,13 @@ def synthesize_from_keys(
     keys: Iterable[KeyLike],
     family: HashFamily = HashFamily.PEXT,
     name: Optional[str] = None,
+    verify: Optional[str] = None,
 ) -> SynthesizedHash:
     """Synthesize from example keys (the ``keybuilder`` path, Figure 5a)."""
     with span("synthesize_from_keys", family=family.value):
-        return synthesize(infer_pattern(keys), family=family, name=name)
+        return synthesize(
+            infer_pattern(keys), family=family, name=name, verify=verify
+        )
 
 
 def synthesize_all_families(

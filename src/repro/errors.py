@@ -46,6 +46,16 @@ class SynthesisError(SepeError):
     """
 
 
+class VerificationError(SepeError):
+    """Raised when static verification refutes a synthesized plan.
+
+    Only ``synthesize(..., verify="strict")`` raises this; the default
+    pipeline records findings without failing.  The message carries the
+    error-severity lint findings (or the bijectivity refutation) that
+    sank the plan.
+    """
+
+
 class EmptyKeySetError(SepeError):
     """Raised when pattern inference is given no example keys."""
 

@@ -42,8 +42,9 @@ from repro.core.plan import HashFamily
 from repro.core.quads import leq
 from repro.core.regex_expand import pattern_from_regex
 from repro.core.regex_render import render_regex
-from repro.core.synthesis import SynthesizedHash, synthesize
+from repro.core.synthesis import SynthesizedHash, build_plan, synthesize
 from repro.core.validate import sample_conforming_keys
+from repro.verify import prove_bijectivity
 from repro.containers import UnorderedMap
 from repro.core.dispatch import FormatDispatcher
 from repro.errors import SynthesisError
@@ -528,4 +529,43 @@ def check_container(ctx: CaseContext) -> Optional[str]:
     victim = ctx.keys[0]
     if table.erase(victim) != 1 or victim in table:
         return f"erase({victim!r}) did not remove the key"
+    return None
+
+
+@_oracle("verify-bijective", GROUP_DIFFERENTIAL)
+def check_verify_bijective(ctx: CaseContext) -> Optional[str]:
+    """The static bijectivity prover agrees with concrete execution.
+
+    Two directions: a plan *claiming* bijectivity that the prover
+    refutes is a pipeline bug (either the planner over-claims or the
+    prover is broken — both are findings); and on every plan the prover
+    *certifies*, sampled conforming keys must actually hash without
+    collision, checking the prover's soundness against the real
+    compiled function.
+    """
+    if not ctx.synthesizable:
+        return None
+    for family in HashFamily:
+        plan = build_plan(ctx.pattern, family)
+        result = prove_bijectivity(plan, ctx.pattern)
+        if result.refutes_claim:
+            return (
+                f"{family.value} plan claims bijectivity but the prover "
+                f"refutes it: {'; '.join(result.reasons)}"
+            )
+        if not result.certified:
+            continue
+        keys = list(dict.fromkeys(ctx.keys))
+        keys.extend(sample_conforming_keys(ctx.pattern, 64, seed=7))
+        synthesized = ctx.synthesized(family)
+        seen: Dict[int, bytes] = {}
+        for key in dict.fromkeys(keys):
+            value = synthesized(key)
+            other = seen.get(value)
+            if other is not None and other != key:
+                return (
+                    f"prover certified the {family.value} plan bijective "
+                    f"but {other!r} and {key!r} both hash to {value:#x}"
+                )
+            seen[value] = key
     return None

@@ -1,0 +1,454 @@
+"""Bit-level abstract interpretation of the hash IR.
+
+One pass over an :class:`~repro.codegen.ir.IRFunction` computes two
+cooperating abstract domains per virtual register:
+
+- **known bits** — masks of bits guaranteed zero / guaranteed one on
+  every *conforming* key, seeded at each ``load64`` from the format's
+  per-position byte classes (:class:`repro.core.pattern.BytePattern`);
+- **bit provenance** — for every result bit, the set of input key bits
+  (``byte_index * 8 + bit``) that can influence it, with the sentinel
+  :data:`TAIL` standing in for the arbitrary bytes of a
+  variable-length tail.
+
+Provenance is an *over*-approximation of influence (a bit listed may
+turn out irrelevant, a bit absent provably cannot matter), which is the
+direction the bijectivity prover and the dead-input-bit lint need: an
+output whose bits each depend on at most one key bit is injective on
+those bits, and a variable key bit absent from the return value's
+provenance provably never reaches the hash.
+
+Transfer functions cover every opcode of the IR (``const``, ``load64``,
+``pext``, ``shl``/``shr``/``rotl``, ``mul64``, ``xor``/``or``/``add``,
+``aes_absorb``/``aes_fold``, ``tail_xor``); AES registers are modeled
+at their native 128-bit width.  The pass is deliberately linear and
+allocation-light — synthesized functions are a few dozen instructions —
+so it can run on every plan the pipeline produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.codegen.ir import IRFunction
+from repro.core.pattern import KeyPattern
+from repro.errors import VerificationError
+from repro.obs.trace import span
+
+TAIL = "tail"
+"""Provenance sentinel: influence from variable-length tail bytes."""
+
+MASK64 = (1 << 64) - 1
+
+EMPTY: FrozenSet = frozenset()
+
+BitSource = Union[int, str]
+"""One provenance element: a key-bit index or the :data:`TAIL` marker."""
+
+
+def _width_mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """The abstract state of one register: known bits plus provenance.
+
+    Attributes:
+        zeros: mask of bits guaranteed zero for every conforming key.
+        ones: mask of bits guaranteed one.
+        prov: per-bit influence sets, bit 0 first; known bits always
+            carry the empty set (a constant bit cannot be influenced).
+        width: register width in bits (64, or 128 for AES state).
+    """
+
+    zeros: int
+    ones: int
+    prov: Tuple[FrozenSet[BitSource], ...]
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        mask = _width_mask(self.width)
+        if self.zeros & self.ones:
+            raise ValueError("a bit cannot be both known-zero and known-one")
+        if (self.zeros | self.ones) & ~mask:
+            raise ValueError("known bits outside the register width")
+        if len(self.prov) != self.width:
+            raise ValueError(
+                f"expected {self.width} provenance sets, got {len(self.prov)}"
+            )
+
+    @property
+    def known(self) -> int:
+        """Mask of bits with a proven constant value."""
+        return self.zeros | self.ones
+
+    @property
+    def unknown(self) -> int:
+        """Mask of bits that may vary between conforming keys."""
+        return ~self.known & _width_mask(self.width)
+
+    @property
+    def is_const(self) -> bool:
+        """True when every bit is known (the register is a constant)."""
+        return self.known == _width_mask(self.width)
+
+    @property
+    def value(self) -> int:
+        """The constant value; meaningful only when :attr:`is_const`."""
+        return self.ones
+
+    def influence(self) -> FrozenSet[BitSource]:
+        """Union of all per-bit provenance sets."""
+        result: FrozenSet[BitSource] = frozenset()
+        for entry in self.prov:
+            if entry:
+                result = result | entry
+        return result
+
+    def admits(self, concrete: int) -> bool:
+        """Soundness check: can this abstract value describe ``concrete``?"""
+        concrete &= _width_mask(self.width)
+        return (concrete & self.zeros) == 0 and (
+            concrete & self.ones
+        ) == self.ones
+
+
+def _make(
+    zeros: int, ones: int, prov: Tuple[FrozenSet, ...], width: int = 64
+) -> AbstractValue:
+    """Build a value, clearing provenance on known bits (the invariant)."""
+    known = zeros | ones
+    cleaned = tuple(
+        EMPTY if (known >> index) & 1 else entry
+        for index, entry in enumerate(prov)
+    )
+    return AbstractValue(zeros, ones, cleaned, width)
+
+
+def const_value(value: int, width: Optional[int] = None) -> AbstractValue:
+    """The abstract value of a literal constant (64- or 128-bit)."""
+    if width is None:
+        width = 128 if value.bit_length() > 64 else 64
+    mask = _width_mask(width)
+    value &= mask
+    return AbstractValue(~value & mask, value, (EMPTY,) * width, width)
+
+
+def unknown_value(width: int = 64) -> AbstractValue:
+    """A fully-unknown value carrying no provenance (rarely useful)."""
+    return AbstractValue(0, 0, (EMPTY,) * width, width)
+
+
+def seed_load(
+    pattern: Optional[KeyPattern], offset: int, width: int
+) -> AbstractValue:
+    """Abstract value of ``load64 offset width`` under a key format.
+
+    Constant pattern bits become known bits; variable bits carry their
+    key-bit index as provenance.  Bytes past the pattern's described
+    positions (possible only in malformed plans) are treated as tail
+    bytes; with no pattern at all, every loaded bit is unknown with its
+    own key-bit provenance.
+    """
+    zeros = 0
+    ones = 0
+    prov = []
+    for index in range(8 * width):
+        byte_index = offset + index // 8
+        bit = index % 8
+        if pattern is None:
+            prov.append(frozenset((8 * byte_index + bit,)))
+        elif byte_index < pattern.num_bytes:
+            byte = pattern.byte_pattern(byte_index)
+            if (byte.const_mask >> bit) & 1:
+                if (byte.const_value >> bit) & 1:
+                    ones |= 1 << index
+                else:
+                    zeros |= 1 << index
+                prov.append(EMPTY)
+            else:
+                prov.append(frozenset((8 * byte_index + bit,)))
+        else:
+            prov.append(frozenset((TAIL,)))
+    for index in range(8 * width, 64):
+        zeros |= 1 << index
+        prov.append(EMPTY)
+    return AbstractValue(zeros, ones, tuple(prov), 64)
+
+
+# -- per-opcode transfer functions -------------------------------------------
+
+
+def _pext_value(src: AbstractValue, mask: int) -> AbstractValue:
+    mask &= MASK64
+    zeros = 0
+    ones = 0
+    prov = []
+    for bit in range(64):
+        if not (mask >> bit) & 1:
+            continue
+        position = len(prov)
+        if (src.zeros >> bit) & 1:
+            zeros |= 1 << position
+        if (src.ones >> bit) & 1:
+            ones |= 1 << position
+        prov.append(src.prov[bit])
+    for position in range(len(prov), 64):
+        zeros |= 1 << position
+        prov.append(EMPTY)
+    return _make(zeros, ones, tuple(prov))
+
+
+def _shl_value(src: AbstractValue, amount: int) -> AbstractValue:
+    zeros = ((src.zeros << amount) | ((1 << amount) - 1)) & MASK64
+    ones = (src.ones << amount) & MASK64
+    prov = tuple(
+        src.prov[index - amount] if index >= amount else EMPTY
+        for index in range(64)
+    )
+    return _make(zeros, ones, prov)
+
+
+def _shr_value(src: AbstractValue, amount: int) -> AbstractValue:
+    high = (MASK64 << (64 - amount)) & MASK64 if amount else 0
+    zeros = (src.zeros >> amount) | high
+    ones = src.ones >> amount
+    prov = tuple(
+        src.prov[index + amount] if index + amount < 64 else EMPTY
+        for index in range(64)
+    )
+    return _make(zeros, ones, prov)
+
+
+def _rotl_value(src: AbstractValue, amount: int) -> AbstractValue:
+    amount %= 64
+    if amount == 0:
+        return src
+
+    def rotate(mask: int) -> int:
+        return ((mask << amount) | (mask >> (64 - amount))) & MASK64
+
+    prov = tuple(src.prov[(index - amount) % 64] for index in range(64))
+    return _make(rotate(src.zeros), rotate(src.ones), prov)
+
+
+def _mul_value(src: AbstractValue, multiplier: int) -> AbstractValue:
+    multiplier &= MASK64
+    if src.is_const:
+        return const_value((src.value * multiplier) & MASK64, 64)
+    if multiplier == 0:
+        return const_value(0, 64)
+    # Trailing zeros compose: tz(a * b) >= tz(a) + tz(b).
+    trailing_src = 0
+    while trailing_src < 64 and (src.zeros >> trailing_src) & 1:
+        trailing_src += 1
+    trailing_mul = (multiplier & -multiplier).bit_length() - 1
+    trailing = min(64, trailing_src + trailing_mul)
+    zeros = (1 << trailing) - 1
+    # Bit i of the product depends on source bits 0..i (shifted partial
+    # products plus carries only move influence upward).
+    prov = []
+    cumulative: FrozenSet[BitSource] = frozenset()
+    for index in range(64):
+        if src.prov[index]:
+            cumulative = cumulative | src.prov[index]
+        prov.append(cumulative)
+    return _make(zeros, 0, tuple(prov))
+
+
+def _require_same_width(a: AbstractValue, b: AbstractValue, op: str) -> None:
+    if a.width != b.width:
+        raise VerificationError(
+            f"{op} mixes register widths {a.width} and {b.width}"
+        )
+
+
+def _xor_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    _require_same_width(a, b, "xor")
+    zeros = (a.zeros & b.zeros) | (a.ones & b.ones)
+    ones = (a.zeros & b.ones) | (a.ones & b.zeros)
+    prov = tuple(
+        a.prov[index] | b.prov[index] for index in range(a.width)
+    )
+    return _make(zeros, ones, prov, a.width)
+
+
+def _or_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    _require_same_width(a, b, "or")
+    ones = a.ones | b.ones
+    zeros = a.zeros & b.zeros
+    prov = []
+    for index in range(a.width):
+        if (ones >> index) & 1:
+            # A known-one operand pins the output bit: nothing can
+            # influence it — this is what exposes lanes masked out by
+            # constant-one bits as dead input bits.
+            prov.append(EMPTY)
+        elif (a.zeros >> index) & 1:
+            prov.append(b.prov[index])
+        elif (b.zeros >> index) & 1:
+            prov.append(a.prov[index])
+        else:
+            prov.append(a.prov[index] | b.prov[index])
+    return _make(zeros, ones, tuple(prov), a.width)
+
+
+def _add_value(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    _require_same_width(a, b, "add")
+    width = a.width
+    mask = _width_mask(width)
+    if a.is_const and b.is_const:
+        return const_value((a.value + b.value) & mask, width)
+    # Exact low bits while both operands (and hence the carry) are known.
+    zeros = 0
+    ones = 0
+    carry = 0
+    for index in range(width):
+        if not ((a.known >> index) & 1 and (b.known >> index) & 1):
+            break
+        total = ((a.ones >> index) & 1) + ((b.ones >> index) & 1) + carry
+        if total & 1:
+            ones |= 1 << index
+        else:
+            zeros |= 1 << index
+        carry = total >> 1
+    # Carries propagate upward: bit i depends on bits 0..i of both sides.
+    prov = []
+    cumulative: FrozenSet[BitSource] = frozenset()
+    for index in range(width):
+        combined = a.prov[index] | b.prov[index]
+        if combined:
+            cumulative = cumulative | combined
+        prov.append(cumulative)
+    return _make(zeros, ones, tuple(prov), width)
+
+
+def _aes_absorb_value(
+    state: AbstractValue, lo: AbstractValue, hi: AbstractValue
+) -> AbstractValue:
+    # One AES round diffuses aggressively; model full mixing: every
+    # output bit may depend on every input bit of state and both words.
+    union = state.influence() | lo.influence() | hi.influence()
+    return AbstractValue(0, 0, (union,) * 128, 128)
+
+
+def _aes_fold_value(state: AbstractValue) -> AbstractValue:
+    if state.width != 128:
+        raise VerificationError("aes_fold expects a 128-bit register")
+    low = _make(
+        state.zeros & MASK64,
+        state.ones & MASK64,
+        state.prov[:64],
+        64,
+    )
+    high = _make(
+        state.zeros >> 64,
+        state.ones >> 64,
+        state.prov[64:],
+        64,
+    )
+    return _xor_value(low, high)
+
+
+def _tail_xor_value(acc: AbstractValue) -> AbstractValue:
+    if acc.width != 64:
+        raise VerificationError("tail_xor expects a 64-bit accumulator")
+    tail = frozenset((TAIL,))
+    prov = tuple(acc.prov[index] | tail for index in range(64))
+    return AbstractValue(0, 0, prov, 64)
+
+
+# -- the interpreter ---------------------------------------------------------
+
+
+@dataclass
+class AbstractResult:
+    """Everything one abstract pass learned about an IR function.
+
+    Attributes:
+        values: final abstract value of every register defined before
+            the (first) return.
+        ret: abstract value of the returned register, or ``None`` for a
+            function without ``ret``.
+        ret_register: name of the returned register.
+    """
+
+    values: Dict[str, AbstractValue]
+    ret: Optional[AbstractValue]
+    ret_register: Optional[str]
+
+
+def analyze_ir(
+    func: IRFunction, pattern: Optional[KeyPattern] = None
+) -> AbstractResult:
+    """Abstractly interpret ``func`` under the key format ``pattern``.
+
+    Without a pattern, loads are seeded fully unknown (every loaded bit
+    carries its own provenance), which still supports provenance-only
+    queries like translation validation.
+
+    Raises:
+        VerificationError: on an unknown opcode, an undefined register,
+            or a width-mismatched operation — malformed IR the verifier
+            must reject rather than mis-model.
+    """
+    with span("verify.absint", function=func.name):
+        values: Dict[str, AbstractValue] = {}
+
+        def get(arg) -> AbstractValue:
+            if isinstance(arg, int):
+                return const_value(arg)
+            if arg not in values:
+                raise VerificationError(
+                    f"register {arg!r} used before definition"
+                )
+            return values[arg]
+
+        ret: Optional[AbstractValue] = None
+        ret_register: Optional[str] = None
+        for instr in func.instrs:
+            op, dest, args = instr.opcode, instr.dest, instr.args
+            if op == "ret":
+                ret = get(args[0])
+                ret_register = args[0] if isinstance(args[0], str) else None
+                break  # Anything after the first ret never executes.
+            if op == "const":
+                value = const_value(args[0])
+            elif op == "load64":
+                value = seed_load(pattern, args[0], args[1])
+            elif op == "pext":
+                value = _pext_value(get(args[0]), args[1])
+            elif op == "shl":
+                value = _shl_value(get(args[0]), args[1])
+            elif op == "shr":
+                value = _shr_value(get(args[0]), args[1])
+            elif op == "rotl":
+                value = _rotl_value(get(args[0]), args[1])
+            elif op == "mul64":
+                value = _mul_value(get(args[0]), args[1])
+            elif op == "xor":
+                if args[0] == args[1]:
+                    value = const_value(0, get(args[0]).width)
+                else:
+                    value = _xor_value(get(args[0]), get(args[1]))
+            elif op == "or":
+                if args[0] == args[1]:
+                    value = get(args[0])
+                else:
+                    value = _or_value(get(args[0]), get(args[1]))
+            elif op == "add":
+                value = _add_value(get(args[0]), get(args[1]))
+            elif op == "aes_absorb":
+                value = _aes_absorb_value(
+                    get(args[0]), get(args[1]), get(args[2])
+                )
+            elif op == "aes_fold":
+                value = _aes_fold_value(get(args[0]))
+            elif op == "tail_xor":
+                value = _tail_xor_value(get(args[0]))
+            else:
+                raise VerificationError(f"unknown IR opcode: {op}")
+            values[dest] = value
+        return AbstractResult(values, ret, ret_register)

@@ -1,0 +1,284 @@
+"""The bijectivity prover: certify or refute ``SynthesisPlan.bijective``.
+
+The paper's headline safety property (Section 3.2.3, Figure 12) is that
+a Pext plan whose format has at most 64 variable bits is a *bijection*
+on conforming keys.  The planner records that as a boolean; this module
+turns the boolean into a machine-checked theorem over the plan's actual
+IR, in the translation-validation style of Alive2 (PAPERS.md): every
+plan is re-proved, not trusted.
+
+The proof goes through bit provenance (:mod:`repro.verify.absint`).
+Lower the plan, abstractly interpret it under the format, peel any
+invertible finalizer suffix (odd-multiplier ``mul64`` and
+``x ^ (x >> s)`` rounds — each a 64-bit bijection), and inspect the
+remaining core value:
+
+- every hash bit may depend on **at most one** key bit (overlapping
+  shift lanes would merge two provenances into one bit — refuted);
+- no :data:`~repro.verify.absint.TAIL` influence (a variable-length
+  tail folds unbounded bytes into 64 bits — never injective);
+- every variable key bit of the format reaches the hash (a dead input
+  bit means two conforming keys differing only there collide).
+
+Together with the transfer functions' per-bit copy/negate semantics,
+those conditions make the key recoverable from the hash, i.e. the
+function injective on conforming keys.  Refutations carry
+human-readable reasons; dead bits are reported separately because they
+are a distribution bug even for plans that never claimed bijectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.ir import Instr, IRFunction, build_ir
+from repro.core.pattern import KeyPattern
+from repro.core.plan import SynthesisPlan
+from repro.core.regex_expand import pattern_from_regex
+from repro.errors import SepeError
+from repro.obs.trace import span
+from repro.verify.absint import TAIL, AbstractResult, analyze_ir
+
+__all__ = ["BijectivityResult", "prove_bijectivity", "resolve_pattern"]
+
+
+@dataclass(frozen=True)
+class BijectivityResult:
+    """Verdict of the prover on one plan.
+
+    Attributes:
+        certified: the plan is *proved* injective on conforming keys.
+        claimed: what the planner recorded (``plan.bijective``).
+        reasons: why certification failed (empty when certified).
+        variable_bits: variable bits in the format, or ``None`` when no
+            pattern was available.
+        dead_bits: variable key-bit indices (``byte * 8 + bit``) that
+            provably never influence the hash — a distribution bug.
+    """
+
+    certified: bool
+    claimed: bool
+    reasons: Tuple[str, ...] = ()
+    variable_bits: Optional[int] = None
+    dead_bits: Tuple[int, ...] = ()
+
+    @property
+    def refutes_claim(self) -> bool:
+        """True when the planner claimed a bijection we cannot prove."""
+        return self.claimed and not self.certified
+
+    def to_dict(self) -> Dict:
+        return {
+            "certified": self.certified,
+            "claimed": self.claimed,
+            "refutes_claim": self.refutes_claim,
+            "reasons": list(self.reasons),
+            "variable_bits": self.variable_bits,
+            "dead_bits": list(self.dead_bits),
+        }
+
+
+def resolve_pattern(
+    plan: SynthesisPlan, pattern: Optional[KeyPattern] = None
+) -> Optional[KeyPattern]:
+    """The format to verify against: explicit, or re-expanded from the plan.
+
+    Returns ``None`` when the plan records no (or an unparsable) regex —
+    verification then degrades to pattern-free checks.
+    """
+    if pattern is not None:
+        return pattern
+    if not plan.pattern_regex:
+        return None
+    try:
+        return pattern_from_regex(plan.pattern_regex)
+    except SepeError:
+        return None
+
+
+def _variable_key_bits(pattern: KeyPattern) -> List[int]:
+    """All variable bit indices (``byte * 8 + bit``) in the fixed body."""
+    bits: List[int] = []
+    for index in range(pattern.body_length):
+        variable = pattern.byte_pattern(index).variable_mask
+        for bit in range(8):
+            if (variable >> bit) & 1:
+                bits.append(8 * index + bit)
+    return bits
+
+
+def _peel_invertible_suffix(
+    func: IRFunction, result: AbstractResult
+) -> Optional[str]:
+    """Walk back through invertible finalizer steps from the return.
+
+    Recognizes the two shapes :func:`repro.codegen.ir._emit_final_mix`
+    emits — ``x * odd_constant`` and ``x ^ (x >> s)`` with ``s >= 1`` —
+    both 64-bit bijections, so certifying the peeled core certifies the
+    whole function.  Returns the core register name, or ``None`` when
+    the return value is not a register.
+    """
+    defs: Dict[str, Instr] = {
+        instr.dest: instr for instr in func.instrs if instr.opcode != "ret"
+    }
+    register = result.ret_register
+    while register is not None:
+        instr = defs.get(register)
+        if instr is None:
+            break
+        if instr.opcode == "mul64" and instr.args[1] % 2 == 1:
+            source = instr.args[0]
+            register = source if isinstance(source, str) else None
+            continue
+        if instr.opcode == "xor":
+            peeled = _peel_xorshift(instr, defs)
+            if peeled is not None:
+                register = peeled
+                continue
+        break
+    return register
+
+
+def _peel_xorshift(
+    instr: Instr, defs: Dict[str, Instr]
+) -> Optional[str]:
+    """Match ``dest = x ^ (x >> s)`` in either operand order."""
+    for source, other in (
+        (instr.args[0], instr.args[1]),
+        (instr.args[1], instr.args[0]),
+    ):
+        if not (isinstance(source, str) and isinstance(other, str)):
+            continue
+        shifted = defs.get(other)
+        if (
+            shifted is not None
+            and shifted.opcode == "shr"
+            and shifted.args[0] == source
+            and shifted.args[1] >= 1
+        ):
+            return source
+    return None
+
+
+def prove_bijectivity(
+    plan: SynthesisPlan,
+    pattern: Optional[KeyPattern] = None,
+    func: Optional[IRFunction] = None,
+) -> BijectivityResult:
+    """Certify or refute that ``plan`` is injective on conforming keys.
+
+    Args:
+        plan: the plan to judge.
+        pattern: the key format; re-expanded from ``plan.pattern_regex``
+            when omitted.
+        func: pre-built IR for the plan (rebuilt when omitted).
+    """
+    with span("verify.bijectivity", family=plan.family.value):
+        return _prove(plan, pattern, func)
+
+
+def _prove(
+    plan: SynthesisPlan,
+    pattern: Optional[KeyPattern],
+    func: Optional[IRFunction],
+) -> BijectivityResult:
+    claimed = plan.bijective
+    pattern = resolve_pattern(plan, pattern)
+    reasons: List[str] = []
+    variable_bits: Optional[int] = None
+    dead_bits: Tuple[int, ...] = ()
+    if pattern is None:
+        reasons.append(
+            "no key format available (plan records no parsable regex)"
+        )
+        return BijectivityResult(False, claimed, tuple(reasons))
+    variable_bits = pattern.variable_bit_count()
+    if func is None:
+        try:
+            func = build_ir(plan, name="verify")
+        except SepeError as error:
+            reasons.append(f"plan fails to lower to IR: {error}")
+            return BijectivityResult(
+                False, claimed, tuple(reasons), variable_bits
+            )
+    try:
+        result = analyze_ir(func, pattern)
+    except SepeError as error:
+        reasons.append(f"abstract interpretation failed: {error}")
+        return BijectivityResult(
+            False, claimed, tuple(reasons), variable_bits
+        )
+    if result.ret is None:
+        reasons.append("function has no return value")
+        return BijectivityResult(
+            False, claimed, tuple(reasons), variable_bits
+        )
+
+    # Dead input bits are judged on the *returned* value: a variable key
+    # bit absent there provably never reaches the hash, bijective or not.
+    influence = result.ret.influence()
+    dead = tuple(
+        bit for bit in _variable_key_bits(pattern) if bit not in influence
+    )
+    dead_bits = dead
+    if dead:
+        preview = ", ".join(
+            f"byte {bit // 8} bit {bit % 8}" for bit in dead[:4]
+        )
+        suffix = "..." if len(dead) > 4 else ""
+        reasons.append(
+            f"{len(dead)} variable key bit(s) never reach the hash "
+            f"({preview}{suffix})"
+        )
+
+    if not plan.is_fixed_length or not pattern.is_fixed_length:
+        reasons.append(
+            "variable-length plans fold an arbitrary tail into 64 bits"
+        )
+    elif plan.key_length != pattern.body_length:
+        reasons.append(
+            f"plan key length {plan.key_length} != format body "
+            f"{pattern.body_length}"
+        )
+    if variable_bits > 64:
+        reasons.append(
+            f"format has {variable_bits} > 64 variable bits; 64-bit "
+            f"hashes cannot be injective"
+        )
+
+    core_register = _peel_invertible_suffix(func, result)
+    core = (
+        result.values.get(core_register)
+        if core_register is not None
+        else result.ret
+    )
+    if core is None:
+        core = result.ret
+    if core.width != 64:
+        reasons.append(f"core value is {core.width}-bit, expected 64")
+    else:
+        overlaps = [
+            (index, entry)
+            for index, entry in enumerate(core.prov)
+            if len(entry) > 1
+        ]
+        if overlaps:
+            index, entry = overlaps[0]
+            named = ", ".join(str(bit) for bit in sorted(entry, key=str)[:6])
+            reasons.append(
+                f"hash bit {index} is influenced by {len(entry)} key bits "
+                f"({named}) — lanes overlap, so distinct keys can collide"
+            )
+        if any(TAIL in entry for entry in core.prov):
+            if plan.is_fixed_length:
+                reasons.append(
+                    "fixed-length plan folds tail bytes (malformed IR)"
+                )
+    return BijectivityResult(
+        certified=not reasons,
+        claimed=claimed,
+        reasons=tuple(reasons),
+        variable_bits=variable_bits,
+        dead_bits=dead_bits,
+    )

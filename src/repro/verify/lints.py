@@ -1,0 +1,496 @@
+"""Plan and IR lints: machine-checkable rules over synthesis output.
+
+Every rule inspects one :class:`~repro.core.plan.SynthesisPlan` (plus
+its lowered IR and abstract interpretation, computed lazily and shared
+across rules) and emits :class:`Finding` objects at one of three
+severities.  ``error`` findings mean the plan is wrong — it cannot
+lower, it loses key bits, or it claims a bijection the prover refutes;
+``warning`` means wasteful-but-correct output; ``info`` is advisory.
+
+Rules self-register through the :func:`lint_rule` decorator, so adding
+a rule is writing one function; the registry, the CLI (``sepe lint``)
+and the CI gate pick it up automatically.  A rule that *crashes* is
+reported as an error finding rather than aborting the run — a linter
+that dies on odd input is itself a bug, and the gate should say so.
+
+Findings serialize to JSON (``LintReport.to_dict``) for the CI gate and
+any downstream tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.codegen.ir import IRFunction, build_ir, optimize
+from repro.core.pattern import KeyPattern
+from repro.core.plan import HashFamily, SynthesisPlan
+from repro.errors import SepeError
+from repro.obs.trace import span
+from repro.verify.absint import AbstractResult, analyze_ir
+from repro.verify.bijectivity import (
+    BijectivityResult,
+    prove_bijectivity,
+    resolve_pattern,
+)
+from repro.verify.tv import translation_validate
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintReport",
+    "LintContext",
+    "lint_rule",
+    "registered_rules",
+    "run_lints",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``error`` fails the CI gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: which rule fired, how severe, and why.
+
+    Attributes:
+        rule: registered name of the rule that produced this finding.
+        severity: :class:`Severity` of the defect.
+        message: human-readable explanation.
+        data: optional machine-readable detail (JSON-serializable).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    data: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "data": self.data,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings from one run over one plan."""
+
+    plan_regex: str
+    family: str
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def counts(self) -> Dict[str, int]:
+        totals = {severity.value: 0 for severity in Severity}
+        for finding in self.findings:
+            totals[finding.severity.value] += 1
+        return totals
+
+    def to_dict(self) -> Dict:
+        return {
+            "pattern": self.plan_regex,
+            "family": self.family,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class LintContext:
+    """Shared, lazily-computed analysis state handed to every rule.
+
+    Expensive artifacts (IR, optimized IR, abstract interpretation, the
+    bijectivity proof) are computed at most once per plan no matter how
+    many rules consult them.  Accessors raise :class:`SepeError`
+    subclasses on malformed plans; rules let those propagate — the
+    runner folds them into the dedicated lowering finding.
+    """
+
+    def __init__(
+        self, plan: SynthesisPlan, pattern: Optional[KeyPattern] = None
+    ):
+        self.plan = plan
+        self.pattern = resolve_pattern(plan, pattern)
+        self._ir: Optional[IRFunction] = None
+        self._optimized: Optional[IRFunction] = None
+        self._absint: Optional[AbstractResult] = None
+        self._bijectivity: Optional[BijectivityResult] = None
+
+    @property
+    def ir(self) -> IRFunction:
+        if self._ir is None:
+            self._ir = build_ir(self.plan, name="lint")
+        return self._ir
+
+    @property
+    def optimized(self) -> IRFunction:
+        if self._optimized is None:
+            self._optimized = optimize(self.ir)
+        return self._optimized
+
+    @property
+    def absint(self) -> AbstractResult:
+        if self._absint is None:
+            self._absint = analyze_ir(self.ir, self.pattern)
+        return self._absint
+
+    @property
+    def bijectivity(self) -> BijectivityResult:
+        if self._bijectivity is None:
+            self._bijectivity = prove_bijectivity(
+                self.plan, self.pattern, func=self._ir
+            )
+        return self._bijectivity
+
+
+LintFn = Callable[[LintContext], Iterator[Finding]]
+
+_RULES: Dict[str, Tuple[Severity, str, LintFn]] = {}
+
+
+def lint_rule(
+    name: str, severity: Severity, description: str
+) -> Callable[[LintFn], LintFn]:
+    """Register a lint rule; the function yields its findings.
+
+    ``severity`` is the rule's default — individual findings may choose
+    another (e.g. the bijective-flag rule emits both errors and infos).
+    """
+
+    def register(fn: LintFn) -> LintFn:
+        if name in _RULES:
+            raise ValueError(f"duplicate lint rule: {name}")
+        _RULES[name] = (severity, description, fn)
+        return fn
+
+    return register
+
+
+def registered_rules() -> Dict[str, Tuple[Severity, str]]:
+    """Name → (default severity, description) for every known rule."""
+    return {
+        name: (severity, description)
+        for name, (severity, description, _) in _RULES.items()
+    }
+
+
+# -- the rules ---------------------------------------------------------------
+
+
+@lint_rule(
+    "plan-lowering",
+    Severity.ERROR,
+    "the plan must lower to IR without errors",
+)
+def _lint_lowering(ctx: LintContext) -> Iterator[Finding]:
+    # Touch the IR so lowering failures surface here with the right rule
+    # name instead of crashing every downstream rule separately.
+    ctx.ir
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
+@lint_rule(
+    "skip-table-offsets",
+    Severity.ERROR,
+    "unrolled loads must agree with the skip table's load positions",
+)
+def _lint_skip_table(ctx: LintContext) -> Iterator[Finding]:
+    table = ctx.plan.skip_table
+    if table is None:
+        return
+    driven = table.load_offsets()
+    # Planners may drop zero-entropy loads, so the plan's loads must be
+    # a subsequence of the table-driven positions — not equal to them.
+    position = 0
+    for load in ctx.plan.loads:
+        while position < len(driven) and driven[position] != load.offset:
+            position += 1
+        if position == len(driven):
+            yield Finding(
+                "skip-table-offsets",
+                Severity.ERROR,
+                f"load at offset {load.offset} is not among the skip "
+                f"table's positions {list(driven)}",
+                {"offset": load.offset, "table": list(driven)},
+            )
+            return
+        position += 1
+
+
+@lint_rule(
+    "load-bounds",
+    Severity.ERROR,
+    "loads and the plan's key length must fit the key format",
+)
+def _lint_load_bounds(ctx: LintContext) -> Iterator[Finding]:
+    pattern = ctx.pattern
+    if pattern is None:
+        return
+    plan = ctx.plan
+    if (
+        plan.is_fixed_length
+        and pattern.is_fixed_length
+        and plan.key_length != pattern.body_length
+    ):
+        yield Finding(
+            "load-bounds",
+            Severity.ERROR,
+            f"plan key length {plan.key_length} does not match the "
+            f"format's {pattern.body_length} bytes",
+            {"plan": plan.key_length, "format": pattern.body_length},
+        )
+    for load in plan.loads:
+        if load.offset + load.width > pattern.num_bytes:
+            yield Finding(
+                "load-bounds",
+                Severity.ERROR,
+                f"load of {load.width} bytes at offset {load.offset} "
+                f"reads past the {pattern.num_bytes}-byte format",
+                {"offset": load.offset, "width": load.width},
+            )
+
+
+@lint_rule(
+    "mask-constant-bits",
+    Severity.WARNING,
+    "pext masks should not extract bits the format fixes",
+)
+def _lint_mask_constant_bits(ctx: LintContext) -> Iterator[Finding]:
+    pattern = ctx.pattern
+    if pattern is None:
+        return
+    for load in ctx.plan.loads:
+        if load.mask is None:
+            continue
+        if load.offset + load.width > pattern.num_bytes:
+            continue  # load-bounds reports this one.
+        const_mask, _ = pattern.word_const_mask(load.offset, load.width)
+        wasted = load.mask & const_mask
+        if wasted:
+            yield Finding(
+                "mask-constant-bits",
+                Severity.WARNING,
+                f"mask {load.mask:#x} at offset {load.offset} extracts "
+                f"{bin(wasted).count('1')} constant bit(s) "
+                f"({wasted:#x}) that every conforming key shares",
+                {"offset": load.offset, "wasted_mask": wasted},
+            )
+
+
+@lint_rule(
+    "zero-entropy-load",
+    Severity.WARNING,
+    "a load contributing no variable bits is pure overhead",
+)
+def _lint_zero_entropy(ctx: LintContext) -> Iterator[Finding]:
+    pattern = ctx.pattern
+    plan = ctx.plan
+    # Naive deliberately loads every word, constant or not — that *is*
+    # the family (Section 3.2.2); only constraint-exploiting families
+    # are expected to skip dead words.
+    if pattern is None or plan.family is HashFamily.NAIVE:
+        return
+    for load in plan.loads:
+        if load.offset + load.width > pattern.num_bytes:
+            continue
+        const_mask, _ = pattern.word_const_mask(load.offset, load.width)
+        selected = (
+            load.mask
+            if load.mask is not None
+            else (1 << (8 * load.width)) - 1
+        )
+        if selected and not (selected & ~const_mask):
+            yield Finding(
+                "zero-entropy-load",
+                Severity.WARNING,
+                f"load at offset {load.offset} selects only constant "
+                f"bits; it contributes nothing to the hash",
+                {"offset": load.offset},
+            )
+
+
+@lint_rule(
+    "shift-budget",
+    Severity.ERROR,
+    "shifted lanes must stay inside the 64-bit accumulator",
+)
+def _lint_shift_budget(ctx: LintContext) -> Iterator[Finding]:
+    for load in ctx.plan.loads:
+        if not load.shift or load.mask is None:
+            continue
+        lane_bits = bin(load.mask).count("1")
+        if load.shift + lane_bits > 64:
+            yield Finding(
+                "shift-budget",
+                Severity.ERROR,
+                f"load at offset {load.offset} extracts {lane_bits} "
+                f"bit(s) shifted by {load.shift}: "
+                f"{load.shift + lane_bits - 64} bit(s) fall off the top",
+                {
+                    "offset": load.offset,
+                    "lane_bits": lane_bits,
+                    "shift": load.shift,
+                },
+            )
+
+
+@lint_rule(
+    "dead-input-bits",
+    Severity.ERROR,
+    "every variable key bit must influence the hash",
+)
+def _lint_dead_bits(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.pattern is None:
+        return
+    dead = ctx.bijectivity.dead_bits
+    if dead:
+        preview = [f"byte {bit // 8} bit {bit % 8}" for bit in dead[:8]]
+        yield Finding(
+            "dead-input-bits",
+            Severity.ERROR,
+            f"{len(dead)} variable key bit(s) provably never influence "
+            f"the hash: {', '.join(preview)}"
+            + ("..." if len(dead) > 8 else ""),
+            {"dead_bits": list(dead)},
+        )
+
+
+@lint_rule(
+    "redundant-ir",
+    Severity.WARNING,
+    "the builder should not emit dead instructions",
+)
+def _lint_redundant_ir(ctx: LintContext) -> Iterator[Finding]:
+    before = len(ctx.ir.instrs)
+    after = len(ctx.optimized.instrs)
+    if after < before:
+        yield Finding(
+            "redundant-ir",
+            Severity.WARNING,
+            f"optimize() removed {before - after} dead instruction(s) "
+            f"the builder emitted",
+            {"before": before, "after": after},
+        )
+
+
+@lint_rule(
+    "optimize-tv",
+    Severity.ERROR,
+    "optimize() must preserve the function's abstract semantics",
+)
+def _lint_optimize_tv(ctx: LintContext) -> Iterator[Finding]:
+    mismatch = translation_validate(ctx.ir, ctx.optimized, ctx.pattern)
+    if mismatch is not None:
+        yield Finding(
+            "optimize-tv",
+            Severity.ERROR,
+            f"translation validation refutes optimize(): {mismatch}",
+            {"mismatch": mismatch},
+        )
+
+
+@lint_rule(
+    "bijective-flag",
+    Severity.ERROR,
+    "the plan's bijective flag must match what the prover establishes",
+)
+def _lint_bijective_flag(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.pattern is None:
+        return
+    result = ctx.bijectivity
+    if result.refutes_claim:
+        yield Finding(
+            "bijective-flag",
+            Severity.ERROR,
+            "plan claims bijectivity but the prover refutes it: "
+            + "; ".join(result.reasons),
+            result.to_dict(),
+        )
+    elif result.certified and not result.claimed:
+        yield Finding(
+            "bijective-flag",
+            Severity.INFO,
+            "plan is provably bijective but does not claim it",
+            result.to_dict(),
+        )
+
+
+# -- the runner --------------------------------------------------------------
+
+
+def run_lints(
+    plan: SynthesisPlan,
+    pattern: Optional[KeyPattern] = None,
+    rules: Optional[List[str]] = None,
+    ctx: Optional[LintContext] = None,
+) -> LintReport:
+    """Run every registered rule (or the named subset) over one plan.
+
+    A rule raising :class:`SepeError` produces an error finding under
+    its own name (malformed plans are exactly what lints exist to
+    catch); any other exception becomes a ``lint-crash`` error finding
+    naming the broken rule.  Pass ``ctx`` to share lazily-computed
+    analyses (IR, bijectivity proof) with the caller.
+    """
+    with span("verify.lints", family=plan.family.value):
+        if ctx is None:
+            ctx = LintContext(plan, pattern)
+        report = LintReport(
+            plan_regex=plan.pattern_regex, family=plan.family.value
+        )
+        selected = rules if rules is not None else list(_RULES)
+        for name in selected:
+            if name not in _RULES:
+                raise ValueError(f"unknown lint rule: {name}")
+            _, _, fn = _RULES[name]
+            try:
+                report.findings.extend(fn(ctx))
+            except SepeError as error:
+                report.findings.append(
+                    Finding(
+                        name,
+                        Severity.ERROR,
+                        f"{type(error).__name__}: {error}",
+                        {"exception": type(error).__name__},
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - crash isolation
+                report.findings.append(
+                    Finding(
+                        "lint-crash",
+                        Severity.ERROR,
+                        f"rule {name!r} crashed: "
+                        f"{type(error).__name__}: {error}",
+                        {"rule": name, "exception": type(error).__name__},
+                    )
+                )
+        return report

@@ -1,0 +1,102 @@
+"""The verifier facade: one call running every static check on a plan.
+
+:func:`verify_plan` bundles the lint suite (which itself drives the
+abstract interpreter, the bijectivity prover, and translation
+validation of ``optimize()``) into a single
+:class:`VerificationReport`, instrumented with ``verify.*`` spans and
+counters so ``sepe obs`` shows verification cost next to synthesis
+cost.  :func:`verify_synthesized` is the convenience entry point used
+by ``synthesize(..., verify=...)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.pattern import KeyPattern
+from repro.core.plan import SynthesisPlan
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.verify.bijectivity import BijectivityResult
+from repro.verify.lints import LintContext, LintReport, run_lints
+
+__all__ = ["VerificationReport", "verify_plan", "verify_synthesized"]
+
+
+@dataclass
+class VerificationReport:
+    """Everything static analysis established about one plan.
+
+    Attributes:
+        family: the plan's hash family (``naive``/``offxor``/...).
+        pattern_regex: the format the plan was synthesized for.
+        lints: all lint findings (includes TV and bijective-flag rules).
+        bijectivity: the prover's verdict on injectivity.
+    """
+
+    family: str
+    pattern_regex: str
+    lints: LintReport
+    bijectivity: BijectivityResult
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return self.lints.ok
+
+    def summary(self) -> str:
+        counts = self.lints.counts()
+        verdict = (
+            "bijective (certified)"
+            if self.bijectivity.certified
+            else "not proved bijective"
+        )
+        return (
+            f"{self.family}: {'ok' if self.ok else 'FAIL'} — "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{verdict}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "family": self.family,
+            "pattern": self.pattern_regex,
+            "ok": self.ok,
+            "lints": self.lints.to_dict(),
+            "bijectivity": self.bijectivity.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def verify_plan(
+    plan: SynthesisPlan, pattern: Optional[KeyPattern] = None
+) -> VerificationReport:
+    """Run every static check on ``plan`` and report the results."""
+    registry = get_registry()
+    with span("verify.plan", family=plan.family.value):
+        registry.counter("verify.plans").inc()
+        ctx = LintContext(plan, pattern)
+        lints = run_lints(plan, pattern, ctx=ctx)
+        bijectivity = ctx.bijectivity
+        registry.counter(
+            "verify.certified" if bijectivity.certified else "verify.refuted"
+        ).inc()
+        for finding in lints.findings:
+            registry.counter(
+                f"verify.findings.{finding.severity.value}"
+            ).inc()
+        return VerificationReport(
+            family=plan.family.value,
+            pattern_regex=plan.pattern_regex,
+            lints=lints,
+            bijectivity=bijectivity,
+        )
+
+
+def verify_synthesized(synthesized) -> VerificationReport:
+    """Verify a :class:`~repro.core.synthesis.SynthesizedHash` result."""
+    return verify_plan(synthesized.plan, getattr(synthesized, "pattern", None))

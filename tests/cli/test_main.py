@@ -171,3 +171,82 @@ class TestObsCompileCache:
         out = capsys.readouterr().out
         assert "compile cache:" in out
         assert "exec calls" in out
+
+
+class TestVerify:
+    def test_verify_all_families_ok(self, capsys):
+        assert run(["verify", r"[0-9]{3}-[0-9]{2}-[0-9]{4}"]) == 0
+        out = capsys.readouterr().out
+        assert "pext: ok" in out
+        assert "bijective (certified)" in out
+
+    def test_verify_single_family_json(self, capsys):
+        import json
+
+        assert run(
+            ["verify", r"[0-9]{3}-[0-9]{2}-[0-9]{4}",
+             "--family", "pext", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document) == 1
+        assert document[0]["ok"] is True
+        assert document[0]["bijectivity"]["certified"] is True
+
+    def test_verify_final_mix(self, capsys):
+        assert run(
+            ["verify", r"[0-9]{3}-[0-9]{2}-[0-9]{4}",
+             "--family", "pext", "--final-mix"]
+        ) == 0
+        assert "bijective (certified)" in capsys.readouterr().out
+
+    def test_verify_bad_regex(self, capsys):
+        assert run(["verify", "[oops"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_verify_short_body(self, capsys):
+        assert run(["verify", r"[0-9]{4}"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_lint_explicit_regex(self, capsys):
+        assert run(["lint", r"[0-9]{3}-[0-9]{2}-[0-9]{4}"]) == 0
+        err = capsys.readouterr().err
+        assert "linted 4 plan(s)" in err
+        assert "0 error(s)" in err
+
+    def test_lint_builtin_formats(self, capsys):
+        assert run(["lint", "--formats"]) == 0
+        err = capsys.readouterr().err
+        assert "0 error(s)" in err
+        assert "1 skipped" in err  # PLATE's 7-byte body
+
+    def test_lint_corpus_dir(self, capsys, tmp_path):
+        from repro.fuzz.corpus import save_reproducer
+        from repro.fuzz.generators import FormatSpec, Piece
+        from repro.fuzz.oracles import FuzzCase
+
+        case = FuzzCase(
+            FormatSpec((Piece(12, bytes(range(0x30, 0x3A))),), 0),
+            (b"0" * 12,),
+        )
+        save_reproducer(case, "demo-oracle", "message", tmp_path)
+        assert run(["lint", "--corpus", str(tmp_path)]) == 0
+        assert "linted 4 plan(s)" in capsys.readouterr().err
+
+    def test_lint_json_output(self, capsys):
+        import json
+
+        assert run(["lint", r"[0-9]{16}", "--json"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert len(document) == 4
+        assert all(entry["ok"] for entry in document)
+
+    def test_lint_nothing_to_do(self, capsys):
+        assert run(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_lint_fail_on_error_by_default(self, capsys):
+        # A clean format exits 0 even with info findings present.
+        assert run(["lint", r"[0-9a-f]{8}"]) == 0

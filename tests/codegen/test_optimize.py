@@ -1,0 +1,132 @@
+"""Focused tests for the IR dead-code eliminator (``optimize``).
+
+The optimizer is now translation-validated on every verified plan
+(:mod:`repro.verify.tv`); these tests pin its concrete behavior —
+especially the multi-``ret`` liveness rule, where only seeding from
+every return keeps earlier returns' chains alive.
+"""
+
+import pytest
+
+from repro.codegen.interp import interpret
+from repro.codegen.ir import IRFunction, Instr, build_ir, optimize
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SynthesisPlan,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.synthesis import build_plan
+from repro.core.validate import sample_conforming_keys
+
+SSN = r"[0-9]{3}-[0-9]{2}-[0-9]{4}"
+
+
+def simple_plan(**overrides):
+    defaults = dict(
+        family=HashFamily.OFFXOR,
+        key_length=16,
+        loads=(LoadOp(0), LoadOp(8)),
+        skip_table=None,
+        combine=CombineOp.XOR,
+        total_variable_bits=128,
+        bijective=False,
+    )
+    defaults.update(overrides)
+    return SynthesisPlan(**defaults)
+
+
+class TestDeadCodeElimination:
+    def test_drops_unused_chain(self):
+        func = IRFunction("f", simple_plan())
+        live = func.emit("load64", (0, 8))
+        dead = func.emit("load64", (8, 8))
+        func.emit("shl", (dead, 4))  # dead chain, never returned
+        func.emit_ret(live)
+        optimized = optimize(func)
+        assert len(optimized.instrs) == 2
+        assert {i.opcode for i in optimized.instrs} == {"load64", "ret"}
+
+    def test_keeps_transitive_dependencies(self):
+        func = IRFunction("f", simple_plan())
+        a = func.emit("load64", (0, 8))
+        b = func.emit("shl", (a, 4))
+        c = func.emit("xor", (a, b))
+        func.emit_ret(c)
+        optimized = optimize(func)
+        assert len(optimized.instrs) == 4
+
+    def test_const_arguments_do_not_confuse_liveness(self):
+        func = IRFunction("f", simple_plan())
+        a = func.emit("const", (7,))
+        b = func.emit("mul64", (a, 3))
+        func.emit_ret(b)
+        assert len(optimize(func).instrs) == 3
+
+    def test_preserves_instruction_order(self):
+        func = build_ir(build_plan(pattern_from_regex(SSN), HashFamily.PEXT))
+        optimized = optimize(func)
+        kept = [i for i in func.instrs if i in optimized.instrs]
+        assert kept == optimized.instrs
+
+
+class TestMultipleReturns:
+    def make_multi_ret(self):
+        """IR with two rets; execution takes the first."""
+        func = IRFunction("f", simple_plan())
+        first = func.emit("load64", (0, 8))
+        func.emit_ret(first)
+        second = func.emit("load64", (8, 8))
+        func.emit_ret(second)
+        return func
+
+    def test_earlier_ret_chain_survives(self):
+        optimized = optimize(self.make_multi_ret())
+        loads = [i for i in optimized.instrs if i.opcode == "load64"]
+        assert len(loads) == 2  # both returns' operands kept
+
+    def test_interp_parity_with_multiple_rets(self):
+        func = self.make_multi_ret()
+        optimized = optimize(func)
+        key = bytes(range(16))
+        assert interpret(func, key) == interpret(optimized, key)
+
+    def test_ret_of_literal_kept(self):
+        func = IRFunction("f", simple_plan())
+        func.instrs.append(Instr("ret", "", (123,)))
+        optimized = optimize(func)
+        assert optimized.instrs == [Instr("ret", "", (123,))]
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("family", list(HashFamily))
+    def test_optimize_twice_is_once(self, family):
+        func = build_ir(build_plan(pattern_from_regex(SSN), family))
+        once = optimize(func)
+        twice = optimize(once)
+        assert once.instrs == twice.instrs
+
+    def test_original_function_untouched(self):
+        func = IRFunction("f", simple_plan())
+        live = func.emit("load64", (0, 8))
+        func.emit("load64", (8, 8))
+        func.emit_ret(live)
+        before = list(func.instrs)
+        optimize(func)
+        assert func.instrs == before
+
+
+@pytest.mark.parametrize("family", list(HashFamily))
+@pytest.mark.parametrize(
+    "regex", [SSN, r"[0-9]{16}", r"[0-9]{8}[0-9]*"]
+)
+class TestInterpreterParity:
+    def test_optimized_ir_hashes_identically(self, family, regex):
+        """For all four families, DCE never changes a hash value."""
+        pattern = pattern_from_regex(regex)
+        plan = build_plan(pattern, family)
+        func = build_ir(plan)
+        optimized = optimize(func)
+        for key in sample_conforming_keys(pattern, 16, seed=5):
+            assert interpret(func, key) == interpret(optimized, key)

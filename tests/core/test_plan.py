@@ -41,6 +41,22 @@ class TestLoadOp:
         with pytest.raises(ValueError):
             LoadOp(0, width=width)
 
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            LoadOp(0, mask=-1)
+
+    def test_mask_outside_loaded_width_rejected(self):
+        with pytest.raises(ValueError):
+            LoadOp(0, mask=1 << 32, width=4)
+
+    def test_mask_at_width_boundary_accepted(self):
+        load = LoadOp(0, mask=(1 << 32) - 1, width=4)
+        assert load.mask == (1 << 32) - 1
+
+    def test_full_mask_on_full_width(self):
+        load = LoadOp(0, mask=(1 << 64) - 1)
+        assert load.width == 8
+
     def test_frozen(self):
         load = LoadOp(0)
         with pytest.raises(AttributeError):
@@ -111,3 +127,41 @@ class TestSynthesisPlan:
 
     def test_family_enum_str(self):
         assert str(HashFamily.PEXT) == "pext"
+
+    def test_tail_start_fixed_length(self):
+        """Without a skip table the tail starts at the key's end."""
+        assert self._plan().tail_start == 16
+
+    def test_tail_start_with_skip_table(self):
+        table = SkipTable(initial_offset=2, skips=(8, 10))
+        plan = self._plan(
+            key_length=None,
+            loads=(LoadOp(2), LoadOp(10)),
+            skip_table=table,
+        )
+        assert plan.tail_start == table.resume_offset == 20
+
+    def test_tail_start_drives_ir_tail_xor(self):
+        """Both IR builders take the resume offset from the plan."""
+        from repro.codegen.ir import build_ir
+
+        table = SkipTable(initial_offset=0, skips=(8, 8))
+        for family, combine in (
+            (HashFamily.OFFXOR, CombineOp.XOR),
+            (HashFamily.AES, CombineOp.AESENC),
+        ):
+            plan = self._plan(
+                family=family,
+                key_length=None,
+                loads=(LoadOp(0), LoadOp(8)),
+                skip_table=table,
+                combine=combine,
+            )
+            func = build_ir(plan)
+            tails = [
+                instr
+                for instr in func.instrs
+                if instr.opcode == "tail_xor"
+            ]
+            assert len(tails) == 1
+            assert tails[0].args[1] == plan.tail_start == 16

@@ -70,6 +70,7 @@ class TestRegistry:
             "pext-invariants",
             "dispatcher",
             "container",
+            "verify-bijective",
         }
         assert expected <= set(ORACLES)
 

@@ -1,0 +1,160 @@
+"""Tests for the bijectivity prover."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SynthesisPlan,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.synthesis import build_plan
+from repro.keygen.extended import EXTENDED_KEY_TYPES
+from repro.keygen.keyspec import KEY_TYPES
+from repro.verify import prove_bijectivity
+
+OCTAL16 = r"[0-7]{16}"
+LANE_MASK = 0x0F0F0F0F0F0F0F0F  # the quad lattice leaves 4 bits per digit
+
+
+def octal_plan(loads, bijective=True):
+    return SynthesisPlan(
+        family=HashFamily.PEXT,
+        key_length=16,
+        loads=tuple(loads),
+        skip_table=None,
+        combine=CombineOp.XOR,
+        total_variable_bits=64,
+        bijective=bijective,
+        pattern_regex=OCTAL16,
+    )
+
+
+def seed_formats():
+    return {**KEY_TYPES, **EXTENDED_KEY_TYPES}
+
+
+class TestSeedFormats:
+    @pytest.mark.parametrize(
+        "name", ["SSN", "CPF", "IPV4", "ISBN13", "E164"]
+    )
+    def test_small_pext_plans_certified(self, name):
+        """Every seed Pext plan with <= 64 variable bits is certified."""
+        pattern = pattern_from_regex(seed_formats()[name].regex)
+        assert pattern.variable_bit_count() <= 64
+        plan = build_plan(pattern, HashFamily.PEXT)
+        assert plan.bijective
+        result = prove_bijectivity(plan, pattern)
+        assert result.certified, result.reasons
+        assert not result.refutes_claim
+        assert result.dead_bits == ()
+
+    @pytest.mark.parametrize("name", ["MAC", "IPV6", "INTS", "UUID4"])
+    def test_wide_formats_not_certified(self, name):
+        """Formats beyond 64 variable bits cannot be injective."""
+        pattern = pattern_from_regex(seed_formats()[name].regex)
+        assert pattern.variable_bit_count() > 64
+        plan = build_plan(pattern, HashFamily.PEXT)
+        assert not plan.bijective
+        result = prove_bijectivity(plan, pattern)
+        assert not result.certified
+        assert not result.refutes_claim  # the plan never claimed it
+
+    def test_no_seed_plan_claim_is_refuted(self):
+        """No built-in (format, family) pair over-claims bijectivity."""
+        for spec in seed_formats().values():
+            pattern = pattern_from_regex(spec.regex)
+            if pattern.body_length < 8:
+                continue
+            for family in HashFamily:
+                plan = build_plan(pattern, family)
+                result = prove_bijectivity(plan, pattern)
+                assert not result.refutes_claim, (
+                    spec.regex,
+                    family,
+                    result.reasons,
+                )
+
+    @pytest.mark.parametrize("name", ["SSN", "IPV4"])
+    def test_final_mix_preserves_certification(self, name):
+        """The murmur finalizer is invertible; the proof peels it."""
+        pattern = pattern_from_regex(seed_formats()[name].regex)
+        plan = dataclasses.replace(
+            build_plan(pattern, HashFamily.PEXT), final_mix=True
+        )
+        result = prove_bijectivity(plan, pattern)
+        assert result.certified, result.reasons
+
+
+class TestRefutations:
+    def test_overlapping_shift_lanes_refuted(self):
+        """Two lanes shifted onto each other: claimed, provably wrong.
+
+        Distinct keys differing only in the overlapped bits can collide,
+        so the prover must refute the plan's bijective flag.
+        """
+        plan = octal_plan(
+            [
+                LoadOp(0, mask=LANE_MASK, shift=0),
+                LoadOp(8, mask=LANE_MASK, shift=1),
+            ]
+        )
+        pattern = pattern_from_regex(OCTAL16)
+        result = prove_bijectivity(plan, pattern)
+        assert not result.certified
+        assert result.refutes_claim
+        assert any("overlap" in reason for reason in result.reasons)
+
+    def test_correct_packing_certified(self):
+        """The same lanes packed disjointly are provably bijective."""
+        plan = octal_plan(
+            [
+                LoadOp(0, mask=LANE_MASK, shift=0),
+                LoadOp(8, mask=LANE_MASK, shift=32),
+            ]
+        )
+        result = prove_bijectivity(plan, pattern_from_regex(OCTAL16))
+        assert result.certified, result.reasons
+
+    def test_dead_input_bits_refuted(self):
+        """Dropping a whole word leaves variable bits dead."""
+        plan = octal_plan([LoadOp(0, mask=LANE_MASK, shift=0)])
+        result = prove_bijectivity(plan, pattern_from_regex(OCTAL16))
+        assert not result.certified
+        assert len(result.dead_bits) == 32  # 4 bits x 8 dropped bytes
+        assert any("never reach" in reason for reason in result.reasons)
+
+    def test_variable_length_refuted(self):
+        """A tail fold can never be injective."""
+        pattern = pattern_from_regex(r"[0-9]{8}[0-9]*")
+        plan = build_plan(pattern, HashFamily.PEXT)
+        result = prove_bijectivity(plan, pattern)
+        assert not result.certified
+        assert not plan.bijective
+
+    def test_missing_pattern_refuses_to_certify(self):
+        plan = dataclasses.replace(
+            octal_plan(
+                [
+                    LoadOp(0, mask=LANE_MASK, shift=0),
+                    LoadOp(8, mask=LANE_MASK, shift=32),
+                ]
+            ),
+            pattern_regex="",
+        )
+        result = prove_bijectivity(plan)
+        assert not result.certified
+        assert any("format" in reason for reason in result.reasons)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        plan = octal_plan([LoadOp(0, mask=LANE_MASK, shift=0)])
+        result = prove_bijectivity(plan, pattern_from_regex(OCTAL16))
+        document = json.loads(json.dumps(result.to_dict()))
+        assert document["certified"] is False
+        assert document["refutes_claim"] is True
+        assert document["dead_bits"] == list(result.dead_bits)

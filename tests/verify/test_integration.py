@@ -1,0 +1,142 @@
+"""End-to-end wiring of the verifier into the synthesis pipeline."""
+
+import warnings
+
+import pytest
+
+from repro import VerificationError, synthesize
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize_from_keys
+from repro.obs import get_registry
+from repro.verify import verify_plan, verify_synthesized
+
+SSN = r"[0-9]{3}-[0-9]{2}-[0-9]{4}"
+
+
+class TestSynthesizeVerifyModes:
+    def test_default_skips_verification(self):
+        synthesized = synthesize(SSN, HashFamily.PEXT)
+        assert synthesized.verification is None
+
+    def test_warn_mode_attaches_report(self):
+        synthesized = synthesize(SSN, HashFamily.PEXT, verify="warn")
+        report = synthesized.verification
+        assert report is not None
+        assert report.ok
+        assert report.bijectivity.certified
+
+    def test_strict_mode_passes_clean_plans(self):
+        for family in HashFamily:
+            synthesized = synthesize(SSN, family, verify="strict")
+            assert synthesized.verification.ok
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize(SSN, verify="paranoid")
+
+    def test_from_keys_passes_verify_through(self):
+        keys = [b"123-45-6789", b"987-65-4321", b"555-12-3456"]
+        synthesized = synthesize_from_keys(
+            keys, HashFamily.PEXT, verify="warn"
+        )
+        assert synthesized.verification is not None
+
+    def test_strict_mode_raises_on_refuted_plan(self, monkeypatch):
+        """Force the planner to over-claim; strict mode must refuse."""
+        import repro.core.synthesis as synthesis_module
+
+        real_builder = synthesis_module._PLAN_BUILDERS[HashFamily.PEXT]
+
+        def over_claiming(pattern, regex):
+            import dataclasses
+
+            plan = real_builder(pattern, regex)
+            # Collapse the last lane onto the first (shift 0) so the
+            # two overlap while the plan still claims bijectivity.
+            loads = list(plan.loads)
+            loads[-1] = dataclasses.replace(loads[-1], shift=0)
+            return dataclasses.replace(
+                plan, loads=tuple(loads), bijective=True
+            )
+
+        monkeypatch.setitem(
+            synthesis_module._PLAN_BUILDERS,
+            HashFamily.PEXT,
+            over_claiming,
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            synthesize(SSN, HashFamily.PEXT, verify="strict")
+        assert "bijective" in str(excinfo.value)
+
+    def test_warn_mode_warns_on_refuted_plan(self, monkeypatch):
+        import dataclasses
+
+        import repro.core.synthesis as synthesis_module
+
+        real_builder = synthesis_module._PLAN_BUILDERS[HashFamily.PEXT]
+
+        def over_claiming(pattern, regex):
+            plan = real_builder(pattern, regex)
+            loads = list(plan.loads)
+            loads[-1] = dataclasses.replace(loads[-1], shift=0)
+            return dataclasses.replace(
+                plan, loads=tuple(loads), bijective=True
+            )
+
+        monkeypatch.setitem(
+            synthesis_module._PLAN_BUILDERS,
+            HashFamily.PEXT,
+            over_claiming,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            synthesized = synthesize(SSN, HashFamily.PEXT, verify="warn")
+        assert synthesized.verification is not None
+        assert not synthesized.verification.ok
+        assert any(
+            "failed verification" in str(w.message) for w in caught
+        )
+
+
+class TestObsCounters:
+    def test_verify_counters_increment(self):
+        registry = get_registry()
+        plans_before = registry.counter("verify.plans").value
+        certified_before = registry.counter("verify.certified").value
+        synthesized = synthesize(SSN, HashFamily.PEXT, verify="warn")
+        assert registry.counter("verify.plans").value == plans_before + 1
+        assert (
+            registry.counter("verify.certified").value
+            == certified_before + 1
+        )
+        assert synthesized.verification.ok
+
+    def test_refuted_counter_increments(self):
+        import dataclasses
+
+        registry = get_registry()
+        refuted_before = registry.counter("verify.refuted").value
+        synthesized = synthesize(SSN, HashFamily.NAIVE)
+        plan = dataclasses.replace(synthesized.plan, bijective=False)
+        verify_plan(plan, synthesized.pattern)
+        assert registry.counter("verify.refuted").value == refuted_before + 1
+
+    def test_verify_spans_emitted(self):
+        from repro.obs import capture_spans
+
+        with capture_spans() as sink:
+            synthesize(SSN, HashFamily.PEXT, verify="warn")
+        names = {record.name for record in sink.records()}
+        assert "verify.plan" in names
+        assert "verify.lints" in names
+        assert "verify.absint" in names
+        assert "verify.bijectivity" in names
+
+
+class TestVerifySynthesized:
+    def test_facade_accepts_synthesized_hash(self):
+        synthesized = synthesize(SSN, HashFamily.PEXT)
+        report = verify_synthesized(synthesized)
+        assert report.ok
+        assert report.family == "pext"
+        assert report.bijectivity.certified

@@ -1,0 +1,251 @@
+"""Tests for the lint framework and every registered rule."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.plan import (
+    CombineOp,
+    HashFamily,
+    LoadOp,
+    SkipTable,
+    SynthesisPlan,
+)
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.synthesis import build_plan
+from repro.verify import Severity, registered_rules, run_lints
+from repro.verify.lints import Finding, LintContext
+
+SSN = r"[0-9]{3}-[0-9]{2}-[0-9]{4}"
+HEX16 = r"[0-9a-f]{16}"
+
+
+def hex_plan(**overrides):
+    defaults = dict(
+        family=HashFamily.PEXT,
+        key_length=16,
+        loads=(
+            LoadOp(0, mask=(1 << 64) - 1, shift=0),
+            LoadOp(8, mask=(1 << 64) - 1, rotate=13),
+        ),
+        skip_table=None,
+        combine=CombineOp.XOR,
+        total_variable_bits=128,
+        bijective=False,
+        pattern_regex=HEX16,
+    )
+    defaults.update(overrides)
+    return SynthesisPlan(**defaults)
+
+
+def findings_for(report, rule):
+    return [finding for finding in report.findings if finding.rule == rule]
+
+
+class TestFramework:
+    def test_rules_registered(self):
+        rules = registered_rules()
+        for expected in (
+            "plan-lowering",
+            "skip-table-offsets",
+            "load-bounds",
+            "mask-constant-bits",
+            "zero-entropy-load",
+            "shift-budget",
+            "dead-input-bits",
+            "redundant-ir",
+            "optimize-tv",
+            "bijective-flag",
+        ):
+            assert expected in rules, expected
+
+    def test_clean_plans_lint_clean(self):
+        pattern = pattern_from_regex(SSN)
+        for family in HashFamily:
+            report = run_lints(build_plan(pattern, family), pattern)
+            assert report.ok, report.to_dict()
+            assert report.errors == []
+            assert report.warnings == []
+
+    def test_rule_subset_selection(self):
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        report = run_lints(plan, pattern, rules=["bijective-flag"])
+        assert all(f.rule == "bijective-flag" for f in report.findings)
+        with pytest.raises(ValueError):
+            run_lints(plan, pattern, rules=["no-such-rule"])
+
+    def test_report_json_round_trip(self):
+        pattern = pattern_from_regex(SSN)
+        report = run_lints(build_plan(pattern, HashFamily.PEXT), pattern)
+        document = json.loads(report.to_json())
+        assert document["ok"] is True
+        assert document["family"] == "pext"
+        assert set(document["counts"]) == {"error", "warning", "info"}
+
+    def test_crashing_rule_becomes_finding(self):
+        from repro.verify import lint_rule
+        from repro.verify.lints import _RULES
+
+        @lint_rule("test-crash", Severity.INFO, "always crashes")
+        def _crashes(ctx):
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        try:
+            pattern = pattern_from_regex(SSN)
+            plan = build_plan(pattern, HashFamily.PEXT)
+            report = run_lints(plan, pattern, rules=["test-crash"])
+            crash = findings_for(report, "lint-crash")
+            assert len(crash) == 1
+            assert crash[0].severity is Severity.ERROR
+            assert "boom" in crash[0].message
+        finally:
+            _RULES.pop("test-crash")
+
+    def test_duplicate_rule_name_rejected(self):
+        from repro.verify import lint_rule
+
+        with pytest.raises(ValueError):
+
+            @lint_rule("plan-lowering", Severity.INFO, "dup")
+            def _dup(ctx):
+                yield  # pragma: no cover
+
+    def test_context_caches_ir(self):
+        pattern = pattern_from_regex(SSN)
+        ctx = LintContext(build_plan(pattern, HashFamily.PEXT), pattern)
+        assert ctx.ir is ctx.ir
+        assert ctx.bijectivity is ctx.bijectivity
+
+
+class TestRules:
+    def test_plan_lowering(self):
+        # An AES plan with no loads at all cannot lower.
+        plan = hex_plan(
+            family=HashFamily.AES, loads=(), combine=CombineOp.AESENC
+        )
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        assert not report.ok
+        assert findings_for(report, "plan-lowering")
+
+    def test_skip_table_offsets(self):
+        table = SkipTable(initial_offset=0, skips=(8, 8))
+        plan = hex_plan(
+            family=HashFamily.OFFXOR,
+            key_length=None,
+            loads=(LoadOp(0), LoadOp(4)),  # 4 is not table-driven
+            skip_table=table,
+        )
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        hits = findings_for(report, "skip-table-offsets")
+        assert hits and hits[0].severity is Severity.ERROR
+
+    def test_skip_table_subsequence_allowed(self):
+        table = SkipTable(initial_offset=0, skips=(8, 8))
+        plan = hex_plan(
+            family=HashFamily.OFFXOR,
+            key_length=None,
+            loads=(LoadOp(8),),  # dropped first word: still a subsequence
+            skip_table=table,
+        )
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        assert not findings_for(report, "skip-table-offsets")
+
+    def test_load_bounds_key_length_mismatch(self):
+        plan = hex_plan(key_length=24, loads=(LoadOp(0), LoadOp(16)))
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        hits = findings_for(report, "load-bounds")
+        assert hits and "key length" in hits[0].message
+
+    def test_mask_constant_bits(self):
+        # SSN byte 3 is the literal '-': masking it in wastes extraction.
+        pattern = pattern_from_regex(SSN)
+        plan = hex_plan(
+            key_length=11,
+            pattern_regex=SSN,
+            loads=(LoadOp(0, mask=(1 << 64) - 1, shift=0),),
+            total_variable_bits=36,
+        )
+        report = run_lints(plan, pattern)
+        hits = findings_for(report, "mask-constant-bits")
+        assert hits and hits[0].severity is Severity.WARNING
+
+    def test_zero_entropy_load(self):
+        # A mask selecting only the constant '-' byte of the SSN.
+        pattern = pattern_from_regex(SSN)
+        plan = hex_plan(
+            key_length=11,
+            pattern_regex=SSN,
+            loads=(
+                LoadOp(0, mask=0x0F, shift=0),
+                LoadOp(3, mask=0xFF, shift=4),
+            ),
+            total_variable_bits=36,
+        )
+        report = run_lints(plan, pattern)
+        assert findings_for(report, "zero-entropy-load")
+
+    def test_zero_entropy_skipped_for_naive(self):
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.NAIVE)
+        report = run_lints(plan, pattern)
+        assert not findings_for(report, "zero-entropy-load")
+
+    def test_shift_budget(self):
+        plan = hex_plan(
+            loads=(LoadOp(0, mask=(1 << 64) - 1, shift=32),),
+        )
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        hits = findings_for(report, "shift-budget")
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].data["lane_bits"] == 64
+
+    def test_dead_input_bits(self):
+        plan = hex_plan(loads=(LoadOp(0, mask=(1 << 64) - 1, shift=0),))
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        hits = findings_for(report, "dead-input-bits")
+        assert hits
+        assert hits[0].data["dead_bits"]
+
+    def test_bijective_flag_refuted_claim(self):
+        plan = hex_plan(
+            loads=(LoadOp(0, mask=(1 << 64) - 1, shift=0),),
+            bijective=True,
+        )
+        report = run_lints(plan, pattern_from_regex(HEX16))
+        hits = findings_for(report, "bijective-flag")
+        assert hits and hits[0].severity is Severity.ERROR
+
+    def test_bijective_flag_unclaimed_certifiable_is_info(self):
+        # A single full-word load xored into an empty accumulator is
+        # the identity on the key: provably bijective, never claimed.
+        plan = hex_plan(
+            key_length=8,
+            loads=(LoadOp(0),),
+            family=HashFamily.NAIVE,
+            bijective=False,
+            pattern_regex=r"[0-9a-f]{8}",
+        )
+        pattern = pattern_from_regex(r"[0-9a-f]{8}")
+        report = run_lints(plan, pattern)
+        hits = findings_for(report, "bijective-flag")
+        assert hits and hits[0].severity is Severity.INFO
+
+    def test_optimize_tv_clean_on_real_plans(self):
+        pattern = pattern_from_regex(SSN)
+        for family in HashFamily:
+            report = run_lints(build_plan(pattern, family), pattern)
+            assert not findings_for(report, "optimize-tv")
+
+    def test_finding_dataclass_serializes(self):
+        finding = Finding(
+            "demo", Severity.WARNING, "message", {"key": [1, 2]}
+        )
+        assert json.loads(json.dumps(finding.to_dict())) == {
+            "rule": "demo",
+            "severity": "warning",
+            "message": "message",
+            "data": {"key": [1, 2]},
+        }
