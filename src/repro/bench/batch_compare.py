@@ -87,11 +87,14 @@ def compare_scalar_batch(
                         ),
                     }
                 )
+    from repro.bench.ledger import fingerprint
+
     return {
         "experiment": "batch_vs_scalar_h_time",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "fingerprint": fingerprint(),
         "keys_per_type": keys_per_type,
         "repeats": repeats,
         "rows": rows,
@@ -122,6 +125,14 @@ def render_comparison(report: Dict[str, Any]) -> str:
             f"{row['batch_speedup']:7.2f}x"
         )
     lines.append(f"best batch speedup: {best_speedup(report):.2f}x")
+    from repro.bench.report import fingerprint_block
+
+    lines.append(
+        fingerprint_block(
+            repeats=report.get("repeats"),
+            keys=report.get("keys_per_type"),
+        )
+    )
     return "\n".join(lines)
 
 

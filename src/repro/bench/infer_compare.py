@@ -108,10 +108,13 @@ def compare_infer(
     speedup over the reference join on the same corpus, and whether the
     engine's output matched the reference byte for byte.
     """
+    from repro.bench.ledger import fingerprint
+
     report: Dict[str, Any] = {
         "benchmark": "infer_compare",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "fingerprint": fingerprint(),
         "numpy": numpy_available(),
         "params": {
             "num_keys": num_keys,
@@ -225,6 +228,14 @@ def render_comparison(report: Dict[str, Any]) -> str:
             )
     lines.append(
         f"  best fixed-corpus speedup: {report['best_speedup']:.1f}x"
+    )
+    from repro.bench.report import fingerprint_block
+
+    lines.append(
+        fingerprint_block(
+            repeats=report["params"].get("repeats"),
+            keys=report["params"].get("num_keys"),
+        )
     )
     return "\n".join(lines)
 

@@ -235,6 +235,98 @@ def _run_obs(args: argparse.Namespace) -> int:
     if args.export:
         print()
         print(f"wrote {len(ring)} span events to {args.export}")
+    if args.snapshot:
+        from repro.obs import write_snapshot_jsonl
+
+        try:
+            lines = write_snapshot_jsonl(args.snapshot)
+        except OSError as error:
+            print(
+                f"error: cannot write {args.snapshot}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"wrote metrics snapshot ({lines} lines) to {args.snapshot}")
+    if args.serve:
+        import time as _time
+
+        from repro.obs import MetricsServer
+
+        try:
+            server = MetricsServer(port=args.port)
+            server.start()
+        except OSError as error:
+            print(f"error: cannot bind port {args.port}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(
+            f"serving http://127.0.0.1:{server.port}/metrics "
+            "(Prometheus text) and /metrics.json"
+            + (
+                f" for {args.serve_for:g}s"
+                if args.serve_for is not None
+                else " until Ctrl-C"
+            )
+        )
+        try:
+            if args.serve_for is not None:
+                _time.sleep(args.serve_for)
+            else:  # pragma: no cover - interactive loop
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """Per-opcode hot-spot report for one format (``sepe profile``)."""
+    import json
+
+    from repro.core.plan import HashFamily
+    from repro.errors import SepeError
+    from repro.obs import (
+        capture_spans,
+        profile_format,
+        render_profile,
+        render_self_time_tree,
+    )
+
+    try:
+        family = HashFamily(args.family.lower())
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    # Profile a *cold* synthesis so the captured span tree shows the
+    # whole pipeline (same rationale as ``sepe obs``).
+    from repro.codegen.cache import get_compile_cache
+
+    get_compile_cache().clear()
+    try:
+        with capture_spans() as sink:
+            report = profile_format(
+                args.regex,
+                family=family,
+                count=args.keys,
+                seed=args.seed,
+                batch=args.batch,
+            )
+    except SepeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_profile(report))
+    records = sink.records()
+    if records:
+        print()
+        print("pipeline stage self-times:")
+        print(render_self_time_tree(records))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile report to {args.json_out}")
     return 0
 
 
@@ -442,11 +534,14 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
 
+    if args.compare:
+        return _run_bench_compare(args)
     if args.batch:
         return _run_bench_batch(args)
     if args.table is None:
         print(
-            "error: choose a table (1/2/3) or pass --batch", file=sys.stderr
+            "error: choose a table (1/2/3), --batch, or --compare",
+            file=sys.stderr,
         )
         return 1
     if args.table == 1:
@@ -479,6 +574,60 @@ def _run_bench_batch(args: argparse.Namespace) -> int:
         write_report(report, args.batch_out)
         print(f"wrote {args.batch_out}")
     return 0
+
+
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    """Noise-aware regression check against a committed ledger.
+
+    Exit code 1 means at least one confirmed regression — the CI gate's
+    failure signal; ``new``/``missing``/``skipped`` verdicts are
+    informational only.
+    """
+    from repro.bench import ledger as bench_ledger
+
+    baseline = bench_ledger.load_ledger(args.compare)
+    if baseline is None:
+        print(
+            f"error: cannot read ledger {args.compare}", file=sys.stderr
+        )
+        return 2
+    print(
+        f"measuring smoke sample ({args.keys} keys x "
+        f"{max(args.samples, 5)} repeats per cell)...",
+        file=sys.stderr,
+    )
+    entries = bench_ledger.collect_smoke_entries(
+        key_types=args.key_types,
+        keys_per_type=args.keys,
+        repeats=max(args.samples, 5),
+    )
+    verdicts = bench_ledger.compare_ledger(
+        baseline,
+        entries,
+        threshold=args.threshold,
+        allow_cross_host=args.allow_cross_host,
+    )
+    print(render_fingerprint_delta(baseline))
+    print(bench_ledger.render_verdicts(verdicts))
+    return 1 if bench_ledger.regression_count(verdicts) else 0
+
+
+def render_fingerprint_delta(ledger: "dict") -> str:
+    """One line stating whether baseline and current hosts match."""
+    from repro.bench.ledger import fingerprint, fingerprints_comparable
+
+    baseline = ledger.get("fingerprint", {})
+    current = fingerprint()
+    label = (
+        "same host class"
+        if fingerprints_comparable(baseline, current)
+        else "DIFFERENT host class"
+    )
+    return (
+        f"baseline {baseline.get('machine', '?')}/"
+        f"py{baseline.get('python_version', '?')} vs current "
+        f"{current['machine']}/py{current['python_version']} ({label})"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -559,6 +708,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the process-wide metrics registry snapshot",
+    )
+    obs.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="write the metrics registry to FILE as JSON lines",
+    )
+    obs.add_argument(
+        "--serve",
+        action="store_true",
+        help="expose /metrics over HTTP after the traced run",
+    )
+    obs.add_argument(
+        "--port",
+        type=int,
+        default=9464,
+        help="port for --serve (0 = ephemeral; default: 9464)",
+    )
+    obs.add_argument(
+        "--serve-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --serve, stop after SECONDS instead of Ctrl-C",
+    )
+
+    profile = subparsers.add_parser(
+        "profile", help="per-opcode timing profile for one format"
+    )
+    profile.add_argument(
+        "regex",
+        nargs="?",
+        default=r"\d{3}-\d{2}-\d{4}",
+        help="format to profile (default: SSN)",
+    )
+    profile.add_argument("--family", default="pext")
+    profile.add_argument(
+        "--keys",
+        type=int,
+        default=2000,
+        help="conforming keys to profile over (default: 2000)",
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--batch",
+        action="store_true",
+        help="profile the vectorized batch kernel instead of the "
+        "interpreter (falls back when the plan does not vectorize)",
+    )
+    profile.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the report as JSON to FILE",
     )
 
     fuzz = subparsers.add_parser(
@@ -672,6 +873,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="with --batch, also write the comparison as JSON to FILE",
     )
+    bench.add_argument(
+        "--compare",
+        metavar="LEDGER",
+        help="measure a smoke sample and verdict it against LEDGER "
+        "(exit 1 on confirmed regressions)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="with --compare, slowdown ratio that counts as a "
+        "regression (default: 1.5)",
+    )
+    bench.add_argument(
+        "--allow-cross-host",
+        action="store_true",
+        help="with --compare, compare across machine fingerprints "
+        "at a loosened threshold instead of skipping",
+    )
 
     full = subparsers.add_parser(
         "bench-full", help="regenerate every table and figure"
@@ -708,6 +928,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_validate(args)
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "fuzz":
         return _run_fuzz(args)
     if args.command == "verify":

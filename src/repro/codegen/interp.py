@@ -8,10 +8,18 @@ tail loops) against an independent, dead-simple evaluator.
 
 It is deliberately slow and obvious — one dict of registers, one
 if-chain per opcode — because its value is as an oracle, not an engine.
+
+A second entry point, :func:`interpret_profiled`, runs the same
+semantics under per-instruction timing for the performance observatory
+(:mod:`repro.obs.profile`): every instruction's wall/CPU cost is
+attributed to its opcode via chained timestamps, so opcode self-times
+sum to the loop's elapsed time by construction.  The two evaluators are
+parity-pinned against each other in ``tests/obs/test_profile.py``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict
 
 from repro.codegen.ir import AES_ROUND_KEY, IRFunction
@@ -88,3 +96,123 @@ def _interpret(func: IRFunction, key: bytes) -> int:
         else:
             raise ValueError(f"unknown IR opcode: {op}")
     raise ValueError("IR function fell off the end without ret")
+
+
+def interpret_profiled_many(
+    func: IRFunction, keys, stats: Dict[str, list]
+) -> tuple:
+    """Evaluate an IR function on many keys under per-opcode timing.
+
+    Semantics are identical to mapping :func:`interpret` over ``keys``;
+    on top of that, every instruction's wall and per-thread CPU cost is
+    accumulated into ``stats`` — a mapping ``opcode -> [count,
+    wall_seconds, cpu_seconds]`` mutated in place so one dict can
+    aggregate across several calls.
+
+    Timestamps are *chained*: one ``perf_counter``/``thread_time`` pair
+    is read per instruction boundary and each delta is attributed to the
+    instruction that just executed.  The chain runs across keys, so
+    per-key setup (register dict, loop advance) and the profiler's own
+    accounting land inside the next instruction's window rather than
+    escaping measurement: attributed self-times sum to the returned
+    totals exactly, and only entry/exit bookkeeping (a few hundred
+    nanoseconds per *corpus*, not per key) is outside them.
+
+    Returns:
+        ``(values, wall_seconds, cpu_seconds)`` — the hash values plus
+        the evaluation's total elapsed wall/CPU time (entry to exit).
+
+    Raises:
+        ValueError: on an unknown opcode or a function without ``ret``.
+    """
+    values = []
+    append = values.append
+    instrs = func.instrs
+    cpu_entry = cpu_prev = time.thread_time()
+    wall_entry = wall_prev = time.perf_counter()
+    for key in keys:
+        registers: Dict[str, int] = {}
+
+        def get(name) -> int:
+            if isinstance(name, int):
+                return name
+            return registers[name]
+
+        returned = False
+        for instr in instrs:
+            op, dest, args = instr.opcode, instr.dest, instr.args
+            if op == "const":
+                registers[dest] = args[0]
+            elif op == "load64":
+                offset, width = args
+                registers[dest] = int.from_bytes(
+                    key[offset : offset + width], "little"
+                )
+            elif op == "pext":
+                registers[dest] = pext(get(args[0]), args[1])
+            elif op == "shl":
+                registers[dest] = (get(args[0]) << args[1]) & MASK64
+            elif op == "shr":
+                registers[dest] = get(args[0]) >> args[1]
+            elif op == "mul64":
+                registers[dest] = (get(args[0]) * args[1]) & MASK64
+            elif op == "rotl":
+                registers[dest] = rotl64(get(args[0]), args[1])
+            elif op == "xor":
+                registers[dest] = get(args[0]) ^ get(args[1])
+            elif op == "or":
+                registers[dest] = get(args[0]) | get(args[1])
+            elif op == "add":
+                registers[dest] = (get(args[0]) + get(args[1])) & MASK64
+            elif op == "aes_absorb":
+                state, lo, hi = (get(a) for a in args)
+                registers[dest] = aesenc(
+                    state ^ (lo | (hi << 64)), AES_ROUND_KEY
+                )
+            elif op == "aes_fold":
+                value = get(args[0])
+                registers[dest] = (value ^ (value >> 64)) & MASK64
+            elif op == "tail_xor":
+                acc = get(args[0])
+                position = args[1]
+                length = len(key)
+                while position + 8 <= length:
+                    acc ^= int.from_bytes(
+                        key[position : position + 8], "little"
+                    )
+                    position += 8
+                if position < length:
+                    acc ^= int.from_bytes(key[position:length], "little")
+                registers[dest] = acc
+            elif op == "ret":
+                append(get(args[0]))
+                returned = True
+            else:
+                raise ValueError(f"unknown IR opcode: {op}")
+            cpu_now = time.thread_time()
+            wall_now = time.perf_counter()
+            entry = stats.get(op)
+            if entry is None:
+                entry = stats[op] = [0, 0.0, 0.0]
+            entry[0] += 1
+            entry[1] += wall_now - wall_prev
+            entry[2] += cpu_now - cpu_prev
+            wall_prev = wall_now
+            cpu_prev = cpu_now
+            if returned:
+                break
+        if not returned:
+            raise ValueError("IR function fell off the end without ret")
+    return values, wall_prev - wall_entry, cpu_prev - cpu_entry
+
+
+def interpret_profiled(
+    func: IRFunction, key: bytes, stats: Dict[str, list]
+) -> tuple:
+    """Single-key form of :func:`interpret_profiled_many`.
+
+    Returns:
+        ``(value, wall_seconds, cpu_seconds)``.
+    """
+    values, wall, cpu = interpret_profiled_many(func, (key,), stats)
+    return values[0], wall, cpu

@@ -17,6 +17,7 @@ lookup over calling the specialized function directly.
 
 from __future__ import annotations
 
+import time
 from typing import (
     Callable,
     Dict,
@@ -39,13 +40,24 @@ from repro.core.plan import HashFamily
 from repro.core.synthesis import SynthesizedHash, synthesize
 from repro.errors import SynthesisError
 from repro.hashes.murmur_stl import stl_hash_bytes
-from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.metrics import (
+    NS_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
 
 HashCallable = Callable[[bytes], int]
 
 FormatSource = Union[str, KeyPattern, SynthesizedHash]
 
-_Entry = Tuple[KeyPattern, HashCallable, Counter, SynthesizedHash]
+_Entry = Tuple[
+    KeyPattern,
+    HashCallable,
+    Counter,
+    SynthesizedHash,
+    Optional[Histogram],
+]
 
 
 class FormatDispatcher:
@@ -68,6 +80,13 @@ class FormatDispatcher:
             to assert key format").
         registry: metrics registry holding the route counters; pass a
             shared registry to aggregate several dispatchers.
+        latency: when True, every hashed key (and every ``hash_many``
+            group) is timed into a per-route nanosecond histogram
+            (``dispatch.latency_ns.<label>``, exponential
+            :data:`~repro.obs.metrics.NS_LATENCY_BUCKETS` edges) — the
+            scrape surface the metric exporters publish.  Off by
+            default: the untimed fast path stays one dict probe plus
+            one counter add.
     """
 
     def __init__(
@@ -75,6 +94,7 @@ class FormatDispatcher:
         fallback: HashCallable = stl_hash_bytes,
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        latency: bool = False,
     ):
         self._fallback = fallback
         self._verify = verify
@@ -82,6 +102,16 @@ class FormatDispatcher:
         self._variable: List[_Entry] = []
         self._registry = registry if registry is not None else MetricsRegistry()
         self._fallback_counter = self._registry.counter("dispatch.fallback")
+        self._requests = self._registry.counter("dispatch.requests_total")
+        self._latency = latency
+        self._fallback_latency: Optional[Histogram] = (
+            self._registry.histogram(
+                "dispatch.latency_ns.fallback", NS_LATENCY_BUCKETS
+            )
+            if latency
+            else None
+        )
+        self._started_monotonic = time.monotonic()
         self._labels: List[str] = []
         # Resolved-route cache: key length -> entry, for lengths where
         # resolution is unambiguous (one candidate, no verification).
@@ -112,8 +142,15 @@ class FormatDispatcher:
         pattern = synthesized.pattern
         label = synthesized.plan.pattern_regex or f"format-{len(self._labels)}"
         counter = self._registry.counter(f"dispatch.route.{label}")
+        histogram = (
+            self._registry.histogram(
+                f"dispatch.latency_ns.{label}", NS_LATENCY_BUCKETS
+            )
+            if self._latency
+            else None
+        )
         self._labels.append(label)
-        entry = (pattern, synthesized.function, counter, synthesized)
+        entry = (pattern, synthesized.function, counter, synthesized, histogram)
         if pattern.is_fixed_length:
             self._by_length.setdefault(pattern.body_length, []).append(entry)
         else:
@@ -183,6 +220,7 @@ class FormatDispatcher:
 
     def route(self, key: bytes) -> HashCallable:
         """The function that would hash ``key`` (for inspection/tests)."""
+        self._requests.inc()
         entry = self._resolve(key)
         if entry is None:
             self._fallback_counter.inc()
@@ -191,7 +229,25 @@ class FormatDispatcher:
         return entry[1]
 
     def __call__(self, key: bytes) -> int:
-        return self.route(key)(key)
+        if not self._latency:
+            return self.route(key)(key)
+        function = self.route(key)
+        started = time.perf_counter_ns()
+        value = function(key)
+        self._observe_latency(key, time.perf_counter_ns() - started)
+        return value
+
+    def _observe_latency(self, key: bytes, elapsed_ns: float) -> None:
+        """Record one latency observation on the route that served ``key``.
+
+        Called right after :meth:`route`, so ``_resolve`` hits the route
+        cache and costs one dict probe; the fallback owns its own
+        histogram.
+        """
+        entry = self._resolve(key)
+        histogram = entry[4] if entry is not None else self._fallback_latency
+        if histogram is not None:
+            histogram.observe(elapsed_ns)
 
     def hash_many(self, keys: Sequence[bytes]) -> List[int]:
         """Hash a batch of keys, routing once per group, not per key.
@@ -205,6 +261,7 @@ class FormatDispatcher:
         exactly as per-key routing would.
         """
         out: List[int] = [0] * len(keys)
+        self._requests.inc(len(keys))
         groups: Dict[int, Tuple[_Entry, List[int], List[bytes]]] = {}
         fallback_indices: List[int] = []
         fallback_keys: List[bytes] = []
@@ -222,14 +279,29 @@ class FormatDispatcher:
                 group[2].append(key)
         for entry, indices, grouped_keys in groups.values():
             entry[2].inc(len(indices))
-            values = entry[3].hash_many(grouped_keys)
+            if self._latency and entry[4] is not None:
+                started = time.perf_counter_ns()
+                values = entry[3].hash_many(grouped_keys)
+                per_key_ns = (time.perf_counter_ns() - started) / len(
+                    grouped_keys
+                )
+                for _ in indices:
+                    entry[4].observe(per_key_ns)
+            else:
+                values = entry[3].hash_many(grouped_keys)
             for index, value in zip(indices, values):
                 out[index] = value
         if fallback_indices:
             self._fallback_counter.inc(len(fallback_indices))
             fallback = self._fallback
+            fallback_latency = self._fallback_latency if self._latency else None
             for index, key in zip(fallback_indices, fallback_keys):
-                out[index] = fallback(key)
+                if fallback_latency is not None:
+                    started = time.perf_counter_ns()
+                    out[index] = fallback(key)
+                    fallback_latency.observe(time.perf_counter_ns() - started)
+                else:
+                    out[index] = fallback(key)
         return out
 
     # -- introspection -----------------------------------------------------
@@ -240,9 +312,9 @@ class FormatDispatcher:
 
         lines = []
         for length in sorted(self._by_length):
-            for pattern, _function, _counter, _synth in self._by_length[length]:
-                lines.append(f"len {length:4d}: {render_regex(pattern)}")
-        for pattern, _function, _counter, _synth in self._variable:
+            for entry in self._by_length[length]:
+                lines.append(f"len {length:4d}: {render_regex(entry[0])}")
+        for pattern, *_rest in self._variable:
             lines.append(
                 f"len {pattern.min_length}+  : {render_regex(pattern)}"
             )
@@ -266,38 +338,61 @@ class FormatDispatcher:
 
         ``length`` is None for variable-length formats.  Counts include
         every routing decision, whether made via :meth:`route` directly
-        or through ``__call__``.
+        or through ``__call__``.  The snapshot also carries
+        ``elapsed_seconds`` since construction and the implied ``qps``;
+        with ``latency=True`` each format (and the fallback) adds a
+        ``latency`` summary (observation ``count`` and ``mean_ns``) from
+        its histogram.
         """
         from repro.core.regex_render import render_regex
 
         formats: List[Dict[str, object]] = []
         total = 0
         for length in sorted(self._by_length):
-            for pattern, _function, counter, _synth in self._by_length[length]:
-                formats.append(
-                    {
-                        "regex": render_regex(pattern),
-                        "length": length,
-                        "routes": counter.value,
-                    }
-                )
-                total += counter.value
-        for pattern, _function, counter, _synth in self._variable:
-            formats.append(
-                {
-                    "regex": render_regex(pattern),
-                    "length": None,
-                    "routes": counter.value,
-                }
-            )
-            total += counter.value
+            for entry in self._by_length[length]:
+                formats.append(self._format_stats(entry, length))
+                total += entry[2].value
+        for entry in self._variable:
+            formats.append(self._format_stats(entry, None))
+            total += entry[2].value
         fallback_routes = self._fallback_counter.value
-        return {
+        stats: Dict[str, object] = {
             "registered": self.format_count,
             "total_routes": total + fallback_routes,
             "fallback_routes": fallback_routes,
             "formats": formats,
         }
+        elapsed = time.monotonic() - self._started_monotonic
+        stats["elapsed_seconds"] = elapsed
+        stats["qps"] = (
+            (total + fallback_routes) / elapsed if elapsed > 0 else 0.0
+        )
+        if self._latency and self._fallback_latency is not None:
+            histogram = self._fallback_latency
+            stats["fallback_latency"] = {
+                "count": histogram.count,
+                "mean_ns": histogram.mean,
+            }
+        return stats
+
+    @staticmethod
+    def _format_stats(
+        entry: _Entry, length: Optional[int]
+    ) -> Dict[str, object]:
+        from repro.core.regex_render import render_regex
+
+        record: Dict[str, object] = {
+            "regex": render_regex(entry[0]),
+            "length": length,
+            "routes": entry[2].value,
+        }
+        histogram = entry[4]
+        if histogram is not None:
+            record["latency"] = {
+                "count": histogram.count,
+                "mean_ns": histogram.mean,
+            }
+        return record
 
 
 def build_dispatcher(

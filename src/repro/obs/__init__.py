@@ -4,7 +4,7 @@ The measurement substrate for the reproduction: the paper's claims are
 performance claims, so every future perf PR benchmarks against what
 this package observes.
 
-Three layers, all zero-dependency:
+Five layers, all zero-dependency:
 
 - **Tracing** (:mod:`repro.obs.trace`, :mod:`repro.obs.sinks`) —
   context-manager spans with wall/CPU timing and a thread-local span
@@ -13,6 +13,12 @@ Three layers, all zero-dependency:
 - **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
   fixed-bucket histograms cheap enough for hot paths, behind a
   get-or-create registry with a snapshot/export API.
+- **Profiling** (:mod:`repro.obs.profile`) — per-opcode wall/CPU
+  attribution for the IR interpreter and batch kernels, plus span
+  self-time trees; ``sepe profile`` prints the hot-opcode report.
+- **Exporters** (:mod:`repro.obs.export`) — Prometheus text exposition
+  (with a strict format checker), JSON-lines snapshots, and a
+  stdlib-only ``/metrics`` HTTP endpoint (``sepe obs --serve``).
 - **Instrumentation** — spans around every synthesis pipeline stage
   (inference, analysis, planning, both codegen backends, the IR
   interpreter), route/fallback counters in
@@ -39,12 +45,34 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    MetricsServer,
+    PrometheusFormatError,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_jsonl,
+    write_snapshot_jsonl,
+)
 from repro.obs.metrics import (
+    NS_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    exponential_buckets,
     get_registry,
+)
+from repro.obs.profile import (
+    OpcodeStat,
+    ProfileReport,
+    profile_batch,
+    profile_format,
+    profile_interp,
+    render_profile,
+    render_self_time_tree,
+    self_time_tree,
+    stage_self_times,
 )
 from repro.obs.report import render_metrics, render_span_tree, span_breakdown
 from repro.obs.sinks import JsonLinesSink, LogSink, RingBufferSink, read_jsonl
@@ -59,12 +87,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CONTENT_TYPE_PROMETHEUS",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
     "LogSink",
     "MetricsRegistry",
+    "MetricsServer",
+    "NS_LATENCY_BUCKETS",
+    "OpcodeStat",
+    "ProfileReport",
+    "PrometheusFormatError",
     "RingBufferSink",
     "SpanRecord",
     "Tracer",
@@ -74,14 +108,26 @@ __all__ = [
     "disable_tracing",
     "enable_container_telemetry",
     "enable_tracing",
+    "exponential_buckets",
     "get_registry",
     "get_tracer",
+    "parse_prometheus",
+    "profile_batch",
+    "profile_format",
+    "profile_interp",
     "read_jsonl",
     "render_metrics",
+    "render_profile",
+    "render_prometheus",
+    "render_self_time_tree",
     "render_span_tree",
+    "self_time_tree",
+    "snapshot_jsonl",
     "span",
     "span_breakdown",
+    "stage_self_times",
     "tracing_enabled",
+    "write_snapshot_jsonl",
 ]
 
 

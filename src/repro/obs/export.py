@@ -1,0 +1,484 @@
+"""Metric exporters: Prometheus text exposition, JSON lines, HTTP.
+
+The metrics registry (:mod:`repro.obs.metrics`) snapshots to plain
+dicts; this module turns those snapshots into the two interchange
+shapes production tooling scrapes, plus the transport:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): counters as ``_total``, gauges verbatim, histograms
+  as cumulative ``_bucket{le=...}`` series with ``_sum``/``_count``.
+  Metric names are derived from instrument names by replacing the
+  separator dots (``dispatch.route.x`` → ``sepe_dispatch_route_x``).
+- :func:`parse_prometheus` — a deliberately strict checker for that
+  format (name/label grammar, TYPE-before-samples, cumulative
+  monotonic buckets, ``+Inf`` agreement with ``_count``).  The test
+  suite round-trips every rendered snapshot through it, so the
+  exporter cannot drift from what a real scraper accepts.
+- :func:`snapshot_jsonl` / :func:`write_snapshot_jsonl` — one JSON
+  object per metric per line, self-describing and append-friendly: the
+  shape the regression ledger and offline analysis consume.
+- :class:`MetricsServer` — an opt-in, zero-dependency
+  ``ThreadingHTTPServer`` exposing ``/metrics`` (Prometheus),
+  ``/metrics.json`` (snapshot document), and ``/healthz``; the scrape
+  surface behind ``sepe obs --serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "PrometheusFormatError",
+    "render_prometheus",
+    "parse_prometheus",
+    "snapshot_jsonl",
+    "write_snapshot_jsonl",
+    "MetricsServer",
+    "CONTENT_TYPE_PROMETHEUS",
+]
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_INVALID_CHARS_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(raw: str, prefix: str) -> str:
+    """Instrument name → Prometheus metric name (prefixed, sanitized)."""
+    sanitized = _INVALID_CHARS_RE.sub("_", raw)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, Any]], prefix: str = "sepe"
+) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Every family gets ``# HELP`` and ``# TYPE`` lines; counter names
+    gain the conventional ``_total`` suffix; histogram buckets are
+    emitted cumulatively with an explicit ``+Inf`` bucket equal to
+    ``_count``.  The output round-trips through
+    :func:`parse_prometheus`.
+    """
+    lines: List[str] = []
+    for raw_name in sorted(snapshot.get("counters", {})):
+        name = _metric_name(raw_name, prefix)
+        lines.append(f"# HELP {name}_total Counter {raw_name!r}.")
+        lines.append(f"# TYPE {name}_total counter")
+        value = snapshot["counters"][raw_name]
+        lines.append(f"{name}_total {_format_value(value)}")
+    for raw_name in sorted(snapshot.get("gauges", {})):
+        name = _metric_name(raw_name, prefix)
+        lines.append(f"# HELP {name} Gauge {raw_name!r}.")
+        lines.append(f"# TYPE {name} gauge")
+        value = snapshot["gauges"][raw_name]
+        lines.append(f"{name} {_format_value(value)}")
+    for raw_name in sorted(snapshot.get("histograms", {})):
+        name = _metric_name(raw_name, prefix)
+        data = snapshot["histograms"][raw_name]
+        lines.append(f"# HELP {name} Histogram {raw_name!r}.")
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        total = data["count"]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{name}_sum {_format_value(float(data['sum']))}")
+        lines.append(f"{name}_count {total}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class PrometheusFormatError(ValueError):
+    """A violation of the Prometheus text exposition format."""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
+def _parse_labels(raw: Optional[str], line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    # Label bodies are comma-separated name="value" pairs; values may
+    # contain escaped quotes/backslashes/newlines.
+    pair_re = re.compile(
+        r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*'
+    )
+    position = 0
+    while position < len(raw):
+        match = pair_re.match(raw, position)
+        if not match:
+            raise PrometheusFormatError(
+                f"line {line_no}: malformed label at {raw[position:]!r}"
+            )
+        labels[match.group("name")] = match.group("value")
+        position = match.end()
+        if position < len(raw):
+            if raw[position] != ",":
+                raise PrometheusFormatError(
+                    f"line {line_no}: expected ',' between labels"
+                )
+            position += 1
+    return labels
+
+
+def _parse_float(raw: str, line_no: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PrometheusFormatError(
+            f"line {line_no}: invalid sample value {raw!r}"
+        ) from None
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse Prometheus text exposition output.
+
+    Checks, beyond line syntax:
+
+    - metric and label names match the exposition grammar;
+    - every sample belongs to a family announced by a ``# TYPE`` line
+      *before* it, and no family is typed twice;
+    - counter families use the ``_total`` suffix and are non-negative;
+    - histogram ``_bucket`` series carry an ``le`` label, are ordered
+      and cumulative (monotonically non-decreasing counts), include a
+      ``+Inf`` bucket, and agree with ``_count``.
+
+    Returns:
+        Mapping family name → ``{"type": ..., "samples": [(name,
+        labels, value), ...]}``.
+
+    Raises:
+        PrometheusFormatError: on any violation.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PrometheusFormatError(
+                    f"line {line_no}: malformed TYPE line"
+                )
+            _, _, family, kind = parts
+            if not _NAME_RE.match(family):
+                raise PrometheusFormatError(
+                    f"line {line_no}: invalid family name {family!r}"
+                )
+            if kind not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                raise PrometheusFormatError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            if family in families:
+                raise PrometheusFormatError(
+                    f"line {line_no}: duplicate TYPE for {family!r}"
+                )
+            families[family] = {"type": kind, "samples": []}
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP "):
+                raise PrometheusFormatError(
+                    f"line {line_no}: unknown comment {line!r}"
+                )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PrometheusFormatError(
+                f"line {line_no}: malformed sample {line!r}"
+            )
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"), line_no)
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise PrometheusFormatError(
+                    f"line {line_no}: invalid label name {label_name!r}"
+                )
+        value = _parse_float(match.group("value"), line_no)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and base in families:
+                if families[base]["type"] in ("histogram", "summary"):
+                    family = base
+                break
+        if family not in families:
+            raise PrometheusFormatError(
+                f"line {line_no}: sample {name!r} precedes its TYPE line"
+            )
+        info = families[family]
+        if info["type"] == "counter":
+            if not name.endswith("_total"):
+                raise PrometheusFormatError(
+                    f"line {line_no}: counter sample {name!r} "
+                    "missing _total suffix"
+                )
+            if value < 0:
+                raise PrometheusFormatError(
+                    f"line {line_no}: negative counter value"
+                )
+        if info["type"] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise PrometheusFormatError(
+                    f"line {line_no}: histogram bucket missing le label"
+                )
+        info["samples"].append((name, labels, value))
+    for family, info in families.items():
+        if not info["samples"]:
+            raise PrometheusFormatError(
+                f"family {family!r} declared but has no samples"
+            )
+        if info["type"] != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        count_value: Optional[float] = None
+        for name, labels, value in info["samples"]:
+            if name.endswith("_bucket"):
+                buckets.append((_parse_float(labels["le"], 0), value))
+            elif name.endswith("_count"):
+                count_value = value
+        if not buckets:
+            raise PrometheusFormatError(
+                f"histogram {family!r} has no buckets"
+            )
+        bounds = [bound for bound, _ in buckets]
+        if bounds != sorted(bounds):
+            raise PrometheusFormatError(
+                f"histogram {family!r} buckets out of order"
+            )
+        counts = [count for _, count in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise PrometheusFormatError(
+                f"histogram {family!r} bucket counts not cumulative"
+            )
+        if bounds[-1] != math.inf:
+            raise PrometheusFormatError(
+                f"histogram {family!r} missing +Inf bucket"
+            )
+        if count_value is None:
+            raise PrometheusFormatError(
+                f"histogram {family!r} missing _count"
+            )
+        if counts[-1] != count_value:
+            raise PrometheusFormatError(
+                f"histogram {family!r}: +Inf bucket {counts[-1]} != "
+                f"_count {count_value}"
+            )
+    return families
+
+
+# -- JSON lines ----------------------------------------------------------
+
+
+def snapshot_jsonl(
+    snapshot: Dict[str, Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Iterator[str]:
+    """Yield one JSON line per metric in a registry snapshot.
+
+    The first line is a ``{"kind": "meta", ...}`` header carrying the
+    capture timestamp plus any caller-supplied ``meta`` fields, so an
+    appended stream of snapshots stays self-describing.
+    """
+    header = {"kind": "meta", "captured_at": time.time()}
+    if meta:
+        header.update(meta)
+    yield json.dumps(header, sort_keys=True)
+    for name in sorted(snapshot.get("counters", {})):
+        yield json.dumps(
+            {
+                "kind": "counter",
+                "name": name,
+                "value": snapshot["counters"][name],
+            },
+            sort_keys=True,
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        yield json.dumps(
+            {
+                "kind": "gauge",
+                "name": name,
+                "value": snapshot["gauges"][name],
+            },
+            sort_keys=True,
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        yield json.dumps(
+            {
+                "kind": "histogram",
+                "name": name,
+                **snapshot["histograms"][name],
+            },
+            sort_keys=True,
+        )
+
+
+def write_snapshot_jsonl(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    append: bool = False,
+) -> int:
+    """Write the registry snapshot to ``path`` as JSON lines.
+
+    Returns the number of lines written (metrics + the meta header).
+    """
+    if registry is None:
+        registry = get_registry()
+    lines = list(snapshot_jsonl(registry.snapshot(), meta=meta))
+    mode = "a" if append else "w"
+    with open(path, mode, encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+# -- HTTP ----------------------------------------------------------------
+
+
+class MetricsServer:
+    """A zero-dependency HTTP scrape endpoint over a metrics registry.
+
+    Serves three routes:
+
+    - ``/metrics`` — Prometheus text exposition of the live registry;
+    - ``/metrics.json`` — the raw snapshot document;
+    - ``/healthz`` — liveness (always ``ok``).
+
+    The server runs on a daemon thread (``ThreadingHTTPServer``, so a
+    slow scraper never blocks another) and binds lazily in
+    :meth:`start`; pass ``port=0`` to let the OS choose — the bound
+    port is available as :attr:`port` afterwards.  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 9464,
+        prefix: str = "sepe",
+    ):
+        self._registry = registry if registry is not None else get_registry()
+        self._host = host
+        self._requested_port = port
+        self._prefix = prefix
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.scrapes = self._registry.counter("obs.export.scrapes")
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        registry = self._registry
+        prefix = self._prefix
+        scrapes = self.scrapes
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    scrapes.inc()
+                    body = render_prometheus(
+                        registry.snapshot(), prefix=prefix
+                    ).encode("utf-8")
+                    self._reply(200, CONTENT_TYPE_PROMETHEUS, body)
+                elif path == "/metrics.json":
+                    scrapes.inc()
+                    body = json.dumps(
+                        registry.snapshot(), sort_keys=True
+                    ).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                elif path == "/healthz":
+                    self._reply(200, "text/plain", b"ok\n")
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _reply(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                """Silence per-request stderr logging."""
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sepe-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

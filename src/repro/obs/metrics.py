@@ -24,11 +24,35 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "exponential_buckets",
     "DEFAULT_BUCKETS",
+    "NS_LATENCY_BUCKETS",
 ]
 
 DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
 """Default histogram upper bounds; an implicit +inf bucket follows."""
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """Geometric bucket edges: ``start, start*factor, ...`` (``count``).
+
+    The natural shape for latency instruments, whose observations span
+    orders of magnitude: linear edges like :data:`DEFAULT_BUCKETS`
+    saturate in the overflow bucket on nanosecond-scale hash timings.
+    """
+    if count < 1:
+        raise ValueError("need at least one bucket")
+    if start <= 0 or factor <= 1:
+        raise ValueError("start must be > 0 and factor > 1")
+    return tuple(start * factor**index for index in range(count))
+
+
+NS_LATENCY_BUCKETS: Tuple[float, ...] = exponential_buckets(64, 4, 12)
+"""Nanosecond-latency edges, 64 ns to ~268 ms in powers of four — wide
+enough that a specialized hash (~50 ns) and a slow fallback path land in
+*named* buckets instead of the overflow bucket."""
 
 
 class Counter:
@@ -162,12 +186,30 @@ class MetricsRegistry:
             return instrument
 
     def histogram(
-        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+        self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
+        """Get or create a histogram, with configurable bucket edges.
+
+        ``buckets`` applies on first creation (``None`` means
+        :data:`DEFAULT_BUCKETS`, the backward-compatible behaviour).
+        Asking for an existing histogram with *different* explicit
+        edges raises — silently handing back an instrument with other
+        buckets would misattribute every subsequent observation.
+        """
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(name, buckets)
+                instrument = self._histograms[name] = Histogram(
+                    name, DEFAULT_BUCKETS if buckets is None else buckets
+                )
+            elif (
+                buckets is not None
+                and tuple(sorted(buckets)) != instrument.buckets
+            ):
+                raise ValueError(
+                    f"histogram {name!r} already exists with buckets "
+                    f"{instrument.buckets}, requested {tuple(buckets)}"
+                )
             return instrument
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:

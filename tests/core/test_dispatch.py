@@ -255,3 +255,57 @@ class TestCompileOnce:
         for _ in range(10):
             dispatcher.hash_many(keys)
         assert exec_counter.value == before
+
+
+class TestLatencyTelemetry:
+    def test_off_by_default(self):
+        dispatcher = build_dispatcher([SSN])
+        keys = generate_keys("SSN", 5, Distribution.UNIFORM, seed=2)
+        for key in keys:
+            dispatcher(key)
+        stats = dispatcher.stats()
+        assert "latency" not in stats["formats"][0]
+        assert "fallback_latency" not in stats
+
+    def test_per_route_histograms_and_qps(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = FormatDispatcher(registry=registry, latency=True)
+        dispatcher.register(SSN)
+        keys = generate_keys("SSN", 20, Distribution.UNIFORM, seed=3)
+        for key in keys:
+            dispatcher(key)
+        dispatcher(b"not-a-recognized-key")
+        stats = dispatcher.stats()
+        assert stats["formats"][0]["latency"]["count"] == 20
+        assert stats["formats"][0]["latency"]["mean_ns"] > 0
+        assert stats["fallback_latency"]["count"] == 1
+        assert stats["qps"] > 0
+        assert stats["elapsed_seconds"] > 0
+        snapshot = registry.snapshot()
+        names = set(snapshot["histograms"])
+        assert any(name.startswith("dispatch.latency_ns.") for name in names)
+        assert registry.counter("dispatch.requests_total").value == 21
+
+    def test_hash_many_observes_per_key_latency(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = FormatDispatcher(registry=registry, latency=True)
+        dispatcher.register(SSN)
+        keys = generate_keys("SSN", 16, Distribution.UNIFORM, seed=4)
+        values = dispatcher.hash_many(keys + [b"fallback-key!"])
+        assert values[:16] == [dispatcher(k) for k in keys]
+        stats = dispatcher.stats()
+        # 16 batch observations + the 16 scalar calls above.
+        assert stats["formats"][0]["latency"]["count"] == 32
+        assert stats["fallback_latency"]["count"] == 1
+
+    def test_latency_results_match_untimed_dispatch(self):
+        timed = FormatDispatcher(latency=True)
+        untimed = FormatDispatcher()
+        timed.register(SSN)
+        untimed.register(SSN)
+        keys = generate_keys("SSN", 10, Distribution.UNIFORM, seed=5)
+        assert [timed(k) for k in keys] == [untimed(k) for k in keys]

@@ -1,0 +1,195 @@
+"""Tests for the Prometheus/JSON-lines exporters and /metrics server."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE_PROMETHEUS,
+    MetricsServer,
+    PrometheusFormatError,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_jsonl,
+    write_snapshot_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("dispatch.requests_total").inc(12)
+    registry.counter("dispatch.fallback").inc(3)
+    registry.gauge("containers.load_factor").set(0.75)
+    histogram = registry.histogram("dispatch.latency_ns.ssn", (10, 100, 1000))
+    for value in (5, 50, 500, 5000):
+        histogram.observe(value)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_round_trips_strict_parser(self):
+        """Acceptance: exporter output parses under the strict checker."""
+        text = render_prometheus(_populated_registry().snapshot())
+        families = parse_prometheus(text)
+        assert "sepe_dispatch_requests_total_total" in families
+        assert "sepe_containers_load_factor" in families
+        assert families["sepe_dispatch_latency_ns_ssn"]["type"] == "histogram"
+
+    def test_counter_values_and_total_suffix(self):
+        text = render_prometheus(_populated_registry().snapshot())
+        families = parse_prometheus(text)
+        name, _labels, value = families["sepe_dispatch_fallback_total"][
+            "samples"
+        ][0]
+        assert name.endswith("_total")
+        assert value == 3
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_prometheus(_populated_registry().snapshot())
+        families = parse_prometheus(text)
+        samples = families["sepe_dispatch_latency_ns_ssn"]["samples"]
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in samples
+            if name.endswith("_bucket")
+        ]
+        assert buckets[-1][0] == "+Inf"
+        counts = [value for _le, value in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestStrictParserRejections:
+    def test_sample_before_type_line(self):
+        with pytest.raises(PrometheusFormatError, match="precedes"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_duplicate_type(self):
+        text = "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n"
+        with pytest.raises(PrometheusFormatError, match="duplicate TYPE"):
+            parse_prometheus(text)
+
+    def test_counter_without_total_suffix(self):
+        text = "# TYPE hits counter\nhits 1\n"
+        with pytest.raises(PrometheusFormatError, match="_total"):
+            parse_prometheus(text)
+
+    def test_negative_counter(self):
+        text = "# TYPE hits_total counter\nhits_total -1\n"
+        with pytest.raises(PrometheusFormatError, match="negative"):
+            parse_prometheus(text)
+
+    def test_histogram_bucket_missing_le(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{x="1"} 1\nh_sum 1\nh_count 1\n'
+        )
+        with pytest.raises(PrometheusFormatError, match="le label"):
+            parse_prometheus(text)
+
+    def test_histogram_non_cumulative_counts(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 2\n'
+            "h_sum 1\nh_count 2\n"
+        )
+        with pytest.raises(PrometheusFormatError, match="cumulative"):
+            parse_prometheus(text)
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n'
+        )
+        with pytest.raises(PrometheusFormatError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_histogram_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\nh_sum 1\nh_count 2\n'
+        )
+        with pytest.raises(PrometheusFormatError, match="_count"):
+            parse_prometheus(text)
+
+    def test_declared_but_empty_family(self):
+        with pytest.raises(PrometheusFormatError, match="no samples"):
+            parse_prometheus("# TYPE ghost gauge\n")
+
+    def test_malformed_label_pair(self):
+        text = "# TYPE a gauge\na{oops} 1\n"
+        with pytest.raises(PrometheusFormatError, match="label"):
+            parse_prometheus(text)
+
+
+class TestJsonLinesSnapshot:
+    def test_meta_header_then_metrics(self):
+        lines = list(
+            snapshot_jsonl(
+                _populated_registry().snapshot(), meta={"run": "t1"}
+            )
+        )
+        header = json.loads(lines[0])
+        assert header["kind"] == "meta"
+        assert header["run"] == "t1"
+        kinds = {json.loads(line)["kind"] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_write_and_append(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        registry = _populated_registry()
+        first = write_snapshot_jsonl(str(path), registry=registry)
+        second = write_snapshot_jsonl(
+            str(path), registry=registry, append=True
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == first + second
+        for line in lines:
+            json.loads(line)
+
+
+class TestMetricsServer:
+    def test_metrics_endpoint_round_trips(self):
+        registry = _populated_registry()
+        with MetricsServer(registry=registry, port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            with urllib.request.urlopen(url) as response:
+                assert (
+                    response.headers["Content-Type"]
+                    == CONTENT_TYPE_PROMETHEUS
+                )
+                families = parse_prometheus(response.read().decode())
+        assert "sepe_dispatch_requests_total_total" in families
+        # The scrape itself was counted.
+        assert registry.counter("obs.export.scrapes").value == 1
+
+    def test_json_and_health_endpoints(self):
+        registry = _populated_registry()
+        with MetricsServer(registry=registry, port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics.json") as response:
+                document = json.loads(response.read().decode())
+            with urllib.request.urlopen(f"{base}/healthz") as response:
+                assert response.read() == b"ok\n"
+        assert "counters" in document
+
+    def test_unknown_path_404(self):
+        with MetricsServer(registry=MetricsRegistry(), port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+
+    def test_port_zero_binds_ephemeral(self):
+        server = MetricsServer(registry=MetricsRegistry(), port=0)
+        server.start()
+        try:
+            assert server.port > 0
+        finally:
+            server.stop()

@@ -139,3 +139,62 @@ class TestRenderMetrics:
         from repro.obs.report import render_metrics
 
         assert "no metrics" in render_metrics(MetricsRegistry().snapshot())
+
+
+class TestBucketConfiguration:
+    def test_exponential_buckets_shape(self):
+        from repro.obs.metrics import exponential_buckets
+
+        assert exponential_buckets(1, 2, 4) == (1, 2, 4, 8)
+
+    def test_exponential_buckets_validation(self):
+        from repro.obs.metrics import exponential_buckets
+
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 2, 0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0, 2, 3)
+        with pytest.raises(ValueError):
+            exponential_buckets(1, 1, 3)
+
+    def test_ns_latency_buckets_resolve_nanosecond_scale(self):
+        """Default linear edges saturate on ns timings; the exponential
+        latency edges put a ~50 ns hash and a ~5 µs fallback in distinct
+        named buckets."""
+        from repro.obs.metrics import (
+            DEFAULT_BUCKETS,
+            NS_LATENCY_BUCKETS,
+            Histogram,
+        )
+
+        saturated = Histogram("h", DEFAULT_BUCKETS)
+        saturated.observe(50.0)
+        saturated.observe(5000.0)
+        assert saturated.counts[-2:] == [1, 1]  # both past the top edge
+
+        latency = Histogram("h", NS_LATENCY_BUCKETS)
+        latency.observe(50.0)
+        latency.observe(5000.0)
+        occupied = [i for i, c in enumerate(latency.counts) if c]
+        assert len(occupied) == 2
+        assert occupied[-1] < len(NS_LATENCY_BUCKETS)  # not overflow
+
+    def test_registry_histogram_custom_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(10, 100))
+        assert histogram.buckets == (10, 100)
+        # Re-request without buckets (or with the same) returns it.
+        assert registry.histogram("lat") is histogram
+        assert registry.histogram("lat", buckets=(10, 100)) is histogram
+
+    def test_registry_histogram_bucket_conflict(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(10, 100))
+        with pytest.raises(ValueError, match="already exists"):
+            registry.histogram("lat", buckets=(1, 2))
+
+    def test_default_buckets_unchanged_when_omitted(self):
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        registry = MetricsRegistry()
+        assert registry.histogram("h").buckets == DEFAULT_BUCKETS
