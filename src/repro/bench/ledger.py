@@ -62,12 +62,26 @@ def _utc_stamp() -> str:
 # -- fingerprints ------------------------------------------------------
 
 
+def _native_compiler_identity() -> Optional[str]:
+    """The probed native toolchain identity, or None when degraded."""
+    from repro.codegen.native import detect_toolchain
+    from repro.errors import NativeUnavailableError
+
+    try:
+        return detect_toolchain().identity
+    except NativeUnavailableError:
+        return None
+
+
 def fingerprint() -> Dict[str, Any]:
     """Identity of the measuring machine and interpreter.
 
     Timing figures only transfer between runs that share this context;
     everything else is apples to oranges and must be compared loosely
-    or not at all.
+    or not at all.  ``native_compiler`` names the C++ toolchain the
+    native tier would use (None without one): `.so` timings produced by
+    different compilers are no more comparable than those from
+    different machines.
     """
     return {
         "machine": platform.machine(),
@@ -75,6 +89,7 @@ def fingerprint() -> Dict[str, Any]:
         "system": platform.system(),
         "python_implementation": platform.python_implementation(),
         "python_version": platform.python_version(),
+        "native_compiler": _native_compiler_identity(),
     }
 
 
@@ -85,7 +100,11 @@ def fingerprints_comparable(
 
     Architecture, OS, interpreter implementation, and the major.minor
     Python version must match; the patch release may differ (timing
-    characteristics are stable across patch releases).
+    characteristics are stable across patch releases).  When *both*
+    sides recorded a native compiler identity, those must match too —
+    a gcc-built ledger cannot gate clang-built timings — but a side
+    without the key (an older ledger, or a host with no toolchain)
+    does not block comparison of the Python-tier entries.
     """
 
     def minor(version: str) -> str:
@@ -94,6 +113,10 @@ def fingerprints_comparable(
     for key in ("machine", "system", "python_implementation"):
         if baseline.get(key) != current.get(key):
             return False
+    baseline_cc = baseline.get("native_compiler")
+    current_cc = current.get("native_compiler")
+    if baseline_cc and current_cc and baseline_cc != current_cc:
+        return False
     return minor(baseline.get("python_version", "")) == minor(
         current.get("python_version", "")
     )
@@ -141,15 +164,28 @@ class LedgerEntry:
 
 
 def normalize_batch_report(report: Dict[str, Any]) -> List[LedgerEntry]:
-    """Flatten a ``BENCH_batch.json`` document into ledger entries."""
+    """Flatten a ``BENCH_batch.json`` document into ledger entries.
+
+    ``native_ns_per_key`` rows are included whenever the report carries
+    them (hosts without a toolchain write None, which is skipped), so
+    ``sepe bench --compare`` gates native regressions exactly like the
+    Python tiers.
+    """
     entries: List[LedgerEntry] = []
     for row in report.get("rows", []):
         stem = f"batch/{row['key_type']}/{row['family']}"
-        for metric in ("scalar_ns_per_key", "batch_ns_per_key"):
+        for metric in (
+            "scalar_ns_per_key",
+            "batch_ns_per_key",
+            "native_ns_per_key",
+        ):
+            value = row.get(metric)
+            if value is None:
+                continue
             entries.append(
                 LedgerEntry(
                     id=f"{stem}/{metric}",
-                    value=float(row[metric]),
+                    value=float(value),
                     repeats=int(row.get("repeats", 0)),
                     source="batch_report",
                 )
@@ -258,6 +294,22 @@ def collect_smoke_entries(
                     source="smoke",
                 )
             )
+            native_batch = synthesized.native_batch_function
+            if native_batch is not None:
+                native = [
+                    measure_h_time_batch(native_batch, keys, repeats=1)
+                    * scale
+                    for _ in range(repeats)
+                ]
+                entries.append(
+                    LedgerEntry(
+                        id=f"{stem}/native_ns_per_key",
+                        value=min(native),
+                        samples=native,
+                        repeats=repeats,
+                        source="smoke",
+                    )
+                )
     return entries
 
 

@@ -228,6 +228,24 @@ def _run_obs(args: argparse.Namespace) -> int:
         f"{cache_stats['entries']} entries "
         f"({exec_calls} exec calls this process)"
     )
+    for kind in sorted(cache_stats.get("kinds", {})):
+        kind_stats = cache_stats["kinds"][kind]
+        line = (
+            f"  {kind:6s}: {kind_stats['hits']} hits, "
+            f"{kind_stats['misses']} misses, "
+            f"{kind_stats['disk_hits']} disk reuse"
+        )
+        if kind == "native":
+            line += (
+                f", {kind_stats['failures']} compile failures, "
+                f"{kind_stats['negative_hits']} negative-cache hits"
+            )
+        print(line)
+    native_fallbacks = get_registry().counter(
+        "codegen.native.fallbacks"
+    ).value
+    if native_fallbacks:
+        print(f"  native fallbacks this process: {native_fallbacks}")
     if args.metrics:
         print()
         print("process metrics:")

@@ -11,13 +11,18 @@ A :class:`repro.core.plan.SynthesisPlan` is lowered to a small linear IR
   output, Figure 5c/10/12), for both x86 (BMI2 ``pext`` + ``aesenc``) and
   aarch64 (no bit-extract; the Pext family is unavailable there, matching
   Section 4.4).
+- :mod:`repro.codegen.native` — JIT-compiles that C++ with the system
+  toolchain and loads it via ctypes, closing the Python → NumPy →
+  native speed ladder (imported lazily: pure-Python callers never pay
+  for the subprocess/ctypes machinery).
 
 Two amortization layers sit alongside the backends:
 
 - :mod:`repro.codegen.batch` — emits a batched ``hash_many(keys)``
   variant of the same lowering, removing per-key call overhead.
 - :mod:`repro.codegen.cache` — a content-addressed compile cache so
-  repeated synthesis of the same plan skips IR, emission, and ``exec``.
+  repeated synthesis of the same plan skips IR, emission, and ``exec``
+  (and, for the native kind, persists and reloads the compiled ``.so``).
 """
 
 from repro.codegen.batch import compile_plan_batch, emit_python_batch
@@ -26,7 +31,7 @@ from repro.codegen.cache import (
     get_compile_cache,
     plan_fingerprint,
 )
-from repro.codegen.cpp_backend import emit_cpp
+from repro.codegen.cpp_backend import emit_cpp, emit_cpp_native
 from repro.codegen.ir import IRFunction, Instr, build_ir
 from repro.codegen.python_backend import compile_plan, emit_python
 
@@ -38,6 +43,7 @@ __all__ = [
     "compile_plan",
     "compile_plan_batch",
     "emit_cpp",
+    "emit_cpp_native",
     "emit_python",
     "emit_python_batch",
     "get_compile_cache",

@@ -11,16 +11,26 @@ JSON rendering of every codegen-relevant plan field).
 Two tiers:
 
 - an in-memory LRU of :class:`CompiledArtifact` (source + callable),
-  keyed by ``(fingerprint, function name, scalar|batch)`` — a warm hit
-  performs **zero** ``exec`` calls (pinned by
+  keyed by ``(fingerprint, function name, scalar|batch|native)`` — a
+  warm hit performs **zero** ``exec`` calls (pinned by
   ``tests.codegen.test_cache`` via the ``codegen.python.exec_calls``
-  counter);
-- an optional on-disk generated-source cache (``source_dir``): a
-  process restart still skips IR construction and emission, paying only
-  the ``exec``.
+  counter) and, for the native kind, zero compiler invocations;
+- an optional on-disk tier (``source_dir``): generated Python source is
+  persisted as ``.py`` files (a process restart skips IR construction
+  and emission, paying only the ``exec``), and native shared objects as
+  ``.so`` files tagged with the compiler identity (a restart skips the
+  C++ compiler entirely and goes straight to ``dlopen``).
+
+The ``native`` kind delegates compilation to
+:mod:`repro.codegen.native` and adds a *negative cache*: a plan whose
+native compile failed once raises
+:class:`~repro.errors.NativeUnavailableError` immediately on retry
+instead of re-invoking the compiler for a known-bad unit.
 
 Hit/miss/eviction counters live in :mod:`repro.obs.metrics` under
-``codegen.cache.*`` and surface through ``sepe obs``.
+``codegen.cache.*`` and surface through ``sepe obs``; per-kind
+breakdowns are tracked inside the cache and exposed via
+:meth:`CompileCache.stats` under ``"kinds"``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from repro.codegen.batch import emit_python_batch
 from repro.codegen.ir import IRFunction, build_ir, optimize
 from repro.codegen.python_backend import compile_source, emit_python
 from repro.core.plan import SynthesisPlan
+from repro.errors import NativeUnavailableError
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import span
 
@@ -46,6 +57,14 @@ __all__ = [
     "get_compile_cache",
     "plan_fingerprint",
 ]
+
+
+class _ToolchainUnavailable(NativeUnavailableError):
+    """Host has no usable toolchain (as opposed to a plan that failed).
+
+    Internal marker so :meth:`CompileCache._get` can tell transient,
+    host-level unavailability (never negative-cached per plan) apart
+    from deterministic plan-level failures (negative-cached)."""
 
 
 def plan_fingerprint(plan: SynthesisPlan) -> str:
@@ -79,11 +98,18 @@ def plan_fingerprint(plan: SynthesisPlan) -> str:
 
 @dataclass(frozen=True)
 class CompiledArtifact:
-    """One cached compilation: generated source plus the live callable."""
+    """One cached compilation: generated source plus the live callable.
+
+    For the ``native`` kind, ``function`` is a
+    :class:`repro.codegen.native.NativeModule` — callable for the
+    scalar entry point, with ``.hash_many`` for the batched one — and
+    ``source`` is the C++ translation unit (empty when the artifact was
+    reloaded from a cached ``.so`` whose companion source is gone).
+    """
 
     fingerprint: str
     name: str
-    kind: str  # "scalar" | "batch"
+    kind: str  # "scalar" | "batch" | "native"
     source: str
     function: Callable
 
@@ -125,6 +151,16 @@ class CompileCache:
         self._misses = registry.counter("codegen.cache.misses")
         self._disk_hits = registry.counter("codegen.cache.disk_hits")
         self._evictions = registry.counter("codegen.cache.evictions")
+        self._native_failures = registry.counter(
+            "codegen.cache.native_failures"
+        )
+        # Per-kind breakdown (scalar/batch/native), kept as plain ints
+        # under the cache lock; the registry counters above stay the
+        # process-wide aggregates that tests and dashboards pin.
+        self._kind_stats: Dict[str, Dict[str, int]] = {}
+        # Negative cache: fingerprint -> failure reason.  A plan whose
+        # native compile failed once should not re-invoke the compiler.
+        self._native_bad: Dict[str, str] = {}
 
     # -- lookup ----------------------------------------------------------
 
@@ -140,6 +176,37 @@ class CompileCache:
         """The compiled batch ``hash_many(keys) -> list[int]``."""
         return self._get(plan, name, "batch")
 
+    def native(
+        self, plan: SynthesisPlan, name: str = "sepe_native"
+    ) -> CompiledArtifact:
+        """The JIT-compiled native module for ``plan``.
+
+        The artifact's ``function`` is a
+        :class:`repro.codegen.native.NativeModule`: call it for one key,
+        use ``.hash_many`` for a batch.  With a ``source_dir``, the
+        shared object is persisted and a later synthesis of the same
+        plan (same compiler) dlopens it without invoking the compiler.
+
+        Raises:
+            NativeUnavailableError: no working toolchain, missing ISA
+                feature, or a compile failure — including a failure
+                remembered by the negative cache from an earlier call.
+        """
+        return self._get(plan, name, "native")
+
+    def _kind_inc(self, kind: str, event: str) -> None:
+        stats = self._kind_stats.setdefault(
+            kind,
+            {
+                "hits": 0,
+                "misses": 0,
+                "disk_hits": 0,
+                "failures": 0,
+                "negative_hits": 0,
+            },
+        )
+        stats[event] += 1
+
     def _get(
         self, plan: SynthesisPlan, name: str, kind: str
     ) -> CompiledArtifact:
@@ -150,9 +217,39 @@ class CompileCache:
             if artifact is not None:
                 self._entries.move_to_end(key)
                 self._hits.inc()
+                self._kind_inc(kind, "hits")
                 return artifact
+            if kind == "native":
+                reason = self._native_bad.get(fingerprint)
+                if reason is not None:
+                    self._kind_inc(kind, "negative_hits")
+                    raise NativeUnavailableError(reason)
             self._misses.inc()
-            artifact = self._compile_miss(plan, name, kind, fingerprint)
+            self._kind_inc(kind, "misses")
+            if kind == "native":
+                try:
+                    artifact = self._native_miss(plan, name, fingerprint)
+                except _ToolchainUnavailable:
+                    # Host-level: no (enabled) toolchain at all.  The
+                    # probe result is already memoized module-wide in
+                    # repro.codegen.native, and the condition can clear
+                    # within one process (SEPE_NATIVE flipped, probe
+                    # refresh) — so do not poison this plan's negative
+                    # cache over it.
+                    self._kind_inc(kind, "failures")
+                    raise
+                except NativeUnavailableError as exc:
+                    # Plan-level: missing ISA feature or a compile
+                    # error.  Deterministic for this fingerprint on
+                    # this host, so cache the refusal.
+                    self._native_bad[fingerprint] = str(exc)
+                    self._native_failures.inc()
+                    self._kind_inc(kind, "failures")
+                    raise
+            else:
+                artifact = self._compile_miss(
+                    plan, name, kind, fingerprint
+                )
             self._entries[key] = artifact
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
@@ -179,6 +276,86 @@ class CompileCache:
             source=source,
             function=function,
         )
+
+    def _native_miss(
+        self, plan: SynthesisPlan, name: str, fingerprint: str
+    ) -> CompiledArtifact:
+        # Imported lazily: the native tier pulls in ctypes/subprocess
+        # machinery that pure-Python callers never need.
+        from repro.codegen import native as native_mod
+
+        try:
+            toolchain = native_mod.detect_toolchain()
+        except NativeUnavailableError as exc:
+            raise _ToolchainUnavailable(str(exc)) from exc
+        so_path = self._native_disk_path(fingerprint, name, toolchain)
+        if so_path is not None and so_path.exists():
+            try:
+                module = native_mod.load_native_module(
+                    so_path,
+                    symbol=name,
+                    compiler=toolchain.identity,
+                    key_length=plan.key_length,
+                )
+            except NativeUnavailableError:
+                pass  # Stale/corrupt artifact: recompile below.
+            else:
+                self._disk_hits.inc()
+                self._kind_inc("native", "disk_hits")
+                source = self._read_native_source(so_path)
+                return CompiledArtifact(
+                    fingerprint=fingerprint,
+                    name=name,
+                    kind="native",
+                    source=source,
+                    function=module,
+                )
+        try:
+            module, source = native_mod.compile_plan_native(
+                plan,
+                toolchain=toolchain,
+                out_path=so_path,
+                symbol=name,
+            )
+        except OSError:
+            # Unwritable source_dir: retry into a private temp dir so a
+            # broken disk tier cannot take the native tier down with it.
+            module, source = native_mod.compile_plan_native(
+                plan, toolchain=toolchain, out_path=None, symbol=name
+            )
+        return CompiledArtifact(
+            fingerprint=fingerprint,
+            name=name,
+            kind="native",
+            source=source,
+            function=module,
+        )
+
+    def _native_disk_path(
+        self, fingerprint: str, name: str, toolchain
+    ) -> Optional[Path]:
+        """Compiler-tagged ``.so`` path, or None without a disk tier.
+
+        The filename embeds a digest of the compiler identity so shared
+        objects produced by different toolchains (or versions) never
+        collide — a cache dir migrated between hosts recompiles instead
+        of dlopening a foreign artifact.
+        """
+        if self._source_dir is None:
+            return None
+        tag = hashlib.sha256(
+            toolchain.identity.encode("utf-8")
+        ).hexdigest()[:12]
+        return self._source_dir / f"{fingerprint}.native.{name}.{tag}.so"
+
+    @staticmethod
+    def _read_native_source(so_path: Path) -> str:
+        try:
+            return so_path.with_suffix(".cpp").read_text(
+                encoding="utf-8"
+            )
+        except OSError:
+            return ""
 
     # -- on-disk source tier --------------------------------------------
 
@@ -221,8 +398,16 @@ class CompileCache:
         with self._lock:
             self._entries.clear()
 
-    def stats(self) -> Dict[str, int]:
-        """Plain-dict counter snapshot plus current size."""
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot: process-wide aggregates plus per-kind.
+
+        The flat keys (``hits``/``misses``/``disk_hits``/``evictions``)
+        are the historical aggregates across every kind; ``kinds`` maps
+        each kind ever requested (``scalar``/``batch``/``native``) to
+        its own ``hits``/``misses``/``disk_hits``/``failures``/
+        ``negative_hits`` breakdown.  ``native_failures`` counts plans
+        whose native compile failed and entered the negative cache.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -230,6 +415,11 @@ class CompileCache:
                 "misses": self._misses.value,
                 "disk_hits": self._disk_hits.value,
                 "evictions": self._evictions.value,
+                "native_failures": self._native_failures.value,
+                "kinds": {
+                    kind: dict(stats)
+                    for kind, stats in self._kind_stats.items()
+                },
             }
 
 

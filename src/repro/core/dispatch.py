@@ -17,6 +17,7 @@ lookup over calling the specialized function directly.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import (
     Callable,
@@ -87,6 +88,14 @@ class FormatDispatcher:
             scrape surface the metric exporters publish.  Off by
             default: the untimed fast path stays one dict probe plus
             one counter add.
+        prefer_native: when True, registration eagerly JIT-compiles each
+            format's emitted C++ (through the compile cache) and routes
+            scalar calls and ``hash_many`` groups to the native entry
+            points; formats whose native tier degrades (no compiler,
+            unsupported ISA) silently keep the Python/NumPy path, so the
+            dispatcher works identically on hosts without a toolchain.
+            Defaults to the ``SEPE_NATIVE_DISPATCH=1`` environment
+            toggle (off otherwise).
     """
 
     def __init__(
@@ -95,7 +104,13 @@ class FormatDispatcher:
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
         latency: bool = False,
+        prefer_native: Optional[bool] = None,
     ):
+        if prefer_native is None:
+            prefer_native = (
+                os.environ.get("SEPE_NATIVE_DISPATCH", "") == "1"
+            )
+        self._prefer_native = bool(prefer_native)
         self._fallback = fallback
         self._verify = verify
         self._by_length: Dict[int, List[_Entry]] = {}
@@ -103,6 +118,9 @@ class FormatDispatcher:
         self._registry = registry if registry is not None else MetricsRegistry()
         self._fallback_counter = self._registry.counter("dispatch.fallback")
         self._requests = self._registry.counter("dispatch.requests_total")
+        self._native_formats = self._registry.counter(
+            "dispatch.native_formats"
+        )
         self._latency = latency
         self._fallback_latency: Optional[Histogram] = (
             self._registry.histogram(
@@ -150,7 +168,15 @@ class FormatDispatcher:
             else None
         )
         self._labels.append(label)
-        entry = (pattern, synthesized.function, counter, synthesized, histogram)
+        function = synthesized.function
+        if self._prefer_native:
+            # Compile eagerly so the first routed key never pays JIT
+            # latency; degradation leaves the Python callable in place.
+            native_scalar = synthesized.native_function
+            if native_scalar is not None:
+                function = native_scalar
+                self._native_formats.inc()
+        entry = (pattern, function, counter, synthesized, histogram)
         if pattern.is_fixed_length:
             self._by_length.setdefault(pattern.body_length, []).append(entry)
         else:
@@ -249,6 +275,16 @@ class FormatDispatcher:
         if histogram is not None:
             histogram.observe(elapsed_ns)
 
+    def _group_hash_many(
+        self, entry: _Entry, grouped_keys: List[bytes]
+    ) -> List[int]:
+        """One group through the fastest batch tier this entry has."""
+        if self._prefer_native:
+            native = entry[3].native_batch_function
+            if native is not None:
+                return native(grouped_keys)
+        return entry[3].hash_many(grouped_keys)
+
     def hash_many(self, keys: Sequence[bytes]) -> List[int]:
         """Hash a batch of keys, routing once per group, not per key.
 
@@ -281,14 +317,14 @@ class FormatDispatcher:
             entry[2].inc(len(indices))
             if self._latency and entry[4] is not None:
                 started = time.perf_counter_ns()
-                values = entry[3].hash_many(grouped_keys)
+                values = self._group_hash_many(entry, grouped_keys)
                 per_key_ns = (time.perf_counter_ns() - started) / len(
                     grouped_keys
                 )
                 for _ in indices:
                     entry[4].observe(per_key_ns)
             else:
-                values = entry[3].hash_many(grouped_keys)
+                values = self._group_hash_many(entry, grouped_keys)
             for index, value in zip(indices, values):
                 out[index] = value
         if fallback_indices:
@@ -361,6 +397,8 @@ class FormatDispatcher:
             "total_routes": total + fallback_routes,
             "fallback_routes": fallback_routes,
             "formats": formats,
+            "prefer_native": self._prefer_native,
+            "native_formats": self._native_formats.value,
         }
         elapsed = time.monotonic() - self._started_monotonic
         stats["elapsed_seconds"] = elapsed
@@ -385,6 +423,9 @@ class FormatDispatcher:
             "regex": render_regex(entry[0]),
             "length": length,
             "routes": entry[2].value,
+            # True only when the native module is already loaded — this
+            # must never trigger a compile from a stats snapshot.
+            "native": entry[3]._native_state == "loaded",
         }
         histogram = entry[4]
         if histogram is not None:

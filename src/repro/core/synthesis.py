@@ -56,10 +56,15 @@ from repro.core.plan import (
 )
 from repro.core.regex_expand import pattern_from_regex
 from repro.core.regex_render import render_regex
-from repro.errors import SynthesisError, VerificationError
+from repro.errors import (
+    NativeUnavailableError,
+    SynthesisError,
+    VerificationError,
+)
 from repro.obs.trace import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.codegen.native import NativeModule
     from repro.verify.verifier import VerificationReport
 
 FormatSource = Union[str, KeyPattern]
@@ -99,6 +104,10 @@ class SynthesizedHash:
     verification: Optional["VerificationReport"] = field(
         default=None, repr=False, compare=False
     )
+    _native_module: Optional["NativeModule"] = field(
+        default=None, repr=False, compare=False
+    )
+    _native_state: str = field(default="", repr=False, compare=False)
 
     def __repr__(self) -> str:
         length = (
@@ -143,6 +152,71 @@ class SynthesizedHash:
 
     def hash_many(self, keys: Sequence[bytes]) -> List[int]:
         """Hash a batch of conforming keys with one generated call."""
+        return self.batch_function(keys)
+
+    @property
+    def native_module(self) -> Optional["NativeModule"]:
+        """The JIT-compiled native module for this plan, or None.
+
+        First access compiles the emitted C++ through the process
+        compile cache (later accesses — even across ``SynthesizedHash``
+        instances for the same plan — reuse the cached ``.so``).  Every
+        degradation cause (no compiler, compile error, unsupported
+        target) returns None after counting a
+        ``codegen.native.fallbacks`` event and warning once; it never
+        raises.
+        """
+        if self._native_state == "unavailable":
+            return None
+        from repro.codegen.native import native_enabled
+
+        if not native_enabled():
+            # The kill switch overrides even an already-cached module:
+            # SEPE_NATIVE=0 means no native execution, full stop.
+            from repro.codegen.native import warn_native_fallback
+
+            if self._native_state != "disabled":
+                self._native_state = "disabled"
+                warn_native_fallback("native tier disabled via SEPE_NATIVE=0")
+            return None
+        if self._native_state == "disabled":
+            self._native_state = ""
+        if self._native_module is None:
+            from repro.codegen.native import warn_native_fallback
+
+            try:
+                artifact = get_compile_cache().native(
+                    self.plan, name="sepe_native"
+                )
+            except NativeUnavailableError as exc:
+                self._native_state = "unavailable"
+                warn_native_fallback(str(exc))
+                return None
+            self._native_module = artifact.function
+            self._native_state = "loaded"
+        return self._native_module
+
+    @property
+    def native_function(self) -> Optional[HashCallable]:
+        """Native scalar ``hash(key) -> int``, or None when degraded."""
+        return self.native_module
+
+    @property
+    def native_batch_function(self) -> Optional[BatchHashCallable]:
+        """Native batched ``hash_many``, or None when degraded."""
+        module = self.native_module
+        return module.hash_many if module is not None else None
+
+    def hash_many_native(self, keys: Sequence[bytes]) -> List[int]:
+        """Hash a batch through the native tier, falling back silently.
+
+        Uses the JIT-compiled batched entry point when available,
+        otherwise the NumPy/generated batch path — so callers get the
+        fastest tier the host supports without caring which one ran.
+        """
+        module = self.native_module
+        if module is not None:
+            return module.hash_many(keys)
         return self.batch_function(keys)
 
     @property

@@ -56,6 +56,18 @@ class VerificationError(SepeError):
     """
 
 
+class NativeUnavailableError(SepeError):
+    """Raised when the native (JIT-compiled C++) tier cannot serve a plan.
+
+    Covers every degradation cause — no C++ compiler on the host, a
+    compile error, an unsupported target/feature combination (e.g. the
+    Pext family on aarch64), or a previously recorded failure for the
+    same plan.  Callers are expected to catch this and fall back to the
+    NumPy batch kernels or the interpreter; nothing in the default
+    pipeline lets it escape to users.
+    """
+
+
 class EmptyKeySetError(SepeError):
     """Raised when pattern inference is given no example keys."""
 

@@ -7,7 +7,9 @@ key-set) pair, not just the paper's eight formats.  Two groups:
   agree bit for bit: compiled Python vs the IR interpreter, batch vs
   scalar kernels, all inference engines vs the reference join, a plan
   round-tripped through JSON vs the original, the rendered regex vs
-  Python's own ``re`` engine.
+  Python's own ``re`` engine, the JIT-compiled native entry points vs
+  the interpreter (auto-skipped, with a recorded reason, on hosts
+  without a C++ compiler).
 - **metamorphic** — algebraic laws of the pipeline itself: the quad
   join is a commutative, associative, idempotent monoid fold
   (Definition 3.2 / Theorem 3.3), Pext masks partition exactly the
@@ -339,6 +341,64 @@ def check_cpp_emit(ctx: CaseContext) -> Optional[str]:
                 return f"{family.value}/{target}: implausible C++ output"
             if synthesized.cpp_source(target) != source:
                 return f"{family.value}/{target}: emission not deterministic"
+    return None
+
+
+_NATIVE_SKIP_REASON: Optional[str] = None
+"""Why cpp-native-vs-interp is skipping, recorded once per process."""
+
+
+@_oracle("cpp-native-vs-interp", GROUP_DIFFERENTIAL)
+def check_cpp_native_vs_interp(ctx: CaseContext) -> Optional[str]:
+    """JIT-compiled native entry points agree with the IR interpreter."""
+    global _NATIVE_SKIP_REASON
+    if not ctx.synthesizable:
+        return None
+    from repro.codegen.native import detect_toolchain
+    from repro.errors import NativeUnavailableError
+
+    try:
+        detect_toolchain()
+    except NativeUnavailableError as exc:
+        # No usable compiler on this host: skip, but leave a visible
+        # trail (counter + module-level reason) so a run of all-skips
+        # is distinguishable from a run of all-passes.
+        if _NATIVE_SKIP_REASON is None:
+            _NATIVE_SKIP_REASON = str(exc)
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter("fuzz.native_skips").inc()
+        return None
+    keys = list(ctx.keys)
+    for family in HashFamily:
+        synthesized = ctx.synthesized(family)
+        module = synthesized.native_module
+        if module is None:
+            # Toolchain exists but this plan would not compile (e.g. a
+            # feature probe failed); the degradation path is exercised
+            # elsewhere — a differential skip is not evidence.
+            continue
+        func = ctx.ir(family)
+        expected = [interpret(func, key) for key in keys]
+        for key, want in zip(keys, expected):
+            got = module(key)
+            if got != want:
+                return (
+                    f"{family.value}: native scalar {got:#x} != "
+                    f"interpreted {want:#x} for key {key!r}"
+                )
+        batched = module.hash_many(keys)
+        if batched != expected:
+            index = next(
+                i
+                for i, (a, b) in enumerate(zip(batched, expected))
+                if a != b
+            )
+            return (
+                f"{family.value}: native hash_many[{index}] = "
+                f"{batched[index]:#x} != interpreted "
+                f"{expected[index]:#x} for key {keys[index]!r}"
+            )
     return None
 
 
