@@ -1,0 +1,172 @@
+"""Serve-layer headline: shard scaling and drift→hot-swap replay.
+
+Two measurements back the serving layer's claims, both driven by
+:mod:`repro.serve.replay` over deterministic :mod:`repro.keygen`
+streams:
+
+- **Scaling** — the same concurrent submitter threads over 1/2/4
+  shards.  On a GIL runtime the speedup comes from lock elision
+  (single-writer lanes run unlocked; see ``repro/serve/shard.py``), and
+  the acceptance bar is >= 2.5x aggregate throughput at 4 shards over
+  1.
+- **Drift replay** — a mid-stream format change (SSN area digits turn
+  hex) with the reconciler running: the report must show exactly one
+  *verified* hot swap, zero hash errors across the swap boundary (a
+  verifying sink spot-checks batches against the scalar reference
+  tier), and the swap's measured convergence latency — which is paid in
+  the reconciler thread, never by traffic.
+
+Run under pytest (``pytest benchmarks/bench_serve.py``) for the smoke
+version, or standalone for the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from repro.serve.drift import DRIFT_WIDENED_BYTE_CLASS
+from repro.serve.replay import (
+    ReplayConfig,
+    measure_scaling,
+    run_replay,
+    scaling_ratio,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def measure(
+    threads: int = 4,
+    keys_per_thread: int = 150_000,
+    repeats: int = 3,
+    drift_keys_per_thread: int = 30_000,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The full serve report: scaling rows plus one drift replay."""
+    scaling_config = ReplayConfig(
+        threads=threads, keys_per_thread=keys_per_thread, seed=seed
+    )
+    rows = measure_scaling(
+        scaling_config, shard_counts=SHARD_COUNTS, repeats=repeats
+    )
+    drift_report = run_replay(
+        ReplayConfig(
+            shards=2,
+            threads=threads,
+            keys_per_thread=drift_keys_per_thread,
+            drift=True,
+            drift_kind=DRIFT_WIDENED_BYTE_CLASS,
+            reconcile_interval=0.05,
+            seed=seed,
+        )
+    )
+    return {
+        "benchmark": "serve_replay",
+        "scaling": {
+            "config": scaling_config.describe(),
+            "rows": rows,
+            "ratio_widest_vs_one_shard": scaling_ratio(rows),
+        },
+        "drift": drift_report,
+    }
+
+
+def render(report: Dict[str, object]) -> str:
+    lines: List[str] = ["shard scaling (same threads, same stream):"]
+    for row in report["scaling"]["rows"]:
+        lines.append(
+            f"  shards={row['shards']}: "
+            f"{row['keys_per_sec'] / 1e6:6.2f} Mkeys/s "
+            f"({row['ns_per_key']:6.1f} ns/key)"
+        )
+    ratio = report["scaling"]["ratio_widest_vs_one_shard"]
+    lines.append(f"  ratio {max(SHARD_COUNTS)}v1: {ratio:.2f}x")
+    drift = report["drift"]
+    lines.append(
+        f"drift replay: {drift['submitted']} keys, "
+        f"{drift['keys_per_sec'] / 1e6:.2f} Mkeys/s, "
+        f"{drift['hash_errors']} hash errors"
+    )
+    for event in drift.get("swap_events", []):
+        lines.append(
+            f"  swap {event['route_id']} g{event['old_generation']}->"
+            f"g{event['new_generation']} ({','.join(event['reasons'])}) "
+            f"verified={event['verified']} in {event['swap_ms']:.0f} ms"
+        )
+    return "\n".join(lines)
+
+
+def test_serve_scaling_and_drift(benchmark):
+    """Smoke version of the committed artifact, CI-sized."""
+    from conftest import emit_report
+
+    report = benchmark.pedantic(
+        lambda: measure(
+            keys_per_thread=30_000, repeats=2, drift_keys_per_thread=10_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("serve", render(report))
+    # Lock elision must win measurably even at smoke scale; the full
+    # artifact (and CI's serve-smoke job) hold the >= 2.5x bar.
+    assert report["scaling"]["ratio_widest_vs_one_shard"] >= 1.5
+    drift = report["drift"]
+    assert drift["hash_errors"] == 0
+    events = drift["swap_events"]
+    assert len(events) == 1
+    assert events[0]["verified"]
+    assert drift["delivered"] == drift["submitted"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serve-layer scaling + drift replay; writes "
+        "BENCH_serve.json"
+    )
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--keys", type=int, default=150_000,
+                        help="keys per thread for the scaling rows")
+    parser.add_argument("--drift-keys", type=int, default=30_000,
+                        help="keys per thread for the drift replay")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = measure(
+        threads=args.threads,
+        keys_per_thread=args.keys,
+        repeats=args.repeats,
+        drift_keys_per_thread=args.drift_keys,
+        seed=args.seed,
+    )
+    print(render(report))
+    ratio = report["scaling"]["ratio_widest_vs_one_shard"]
+    drift = report["drift"]
+    failed = []
+    if ratio is None or ratio < 2.5:
+        failed.append(f"scaling ratio {ratio} < 2.5")
+    if drift["hash_errors"]:
+        failed.append(f"{drift['hash_errors']} hash errors")
+    if len(drift.get("swap_events", [])) != 1:
+        failed.append(
+            f"expected exactly 1 swap, got "
+            f"{len(drift.get('swap_events', []))}"
+        )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if failed:
+        print("FAILED: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -213,20 +213,72 @@ def normalize_infer_report(report: Dict[str, Any]) -> List[LedgerEntry]:
     return entries
 
 
+def normalize_serve_report(report: Dict[str, Any]) -> List[LedgerEntry]:
+    """Flatten a ``BENCH_serve.json`` document into ledger entries.
+
+    Scaling rows become ``serve/scaling/shards{N}/ns_per_key`` (with
+    per-repeat samples, so the smoke compare can verdict them
+    noise-aware).  The drift replay contributes
+    ``serve/drift/replay/ns_per_key`` — streaming throughput *through*
+    a hot swap — and ``serve/drift/swap/swap_ms``, the measured
+    convergence latency of the verified swap.  The swap entry is
+    recorded for the trajectory but the smoke compare does not
+    re-measure it (a JIT-dominated one-shot figure would flap CI); a
+    ``missing`` verdict is informational, never a failure.
+    """
+    entries: List[LedgerEntry] = []
+    scaling = report.get("scaling", {})
+    for row in scaling.get("rows", []):
+        samples = [float(s) for s in row.get("samples_ns_per_key", [])]
+        entries.append(
+            LedgerEntry(
+                id=f"serve/scaling/shards{row['shards']}/ns_per_key",
+                value=float(row["ns_per_key"]),
+                samples=samples,
+                repeats=len(samples),
+                source="serve_report",
+            )
+        )
+    drift = report.get("drift", {})
+    if drift.get("ns_per_key"):
+        entries.append(
+            LedgerEntry(
+                id="serve/drift/replay/ns_per_key",
+                value=float(drift["ns_per_key"]),
+                source="serve_report",
+            )
+        )
+    for event in drift.get("swap_events", []):
+        entries.append(
+            LedgerEntry(
+                id="serve/drift/swap/swap_ms",
+                value=float(event["swap_ms"]),
+                unit="ms",
+                source="serve_report",
+            )
+        )
+        break  # one representative swap per report
+    return entries
+
+
 def normalize_report(report: Dict[str, Any]) -> List[LedgerEntry]:
     """Dispatch on a report's self-declared kind.
 
     Raises:
-        ValueError: for documents that are neither a batch comparison
-            (``experiment: batch_vs_scalar_h_time``) nor an inference
-            comparison (``benchmark: infer_compare``).
+        ValueError: for documents that are none of a batch comparison
+            (``experiment: batch_vs_scalar_h_time``), an inference
+            comparison (``benchmark: infer_compare``), or a serve
+            replay (``benchmark: serve_replay``).
     """
     if report.get("experiment") == "batch_vs_scalar_h_time":
         return normalize_batch_report(report)
     if report.get("benchmark") == "infer_compare":
         return normalize_infer_report(report)
+    if report.get("benchmark") == "serve_replay":
+        return normalize_serve_report(report)
     raise ValueError(
-        "unrecognized bench report: expected a batch or infer comparison"
+        "unrecognized bench report: expected a batch, infer, or serve "
+        "comparison"
     )
 
 
@@ -310,6 +362,47 @@ def collect_smoke_entries(
                         source="smoke",
                     )
                 )
+    return entries
+
+
+def collect_serve_smoke_entries(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    threads: int = 4,
+    keys_per_thread: int = 20_000,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[LedgerEntry]:
+    """Measure a small serve-replay scaling sample in ledger form.
+
+    The same ``serve/scaling/shards{N}/ns_per_key`` ids the committed
+    ``BENCH_serve.json`` normalizes to, so ``sepe bench --compare``
+    gates the serving hot path alongside the kernel tiers.  Only the
+    scaling rows are smoke-measured; the drift/swap figures stay
+    committed-artifact-only (see :func:`normalize_serve_report`).
+    """
+    from repro.core.plan import HashFamily
+    from repro.serve.replay import ReplayConfig, measure_scaling
+
+    config = ReplayConfig(
+        threads=threads,
+        keys_per_thread=keys_per_thread,
+        family=HashFamily.PEXT,
+        seed=seed,
+    )
+    entries: List[LedgerEntry] = []
+    for row in measure_scaling(
+        config, shard_counts=shard_counts, repeats=repeats
+    ):
+        samples = [float(s) for s in row["samples_ns_per_key"]]
+        entries.append(
+            LedgerEntry(
+                id=f"serve/scaling/shards{row['shards']}/ns_per_key",
+                value=float(row["ns_per_key"]),
+                samples=samples,
+                repeats=len(samples),
+                source="smoke",
+            )
+        )
     return entries
 
 
@@ -632,6 +725,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="also measure the smoke sample (with per-repeat samples)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also measure the serve-replay scaling smoke sample",
+    )
     parser.add_argument("--keys", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
@@ -657,6 +755,12 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
                 keys_per_type=args.keys,
                 repeats=args.repeats,
                 seed=args.seed,
+            )
+        )
+    if args.serve:
+        entries.extend(
+            collect_serve_smoke_entries(
+                repeats=args.repeats, seed=args.seed
             )
         )
     if not entries:

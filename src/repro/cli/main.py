@@ -548,6 +548,103 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Replay traffic through the sharded serve layer (``sepe serve``).
+
+    Two modes: a single replay (optionally with mid-stream drift
+    injection and the background reconciler) or ``--scaling``, which
+    measures the same stream over several shard counts.  Exit code 1
+    signals an assertion failure — hash errors, or a swap count that
+    does not match ``--assert-swaps`` — which is what the CI
+    ``serve-smoke`` job keys off.
+    """
+    import json as json_module
+
+    from repro.serve.replay import (
+        ReplayConfig,
+        measure_scaling,
+        run_replay,
+        scaling_ratio,
+    )
+
+    config = ReplayConfig(
+        shards=args.shards,
+        threads=args.threads,
+        keys_per_thread=args.keys,
+        seconds=args.seconds,
+        drift=args.drift,
+        drift_kind=args.drift_kind,
+        reconcile_interval=args.reconcile_interval,
+        seed=args.seed,
+    )
+    failures = []
+    if args.scaling:
+        rows = measure_scaling(
+            config,
+            shard_counts=tuple(args.shard_counts),
+            repeats=args.repeats,
+        )
+        for row in rows:
+            print(
+                f"shards={row['shards']}: "
+                f"{row['keys_per_sec'] / 1e6:6.2f} Mkeys/s "
+                f"({row['ns_per_key']:6.1f} ns/key)"
+            )
+        ratio = scaling_ratio(rows)
+        if ratio is not None:
+            print(f"ratio {max(args.shard_counts)}v1: {ratio:.2f}x")
+        document = {"benchmark": "serve_replay", "scaling": {
+            "config": config.describe(), "rows": rows,
+            "ratio_widest_vs_one_shard": ratio,
+        }}
+    else:
+        report = run_replay(config)
+        print(
+            f"{report['submitted']} keys in "
+            f"{report['elapsed_seconds']:.2f}s: "
+            f"{report['keys_per_sec'] / 1e6:.2f} Mkeys/s "
+            f"({report['ns_per_key']:.1f} ns/key), "
+            f"{report['hash_errors']} hash errors"
+        )
+        for event in report.get("swap_events", []):
+            print(
+                f"swap {event['route_id']} g{event['old_generation']}"
+                f"->g{event['new_generation']} "
+                f"({','.join(event['reasons'])}) "
+                f"verified={event['verified']} in "
+                f"{event['swap_ms']:.0f} ms"
+            )
+        if report["hash_errors"]:
+            failures.append(f"{report['hash_errors']} hash errors")
+        if report["delivered"] != report["submitted"]:
+            failures.append(
+                f"delivered {report['delivered']} != "
+                f"submitted {report['submitted']}"
+            )
+        if args.assert_swaps is not None:
+            swaps = len(report.get("swap_events", []))
+            verified = sum(
+                1
+                for event in report.get("swap_events", [])
+                if event["verified"]
+            )
+            if swaps != args.assert_swaps or verified != swaps:
+                failures.append(
+                    f"expected {args.assert_swaps} verified swaps, "
+                    f"got {swaps} ({verified} verified)"
+                )
+        document = report
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json_module.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
@@ -619,6 +716,13 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
         keys_per_type=args.keys,
         repeats=max(args.samples, 5),
     )
+    # Serve scaling rows ride along whenever the baseline recorded any,
+    # so the sharded hot path is regression-gated like the kernels.
+    if any(
+        entry_id.startswith("serve/scaling/")
+        for entry_id in baseline.get("entries", {})
+    ):
+        entries.extend(bench_ledger.collect_serve_smoke_entries())
     verdicts = bench_ledger.compare_ledger(
         baseline,
         entries,
@@ -874,6 +978,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that fails the run (default: error)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="replay traffic through the sharded online hash service",
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--threads", type=int, default=4)
+    serve.add_argument(
+        "--keys", type=int, default=50_000, help="keys per thread"
+    )
+    serve.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="loop each thread's stream until this deadline",
+    )
+    serve.add_argument(
+        "--drift",
+        action="store_true",
+        help="inject a mid-stream format change and run the reconciler",
+    )
+    serve.add_argument(
+        "--drift-kind",
+        choices=["widened_byte_class", "new_length"],
+        default="widened_byte_class",
+    )
+    serve.add_argument("--reconcile-interval", type=float, default=0.1)
+    serve.add_argument(
+        "--assert-swaps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail unless exactly N verified hot swaps occurred",
+    )
+    serve.add_argument(
+        "--scaling",
+        action="store_true",
+        help="measure throughput across --shard-counts instead",
+    )
+    serve.add_argument(
+        "--shard-counts", type=int, nargs="*", default=[1, 2, 4]
+    )
+    serve.add_argument("--repeats", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--report", default=None, help="write the JSON report here"
+    )
+
     bench = subparsers.add_parser("bench", help="run a paper table")
     bench.add_argument(
         "table", type=int, choices=[1, 2, 3], nargs="?", default=None
@@ -954,6 +1105,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-full":

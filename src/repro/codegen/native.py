@@ -221,11 +221,14 @@ class NativeModule:
         self._scalar = scalar
         self._batch = batch
         self._batch_raw = batch_raw
-        # Per-batch-size marshaling caches (last size only; callers
-        # overwhelmingly re-batch at one size): the offsets vector for
-        # the fixed-length path and the constant lens vector.
+        # Per-batch-size marshaling cache (last size only; callers
+        # overwhelmingly re-batch at one size): the offsets and lens
+        # vectors for the fixed-length path.  Only arrays that are
+        # never written after construction live here — one NativeModule
+        # is shared by every shard/dispatcher hashing the same plan
+        # (the compile cache hands out one instance per plan), so a
+        # cached *output* buffer would be a cross-thread data race.
         self._offsets_cache: Optional[tuple] = None
-        self._lens_cache: Optional[tuple] = None
 
     def __call__(self, key) -> int:
         if isinstance(key, str):
@@ -293,8 +296,11 @@ class NativeModule:
         if length is not None and len(buf) == count * length:
             # Fixed-length fast path: pointer arithmetic replaces
             # per-key length computation entirely, and the offsets /
-            # lens / pointers vectors are reused across equal-sized
-            # batches (the steady-state shape of dispatcher traffic).
+            # lens vectors are reused across equal-sized batches (the
+            # steady-state shape of dispatcher traffic).  The pointers
+            # vector is allocated fresh per call: concurrent batches
+            # from different threads share this module, and a shared
+            # output buffer would let one batch hash another's keys.
             cached = self._offsets_cache
             if cached is None or cached[0] != count:
                 offsets = length * _numpy.arange(
@@ -303,11 +309,10 @@ class NativeModule:
                 lens = _numpy.full(
                     count, length, dtype=_numpy.uintp
                 )
-                pointers = _numpy.empty(count, dtype=_numpy.uintp)
-                self._offsets_cache = (count, offsets, lens, pointers)
+                self._offsets_cache = (count, offsets, lens)
             else:
-                _, offsets, lens, pointers = cached
-            _numpy.add(offsets, _numpy.uintp(base), out=pointers)
+                _, offsets, lens = cached
+            pointers = offsets + _numpy.uintp(base)
         else:
             lens = _numpy.fromiter(
                 map(len, keys), dtype=_numpy.uintp, count=count

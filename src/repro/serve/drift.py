@@ -1,0 +1,202 @@
+"""Format-drift detection as pure monoid algebra.
+
+A route's plan was synthesized for a :class:`KeyPattern`; live traffic
+is sampled into :class:`PatternAccumulator`s.  Both live in the same
+quad semilattice: a pattern maps *exactly* onto an accumulator state
+(:func:`accumulator_from_pattern` — concrete quads become base bits,
+⊤ quads become diff bits), so "has the format drifted?" reduces to
+
+    merged = from_pattern(plan.pattern) ⊔ observed
+    drifted ⇔ merged ≠ plan.pattern
+
+with no re-inference over raw keys.  Two drift kinds fall out of the
+comparison, matching the ROADMAP's triggers:
+
+- ``new_length``: the merged length interval is strictly wider than the
+  plan's (keys shorter than ``min_length`` or longer than
+  ``max_length`` were observed);
+- ``widened_byte_class``: some byte position that the plan held
+  (partially) constant varied in the sample — its variable-bit mask
+  grew.
+
+Both checks are exact, not heuristic: the semilattice join loses
+nothing the synthesis pipeline would have used.  The reconciler feeds
+the ``merged_pattern`` of a drifted report straight back into
+:func:`repro.core.synthesis.synthesize` with ``verify="strict"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.fast_infer import PatternAccumulator
+from repro.core.pattern import KeyPattern
+from repro.core.quads import QUADS_PER_BYTE
+
+DRIFT_NEW_LENGTH = "new_length"
+DRIFT_WIDENED_BYTE_CLASS = "widened_byte_class"
+
+DRIFT_KINDS = (DRIFT_NEW_LENGTH, DRIFT_WIDENED_BYTE_CLASS)
+
+
+def accumulator_from_pattern(pattern: KeyPattern) -> PatternAccumulator:
+    """Embed a pattern into accumulator state, exactly.
+
+    The returned accumulator finishes back to a pattern with the same
+    byte templates and length bounds (``count`` is 1 — only emptiness
+    matters to the monoid).  Merging observed traffic into it therefore
+    computes the join of "everything the plan already covers" with
+    "everything the sample saw".
+
+    Raises:
+        ValueError: for unbounded patterns (``max_length is None``);
+            the serving layer never routes those through drift
+            detection because the accumulator tracks a finite
+            ``max_length``.
+    """
+    if pattern.max_length is None:
+        raise ValueError(
+            "cannot embed an unbounded pattern into accumulator state"
+        )
+    min_len = pattern.min_length
+    base = bytearray(min_len)
+    diff_bytes = bytearray(min_len)
+    for index in range(min_len):
+        quads = pattern.quads[
+            QUADS_PER_BYTE * index : QUADS_PER_BYTE * (index + 1)
+        ]
+        value = 0
+        var_mask = 0
+        for quad, shift in zip(quads, (6, 4, 2, 0)):
+            if quad is None:
+                var_mask |= 3 << shift
+            else:
+                value |= quad << shift
+        base[index] = value
+        diff_bytes[index] = var_mask
+    return PatternAccumulator.from_state(
+        (
+            1,
+            min_len,
+            pattern.max_length,
+            bytes(base),
+            int.from_bytes(bytes(diff_bytes), "big"),
+        )
+    )
+
+
+def copy_accumulator(accumulator: PatternAccumulator) -> PatternAccumulator:
+    """An independent accumulator with the same state (merge mutates)."""
+    return PatternAccumulator.from_state(accumulator.state())
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The verdict of one drift check for one route.
+
+    Attributes:
+        drifted: True when the merged pattern differs from the plan's.
+        reasons: subset of :data:`DRIFT_KINDS`, empty when not drifted.
+        observed_count: keys folded into the observed accumulator.
+        widened_positions: byte indices whose variable-bit mask grew
+            (``widened_byte_class`` evidence).
+        observed_lengths: the sample's (min, max) length interval.
+        merged_pattern: the join of plan pattern and observation — the
+            resynthesis input — or None when nothing drifted or the
+            sample was below ``min_keys``.
+        insufficient: True when the sample was too small to judge.
+    """
+
+    drifted: bool
+    reasons: Tuple[str, ...]
+    observed_count: int
+    widened_positions: Tuple[int, ...] = ()
+    observed_lengths: Tuple[int, int] = (0, 0)
+    merged_pattern: Optional[KeyPattern] = field(default=None, repr=False)
+    insufficient: bool = False
+
+
+def detect_drift(
+    pattern: KeyPattern,
+    observed: PatternAccumulator,
+    min_keys: int = 1,
+) -> DriftReport:
+    """Compare an observed sample against the pattern a plan serves.
+
+    ``observed`` is not mutated.  Samples smaller than ``min_keys``
+    yield a non-drifted report flagged ``insufficient`` — the
+    reconciler keeps accumulating rather than resynthesizing off a
+    handful of outliers.
+    """
+    count = observed.count
+    if count == 0:
+        return DriftReport(False, (), 0, insufficient=min_keys > 0)
+    lengths = (observed.min_length, observed.max_length)
+    if count < min_keys:
+        return DriftReport(
+            False, (), count, observed_lengths=lengths, insufficient=True
+        )
+    merged = (
+        accumulator_from_pattern(pattern).merge(copy_accumulator(observed))
+    ).finish()
+    reasons: List[str] = []
+    if (
+        merged.min_length < pattern.min_length
+        or pattern.max_length is None
+        or merged.max_length > pattern.max_length
+    ):
+        reasons.append(DRIFT_NEW_LENGTH)
+    widened: List[int] = []
+    for index in range(merged.min_length):
+        plan_mask = pattern.byte_pattern(index).variable_mask
+        if merged.byte_pattern(index).variable_mask & ~plan_mask:
+            widened.append(index)
+    if widened:
+        reasons.append(DRIFT_WIDENED_BYTE_CLASS)
+    if not reasons:
+        return DriftReport(False, (), count, observed_lengths=lengths)
+    return DriftReport(
+        True,
+        tuple(reasons),
+        count,
+        widened_positions=tuple(widened),
+        observed_lengths=lengths,
+        merged_pattern=merged,
+    )
+
+
+def route_affinity(
+    pattern: KeyPattern, observed: PatternAccumulator
+) -> float:
+    """How plausibly an unrouted sample belongs to ``pattern``, in [0, 1].
+
+    Scored over the plan's fully-constant byte positions within the
+    common prefix: the fraction whose observed byte stayed constant at
+    the plan's value.  Constant bytes are the format's *landmarks*
+    (delimiters, literal prefixes); keys that drift in length or
+    character class still carry them, while keys of a different format
+    do not.  A pattern with no constant landmark scores 0 — attribution
+    falls to whoever else claims the sample.
+    """
+    if observed.count == 0:
+        return 0.0
+    _, obs_min, _obs_max, obs_base, obs_diff = observed.state()
+    prefix = min(pattern.min_length, obs_min)
+    if prefix == 0:
+        return 0.0
+    diff_bytes = obs_diff.to_bytes(obs_min, "big")[:prefix]
+    landmarks = [
+        index
+        for index in range(prefix)
+        if pattern.byte_pattern(index).is_constant
+    ]
+    if not landmarks:
+        return 0.0
+    agree = sum(
+        1
+        for index in landmarks
+        if diff_bytes[index] == 0
+        and obs_base[index] == pattern.byte_pattern(index).const_value
+    )
+    return agree / len(landmarks)

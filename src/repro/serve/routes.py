@@ -1,0 +1,249 @@
+"""Immutable route state for the sharded hash service.
+
+The serving hot path must never take a lock, so the routing structure
+is a persistent data structure: a :class:`RouteTable` is built once,
+shared by reference with every shard, and *replaced* — never mutated —
+when the reconciler lands a resynthesized plan.  Under CPython a plain
+attribute store is an atomic reference swap, so readers either see the
+whole old table or the whole new one; a shard mid-batch keeps hashing
+with the state it already resolved (the "stale plan serves until the
+swap lands" contract).
+
+Each :class:`RouteState` pre-resolves the fastest callable of every
+kind at build time — scalar (native → interp), list batch (native →
+NumPy → interp) and array batch (native only) — through the process
+:class:`repro.codegen.cache.CompileCache`, so a hot-swap pays JIT cost
+in the reconciler thread and the traffic threads only ever call
+already-compiled functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pattern import KeyPattern
+from repro.core.plan import HashFamily
+from repro.core.synthesis import FormatSource, SynthesizedHash, synthesize
+
+_FAST_LENGTH_SPAN = 64
+"""Widest bounded variable-length range eagerly expanded into the
+length → route map; wider ranges resolve through the match walk."""
+
+
+class RouteState:
+    """One route's plan plus its pre-resolved callables, frozen.
+
+    Attributes:
+        route_id: stable identity across hot swaps (``"r0"``, ...).
+        label: human-readable route name (the plan's format regex).
+        synthesized: the full synthesis artifact behind the callables.
+        generation: 0 at registration, +1 per verified hot swap.
+        scalar: fastest ``hash(key) -> int`` available.
+        batch: fastest ``hash_many(keys) -> list[int]`` available.
+        batch_array: native ``hash_many_array`` returning a NumPy
+            uint64 array, or None when the native tier degraded.
+        native: True when the native module backs the callables.
+    """
+
+    __slots__ = (
+        "route_id",
+        "label",
+        "synthesized",
+        "generation",
+        "scalar",
+        "batch",
+        "batch_array",
+        "native",
+    )
+
+    def __init__(
+        self,
+        route_id: str,
+        synthesized: SynthesizedHash,
+        generation: int = 0,
+        prefer_native: bool = True,
+        label: Optional[str] = None,
+    ):
+        self.route_id = route_id
+        self.synthesized = synthesized
+        self.generation = generation
+        self.label = label or synthesized.plan.pattern_regex or route_id
+        scalar = synthesized.function
+        batch = synthesized.batch_function  # compiles now, not on traffic
+        batch_array = None
+        native = False
+        if prefer_native:
+            module = synthesized.native_module
+            if module is not None:
+                scalar = module
+                batch = module.hash_many
+                try:
+                    from repro.codegen.native import _HAVE_NUMPY
+                except ImportError:  # pragma: no cover - defensive
+                    _HAVE_NUMPY = False
+                if _HAVE_NUMPY:
+                    batch_array = module.hash_many_array
+                native = True
+        self.scalar = scalar
+        self.batch = batch
+        self.batch_array = batch_array
+        self.native = native
+
+    @property
+    def pattern(self) -> KeyPattern:
+        """The key pattern this route's plan was synthesized for."""
+        return self.synthesized.pattern
+
+    @property
+    def family(self) -> HashFamily:
+        return self.synthesized.family
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteState({self.route_id}, {self.label!r}, "
+            f"gen={self.generation}, native={self.native})"
+        )
+
+
+def build_route_state(
+    route_id: str,
+    source: Union[FormatSource, SynthesizedHash],
+    family: HashFamily = HashFamily.PEXT,
+    *,
+    generation: int = 0,
+    prefer_native: bool = True,
+    verify: Optional[str] = None,
+    label: Optional[str] = None,
+) -> RouteState:
+    """Synthesize (unless given an artifact) and freeze a route state.
+
+    Raises:
+        SynthesisError: propagated for unsupported formats.
+        VerificationError: under ``verify="strict"`` when the static
+            verifier refutes the plan — the swap/registration must not
+            happen.
+    """
+    if isinstance(source, SynthesizedHash):
+        synthesized = source
+    else:
+        synthesized = synthesize(source, family=family, verify=verify)
+    return RouteState(
+        route_id,
+        synthesized,
+        generation=generation,
+        prefer_native=prefer_native,
+        label=label,
+    )
+
+
+class RouteTable:
+    """An immutable snapshot of every route, with O(1) length routing.
+
+    ``fast`` maps key lengths that exactly one route can serve to that
+    route — the shard hot path is one dict probe against it.  Ambiguous
+    lengths (two fixed routes colliding, or a variable route
+    overlapping a fixed one) resolve through :meth:`resolve`'s template
+    walk, same policy as :class:`repro.core.dispatch.FormatDispatcher`.
+    """
+
+    __slots__ = ("version", "routes", "fast", "_fixed", "_variable")
+
+    def __init__(self, routes: Sequence[RouteState], version: int = 0):
+        self.version = version
+        self.routes: Tuple[RouteState, ...] = tuple(routes)
+        fixed: Dict[int, List[RouteState]] = {}
+        variable: List[RouteState] = []
+        for route in self.routes:
+            pattern = route.pattern
+            if pattern.is_fixed_length:
+                fixed.setdefault(pattern.body_length, []).append(route)
+            else:
+                variable.append(route)
+        self._fixed = {length: tuple(states) for length, states in
+                       fixed.items()}
+        self._variable = tuple(variable)
+        self.fast = self._build_fast_map(fixed, variable)
+
+    @staticmethod
+    def _build_fast_map(
+        fixed: Dict[int, List[RouteState]],
+        variable: List[RouteState],
+    ) -> Dict[int, RouteState]:
+        claims: Dict[int, List[RouteState]] = {
+            length: list(states) for length, states in fixed.items()
+        }
+        wide = False
+        for route in variable:
+            pattern = route.pattern
+            upper = pattern.max_length
+            if (
+                upper is None
+                or upper - pattern.min_length > _FAST_LENGTH_SPAN
+            ):
+                wide = True  # could claim almost any length; no fast map
+                continue
+            for length in range(pattern.min_length, upper + 1):
+                claims.setdefault(length, []).append(route)
+        if wide:
+            return {}
+        return {
+            length: states[0]
+            for length, states in claims.items()
+            if len(states) == 1
+        }
+
+    def resolve(self, key: bytes) -> Optional[RouteState]:
+        """The route serving ``key``, or None (fallback traffic).
+
+        Lengths owned by exactly one route resolve by length alone —
+        the same trust-the-length policy as the dispatcher's route
+        cache (the paper's functions assume conforming input, footnote
+        3).  Contested lengths fall through to template matching.
+        """
+        route = self.fast.get(len(key))
+        if route is not None:
+            return route
+        return self.resolve_checked(key)
+
+    def resolve_checked(self, key: bytes) -> Optional[RouteState]:
+        """Template-matching resolution (no length-trust shortcut)."""
+        for route in self._fixed.get(len(key), ()):
+            if route.pattern.matches(key):
+                return route
+        for route in self._variable:
+            if route.pattern.matches(key):
+                return route
+        return None
+
+    def get(self, route_id: str) -> Optional[RouteState]:
+        for route in self.routes:
+            if route.route_id == route_id:
+                return route
+        return None
+
+    def with_route(self, new_state: RouteState) -> "RouteTable":
+        """A new table with the same-id route replaced (the hot swap)."""
+        if self.get(new_state.route_id) is None:
+            raise KeyError(f"no route {new_state.route_id!r} to replace")
+        replaced = tuple(
+            new_state if route.route_id == new_state.route_id else route
+            for route in self.routes
+        )
+        return RouteTable(replaced, version=self.version + 1)
+
+    def added(self, new_state: RouteState) -> "RouteTable":
+        """A new table with an additional route appended."""
+        if self.get(new_state.route_id) is not None:
+            raise KeyError(f"route {new_state.route_id!r} already exists")
+        return RouteTable(
+            self.routes + (new_state,), version=self.version + 1
+        )
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteTable(v{self.version}, "
+            f"routes=[{', '.join(r.route_id for r in self.routes)}])"
+        )

@@ -93,6 +93,49 @@ class TestNormalization:
         assert entries[0].id == "infer/fixed/bigint/ns_per_key"
         assert entries[0].repeats == 3
 
+
+    def test_serve_report(self):
+        from repro.bench.ledger import normalize_serve_report
+
+        report = {
+            "benchmark": "serve_replay",
+            "scaling": {
+                "rows": [
+                    {
+                        "shards": 1,
+                        "ns_per_key": 760.0,
+                        "samples_ns_per_key": [760.0, 790.0, 810.0],
+                    },
+                    {
+                        "shards": 4,
+                        "ns_per_key": 287.0,
+                        "samples_ns_per_key": [287.0, 301.0, 295.0],
+                    },
+                ]
+            },
+            "drift": {
+                "ns_per_key": 750.0,
+                "swap_events": [
+                    {"swap_ms": 520.0},
+                    {"swap_ms": 999.0},  # only the first is recorded
+                ],
+            },
+        }
+        entries = normalize_serve_report(report)
+        by_id = {entry.id: entry for entry in entries}
+        assert set(by_id) == {
+            "serve/scaling/shards1/ns_per_key",
+            "serve/scaling/shards4/ns_per_key",
+            "serve/drift/replay/ns_per_key",
+            "serve/drift/swap/swap_ms",
+        }
+        assert by_id["serve/scaling/shards1/ns_per_key"].samples == [
+            760.0, 790.0, 810.0,
+        ]
+        assert by_id["serve/drift/swap/swap_ms"].unit == "ms"
+        assert by_id["serve/drift/swap/swap_ms"].value == 520.0
+        assert normalize_report(report) == entries
+
     def test_dispatch_and_rejection(self):
         assert normalize_report(
             {"experiment": "batch_vs_scalar_h_time", "rows": []}

@@ -250,3 +250,83 @@ class TestLint:
     def test_lint_fail_on_error_by_default(self, capsys):
         # A clean format exits 0 even with info findings present.
         assert run(["lint", r"[0-9a-f]{8}"]) == 0
+
+
+class TestServe:
+    def test_serve_clean_replay(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        assert run(
+            [
+                "serve", "--shards", "2", "--threads", "2",
+                "--keys", "4000", "--report", str(report_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 hash errors" in out
+        document = json.loads(report_path.read_text())
+        assert document["submitted"] == 8000
+        assert document["hash_errors"] == 0
+
+    def test_serve_drift_asserts_one_verified_swap(self, capsys):
+        assert run(
+            [
+                "serve", "--shards", "2", "--threads", "2",
+                "--keys", "6000", "--drift", "--assert-swaps", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+
+    def test_serve_assert_swaps_mismatch_fails(self, capsys):
+        # No drift injected, so demanding a swap must fail the run.
+        assert run(
+            [
+                "serve", "--shards", "1", "--threads", "1",
+                "--keys", "2000", "--assert-swaps", "1",
+            ]
+        ) == 1
+        assert "expected 1 verified swaps" in capsys.readouterr().err
+
+    def test_serve_scaling_mode(self, capsys):
+        assert run(
+            [
+                "serve", "--scaling", "--threads", "2",
+                "--keys", "3000", "--shard-counts", "1", "2",
+                "--repeats", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shards=1" in out
+        assert "ratio 2v1" in out
+
+
+class TestBenchCompareServeRows:
+    def test_serve_rows_in_ledger_are_smoke_compared(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.bench import ledger as bench_ledger
+
+        entries = bench_ledger.collect_serve_smoke_entries(
+            shard_counts=(1,), threads=1, keys_per_thread=2000, repeats=1
+        )
+        ledger = bench_ledger.new_ledger()
+        bench_ledger.update_ledger(ledger, entries)
+        path = tmp_path / "ledger.json"
+        bench_ledger.write_ledger(ledger, path)
+        monkeypatch.setattr(
+            bench_ledger,
+            "collect_smoke_entries",
+            lambda **kwargs: [],
+        )
+        monkeypatch.setattr(
+            bench_ledger,
+            "collect_serve_smoke_entries",
+            lambda **kwargs: entries,
+        )
+        assert run(["bench", "--compare", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve/scaling/shards1/ns_per_key" in out

@@ -309,3 +309,118 @@ class TestLatencyTelemetry:
         untimed.register(SSN)
         keys = generate_keys("SSN", 10, Distribution.UNIFORM, seed=5)
         assert [timed(k) for k in keys] == [untimed(k) for k in keys]
+
+
+class TestHomogeneousBatchFastPath:
+    """Contiguous same-length batches skip per-key resolution."""
+
+    def test_matches_grouped_path(self):
+        dispatcher = build_dispatcher([SSN, MAC])
+        keys = generate_keys("SSN", 200, Distribution.UNIFORM, seed=6)
+        assert dispatcher.hash_many(keys) == [dispatcher(k) for k in keys]
+
+    def test_counters_advance_like_per_key_routing(self):
+        dispatcher = build_dispatcher([SSN])
+        keys = generate_keys("SSN", 64, Distribution.UNIFORM, seed=7)
+        dispatcher.hash_many(keys)
+        stats = dispatcher.stats()
+        assert stats["formats"][0]["routes"] == 64
+        assert stats["total_routes"] == 64
+        assert stats["fallback_routes"] == 0
+
+    def test_ambiguous_length_takes_grouped_path(self):
+        # Two 11-byte formats: the length is contested, so the batch
+        # shortcut must not fire; per-key template matching decides.
+        dispatcher = FormatDispatcher()
+        dispatcher.register(SSN)
+        dispatcher.register(r"[a-z]{5}\.[0-9]{5}")
+        ssn = generate_keys("SSN", 10, Distribution.UNIFORM, seed=8)
+        other = [b"abcde.12345"] * 10
+        keys = ssn + other
+        assert dispatcher.hash_many(keys) == [dispatcher(k) for k in keys]
+        by_regex = {
+            entry["regex"]: entry["routes"]
+            for entry in dispatcher.stats()["formats"]
+        }
+        # 10 keys each via hash_many plus 10 scalar calls each.
+        assert sorted(by_regex.values()) == [20, 20]
+
+    def test_tuple_batch_accepted(self):
+        dispatcher = build_dispatcher([SSN])
+        keys = tuple(generate_keys("SSN", 16, Distribution.UNIFORM, seed=9))
+        assert dispatcher.hash_many(keys) == [dispatcher(k) for k in keys]
+
+
+class TestHashManyArray:
+    def test_parity_and_dtype(self):
+        numpy = pytest.importorskip("numpy")
+        dispatcher = build_dispatcher([SSN, MAC])
+        keys = generate_keys("SSN", 128, Distribution.UNIFORM, seed=10)
+        values = dispatcher.hash_many_array(keys)
+        assert values.dtype == numpy.uint64
+        assert values.tolist() == dispatcher.hash_many(keys)
+
+    def test_mixed_batch_falls_back_to_grouped_path(self):
+        pytest.importorskip("numpy")
+        dispatcher = build_dispatcher([SSN, MAC])
+        keys = (
+            generate_keys("SSN", 10, Distribution.UNIFORM, seed=11)
+            + generate_keys("MAC", 10, Distribution.UNIFORM, seed=11)
+            + [b"???"]
+        )
+        assert list(dispatcher.hash_many_array(keys)) == (
+            dispatcher.hash_many(keys)
+        )
+
+    def test_counters_advance(self):
+        pytest.importorskip("numpy")
+        dispatcher = build_dispatcher([SSN])
+        keys = generate_keys("SSN", 32, Distribution.UNIFORM, seed=12)
+        dispatcher.hash_many_array(keys)
+        assert dispatcher.stats()["formats"][0]["routes"] == 32
+
+
+class TestStateLockTelemetry:
+    def test_lock_waits_counter_registered_and_quiet(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = FormatDispatcher(registry=registry)
+        dispatcher.register(SSN)
+        dispatcher.stats()
+        dispatcher.describe()
+        # Uncontended admin calls never count a wait.
+        assert registry.snapshot()["counters"]["dispatch.lock_waits"] == 0
+
+    def test_contended_stats_still_one_consistent_snapshot(self):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        dispatcher = FormatDispatcher(registry=registry)
+        dispatcher.register(SSN)
+        keys = generate_keys("SSN", 50, Distribution.UNIFORM, seed=13)
+        stop = threading.Event()
+        snapshots = []
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(dispatcher.stats())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(20):
+                for key in keys:
+                    dispatcher(key)
+        finally:
+            stop.set()
+            thread.join()
+        for stats in snapshots:
+            # The invariant of the single critical section: the total
+            # is the sum of exactly the per-format counts beside it.
+            assert stats["total_routes"] == sum(
+                entry["routes"] for entry in stats["formats"]
+            )
+        assert snapshots[-1]["registered"] == 1

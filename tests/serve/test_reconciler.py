@@ -1,0 +1,235 @@
+"""Reconciler: drift in, verified hot swaps out, failure containment."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.keygen import Distribution, generate_keys
+from repro.keygen.keyspec import KEY_TYPES
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import HashService, Reconciler
+from repro.serve.drift import DRIFT_NEW_LENGTH, DRIFT_WIDENED_BYTE_CLASS
+
+SSN = KEY_TYPES["SSN"].regex
+MAC = KEY_TYPES["MAC"].regex
+
+
+def hexified(keys):
+    table = b"abcdefabcd"
+    return [
+        bytes(table[b - 0x30] for b in key[:3]) + key[3:] for key in keys
+    ]
+
+
+def build(**kwargs):
+    registry = MetricsRegistry()
+    svc = HashService(
+        shards=1, registry=registry, sample_every=1, **kwargs
+    )
+    svc.register(SSN, label="SSN")
+    svc.register(MAC, label="MAC")
+    reconciler = Reconciler(svc, drift_min_keys=64)
+    return svc, reconciler, registry
+
+
+def pump(svc, keys):
+    for key in keys:
+        svc.submit(key)
+    svc.flush()
+
+
+class TestNoDrift:
+    def test_conforming_traffic_never_swaps(self):
+        svc, reconciler, _ = build()
+        pump(svc, generate_keys("SSN", 500, Distribution.UNIFORM, seed=0))
+        events = reconciler.reconcile_once()
+        assert events == []
+        assert reconciler.events == []
+        assert svc.table.get("r0").generation == 0
+        # Conforming samples keep accumulating for future passes.
+        assert reconciler.observed_count("r0") == 500
+
+    def test_below_min_keys_is_not_judged(self):
+        svc, reconciler, _ = build()
+        drifted = hexified(
+            generate_keys("SSN", 20, Distribution.UNIFORM, seed=1)
+        )
+        pump(svc, drifted)
+        assert reconciler.reconcile_once() == []
+        assert svc.table.get("r0").generation == 0
+        # ...but the evidence is retained, and a later pass that
+        # crosses the threshold does swap.
+        pump(
+            svc,
+            hexified(generate_keys("SSN", 60, Distribution.UNIFORM, seed=2)),
+        )
+        events = reconciler.reconcile_once()
+        assert len(events) == 1
+
+
+class TestWidenedByteClass:
+    def test_end_to_end_swap(self):
+        svc, reconciler, registry = build()
+        conforming = generate_keys("SSN", 200, Distribution.UNIFORM, seed=3)
+        drifted = hexified(
+            generate_keys("SSN", 200, Distribution.UNIFORM, seed=4)
+        )
+        pump(svc, conforming + drifted)
+        (event,) = reconciler.reconcile_once()
+        assert event.route_id == "r0"
+        assert event.reasons == (DRIFT_WIDENED_BYTE_CLASS,)
+        assert event.old_generation == 0
+        assert event.new_generation == 1
+        assert event.verified
+        assert event.swap_ms > 0
+        assert event.regex_before != event.regex_after
+        new_state = svc.table.get("r0")
+        assert new_state.generation == 1
+        # Both populations now route and hash through the new plan.
+        reference = new_state.synthesized.function
+        for key in conforming[:20] + drifted[:20]:
+            assert svc.table.resolve(key) is new_state
+            assert svc.hash(key) == reference(key)
+        # MAC route untouched.
+        assert svc.table.get("r1").generation == 0
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.swaps"] == 1
+        assert counters["serve.drift.widened_byte_class"] == 1
+        assert counters.get("serve.swap_failures", 0) == 0
+
+    def test_observed_state_resets_after_swap(self):
+        svc, reconciler, _ = build()
+        pump(
+            svc,
+            hexified(
+                generate_keys("SSN", 200, Distribution.UNIFORM, seed=5)
+            ),
+        )
+        assert len(reconciler.reconcile_once()) == 1
+        assert reconciler.observed_count("r0") == 0
+        # The widened plan covers hex traffic: no second swap.
+        pump(
+            svc,
+            hexified(
+                generate_keys("SSN", 200, Distribution.UNIFORM, seed=6)
+            ),
+        )
+        assert reconciler.reconcile_once() == []
+        assert svc.table.get("r0").generation == 1
+
+
+class TestNewLength:
+    def test_unrouted_pool_attributed_by_affinity(self):
+        svc, reconciler, registry = build()
+        conforming = generate_keys("SSN", 200, Distribution.UNIFORM, seed=7)
+        drifted = [
+            key + b"-7"
+            for key in generate_keys("SSN", 200, Distribution.UNIFORM, seed=8)
+        ]
+        pump(svc, conforming + drifted)
+        # 13-byte keys missed every route: they sit in the unrouted pool.
+        (event,) = reconciler.reconcile_once()
+        assert event.route_id == "r0"
+        assert DRIFT_NEW_LENGTH in event.reasons
+        assert reconciler.unrouted_count == 0  # pool consumed
+        new_state = svc.table.get("r0")
+        assert new_state.generation == 1
+        assert new_state.pattern.min_length == 11
+        assert new_state.pattern.max_length == 13
+        for key in conforming[:20] + drifted[:20]:
+            assert svc.table.resolve(key) is new_state
+        assert registry.snapshot()["counters"]["serve.drift.new_length"] == 1
+
+    def test_foreign_pool_stays_pending(self):
+        svc, reconciler, _ = build()
+        foreign = [
+            b"%019d" % n for n in range(200)
+        ]  # 19-byte digit keys: no SSN/MAC landmarks
+        pump(svc, foreign)
+        assert reconciler.reconcile_once() == []
+        # Counted, never silently dropped.
+        assert reconciler.unrouted_count == 200
+        assert svc.table.get("r0").generation == 0
+        assert svc.table.get("r1").generation == 0
+
+
+class TestSwapFailure:
+    def test_refuted_plan_keeps_old_route_serving(self, monkeypatch):
+        svc, reconciler, registry = build()
+        drifted = hexified(
+            generate_keys("SSN", 200, Distribution.UNIFORM, seed=9)
+        )
+        pump(svc, drifted)
+
+        def refusing_synthesize(*args, **kwargs):
+            raise VerificationError("refuted: injected by test")
+
+        monkeypatch.setattr(
+            "repro.serve.reconciler.synthesize", refusing_synthesize
+        )
+        assert reconciler.reconcile_once() == []
+        (failure,) = reconciler.failures
+        assert failure.route_id == "r0"
+        assert "refuted" in failure.error
+        assert failure.reasons == (DRIFT_WIDENED_BYTE_CLASS,)
+        # Old plan still serving, generation unchanged, table unswapped.
+        old = svc.table.get("r0")
+        assert old.generation == 0
+        key = generate_keys("SSN", 1, Distribution.UNIFORM, seed=10)[0]
+        assert svc.hash(key) == old.synthesized.function(key)
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.swap_failures"] == 1
+        assert counters.get("serve.swaps", 0) == 0
+        # Poisoned sample reset: the next pass does not re-attempt.
+        assert reconciler.observed_count("r0") == 0
+        assert reconciler.reconcile_once() == []
+        assert reconciler.failures == [failure]
+
+    def test_recovers_after_failure(self, monkeypatch):
+        svc, reconciler, _ = build()
+        pump(
+            svc,
+            hexified(
+                generate_keys("SSN", 200, Distribution.UNIFORM, seed=11)
+            ),
+        )
+
+        def refusing_synthesize(*args, **kwargs):
+            raise VerificationError("transient")
+
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                "repro.serve.reconciler.synthesize", refusing_synthesize
+            )
+            reconciler.reconcile_once()
+        assert len(reconciler.failures) == 1
+        # Fresh drifted evidence with the real synthesizer: swap lands.
+        pump(
+            svc,
+            hexified(
+                generate_keys("SSN", 200, Distribution.UNIFORM, seed=12)
+            ),
+        )
+        events = reconciler.reconcile_once()
+        assert len(events) == 1
+        assert svc.table.get("r0").generation == 1
+
+
+class TestBackgroundThread:
+    def test_start_stop_and_periodic_pass(self):
+        svc, _, registry = build()
+        reconciler = svc.start(interval=0.01, drift_min_keys=64)
+        try:
+            deadline_passes = 0
+            import time
+
+            for _ in range(200):
+                time.sleep(0.01)
+                deadline_passes = registry.snapshot()["counters"].get(
+                    "serve.reconcile_passes", 0
+                )
+                if deadline_passes >= 2:
+                    break
+        finally:
+            svc.stop()
+        assert deadline_passes >= 2
+        assert reconciler.events == []
