@@ -1,0 +1,89 @@
+"""Perfect-hash tier headline: certified lookups vs gperf and the RQs.
+
+A thin driver over :mod:`repro.bench.perfect_compare` (where the
+measurement engine lives, shared with the regression ledger's perfect
+smoke sample).  For each closed key set — the three built-in fixtures
+plus closed 1,000-key samples of the paper's RQ formats — every variant
+is raced on the *same* keys: the certified perfect plan (container
+lookups on the ``perfect=True`` fast path), the mini-gperf baseline
+trained on the same set, FNV-1a, and the four paper families.
+
+The artifact's headline claim, enforced on exit: the certified-perfect
+lookup beats the gperf lookup on at least one RQ closed set, with the
+container fast path engaged.
+
+Run under pytest (``pytest benchmarks/bench_perfect.py``) for the smoke
+version, or standalone for the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_perfect.py --out BENCH_perfect.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.perfect_compare import (
+    measure,
+    perfect_beats_gperf,
+    render,
+)
+
+
+def test_perfect_vs_baselines(benchmark):
+    """Smoke version of the committed artifact, CI-sized."""
+    from conftest import emit_report
+
+    report = benchmark.pedantic(
+        lambda: measure(rq_count=200, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("perfect", render(report))
+    for entry in report["key_sets"]:
+        assert entry["certificate"]["certified"], entry["key_set"]
+        perfect_row = entry["rows"][0]
+        assert perfect_row["variant"] == "perfect"
+        assert perfect_row["fast_path"]
+    # The headline claim at smoke scale: the certified fast path wins
+    # the lookup race against gperf on at least one RQ closed set.
+    assert perfect_beats_gperf(report), "perfect lookup never beat gperf"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="perfect-hash tier vs gperf/FNV/paper families; "
+        "writes BENCH_perfect.json"
+    )
+    parser.add_argument("--out", default="BENCH_perfect.json")
+    parser.add_argument("--rq-count", type=int, default=1000,
+                        help="keys per RQ closed sample")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = measure(
+        rq_count=args.rq_count, repeats=args.repeats, seed=args.seed
+    )
+    print(render(report))
+    winners = perfect_beats_gperf(report)
+    failed = []
+    if not winners:
+        failed.append("perfect lookup never beat gperf on an RQ set")
+    else:
+        print(f"perfect beats gperf lookup on: {', '.join(winners)}")
+    for entry in report["key_sets"]:
+        if not entry["certificate"]["certified"]:
+            failed.append(f"{entry['key_set']} refused certification")
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if failed:
+        print("FAILED: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,11 +38,17 @@ from repro.core import (
 from repro.errors import (
     EmptyKeySetError,
     KeyFormatError,
+    PerfectSearchError,
     RegexSyntaxError,
     SepeError,
     SynthesisError,
     UnsupportedPatternError,
     VerificationError,
+)
+from repro.perfect import (
+    PerfectCertificate,
+    PerfectHash,
+    synthesize_perfect,
 )
 
 __version__ = "1.0.0"
@@ -53,6 +59,9 @@ __all__ = [
     "KeyFormatError",
     "KeyPattern",
     "PatternAccumulator",
+    "PerfectCertificate",
+    "PerfectHash",
+    "PerfectSearchError",
     "RegexSyntaxError",
     "SepeError",
     "SynthesisError",
@@ -67,5 +76,6 @@ __all__ = [
     "synthesize",
     "synthesize_all_families",
     "synthesize_from_keys",
+    "synthesize_perfect",
     "validate",
 ]

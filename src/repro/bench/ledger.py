@@ -261,14 +261,45 @@ def normalize_serve_report(report: Dict[str, Any]) -> List[LedgerEntry]:
     return entries
 
 
+def normalize_perfect_report(report: Dict[str, Any]) -> List[LedgerEntry]:
+    """Flatten a ``BENCH_perfect.json`` document into ledger entries.
+
+    Each (key set, variant) cell contributes
+    ``perfect/<set>/<variant>/h_ns_per_key`` and
+    ``perfect/<set>/<variant>/lookup_ns_per_key`` with per-repeat
+    samples, so the certified fast path is regression-gated against the
+    gperf/FNV/paper-family baselines measured on the same closed set.
+    """
+    entries: List[LedgerEntry] = []
+    for key_set in report.get("key_sets", []):
+        for row in key_set.get("rows", []):
+            stem = f"perfect/{key_set['key_set']}/{row['variant']}"
+            for metric, sample_key in (
+                ("h_ns_per_key", "samples_h"),
+                ("lookup_ns_per_key", "samples_lookup"),
+            ):
+                samples = [float(s) for s in row.get(sample_key, [])]
+                entries.append(
+                    LedgerEntry(
+                        id=f"{stem}/{metric}",
+                        value=float(row[metric]),
+                        samples=samples,
+                        repeats=int(row.get("repeats", len(samples))),
+                        source="perfect_report",
+                    )
+                )
+    return entries
+
+
 def normalize_report(report: Dict[str, Any]) -> List[LedgerEntry]:
     """Dispatch on a report's self-declared kind.
 
     Raises:
         ValueError: for documents that are none of a batch comparison
             (``experiment: batch_vs_scalar_h_time``), an inference
-            comparison (``benchmark: infer_compare``), or a serve
-            replay (``benchmark: serve_replay``).
+            comparison (``benchmark: infer_compare``), a serve replay
+            (``benchmark: serve_replay``), or a perfect-tier report
+            (``benchmark: perfect``).
     """
     if report.get("experiment") == "batch_vs_scalar_h_time":
         return normalize_batch_report(report)
@@ -276,9 +307,11 @@ def normalize_report(report: Dict[str, Any]) -> List[LedgerEntry]:
         return normalize_infer_report(report)
     if report.get("benchmark") == "serve_replay":
         return normalize_serve_report(report)
+    if report.get("benchmark") == "perfect":
+        return normalize_perfect_report(report)
     raise ValueError(
-        "unrecognized bench report: expected a batch, infer, or serve "
-        "comparison"
+        "unrecognized bench report: expected a batch, infer, serve, or "
+        "perfect comparison"
     )
 
 
@@ -403,6 +436,27 @@ def collect_serve_smoke_entries(
                 source="smoke",
             )
         )
+    return entries
+
+
+def collect_perfect_smoke_entries(
+    repeats: int = 3,
+) -> List[LedgerEntry]:
+    """Measure the perfect tier's built-in fixtures in ledger form.
+
+    Only the three shipped key sets are smoke-measured — they are small
+    and byte-identical on every host, so the ids line up exactly with
+    the committed ``BENCH_perfect.json``.  The RQ closed-sample rows
+    stay committed-artifact-only (re-sampling 1,000-key pools per CI
+    run would dominate the smoke budget); their ``missing`` verdicts
+    are informational, never failures.
+    """
+    from repro.bench.perfect_compare import measure
+
+    report = measure(rq_count=0, repeats=repeats, rq_sets=())
+    entries = normalize_perfect_report(report)
+    for entry in entries:
+        entry.source = "smoke"
     return entries
 
 
@@ -730,6 +784,11 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="also measure the serve-replay scaling smoke sample",
     )
+    parser.add_argument(
+        "--perfect",
+        action="store_true",
+        help="also measure the perfect-tier built-in fixtures",
+    )
     parser.add_argument("--keys", type=int, default=4000)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
@@ -762,6 +821,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
             collect_serve_smoke_entries(
                 repeats=args.repeats, seed=args.seed
             )
+        )
+    if args.perfect:
+        entries.extend(
+            collect_perfect_smoke_entries(repeats=args.repeats)
         )
     if not entries:
         print(

@@ -246,6 +246,20 @@ def _run_obs(args: argparse.Namespace) -> int:
     ).value
     if native_fallbacks:
         print(f"  native fallbacks this process: {native_fallbacks}")
+    perfect_counters = {
+        name: get_registry().counter(name).value
+        for name in (
+            "perfect.synthesized",
+            "perfect.certified",
+            "perfect.refused",
+            "perfect.fallbacks",
+            "containers.perfect_fast_path_hits",
+        )
+    }
+    if any(perfect_counters.values()):
+        print("perfect tier this process:")
+        for name, value in perfect_counters.items():
+            print(f"  {name}: {value}")
     if args.metrics:
         print()
         print("process metrics:")
@@ -645,6 +659,102 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perfect(args: argparse.Namespace) -> int:
+    """Synthesize + certify perfect hashes for closed key sets.
+
+    Exit code 1 means at least one requested key set was *refused*
+    certification while ``--assert-certified`` was set — the CI
+    ``perfect-gate`` job's failure signal.  Exit code 2 is an input
+    error (unknown set name, unreadable key file).
+    """
+    import json as json_module
+
+    from repro.errors import PerfectSearchError, SepeError
+    from repro.perfect import (
+        BUILTIN_KEY_SET_NAMES,
+        builtin_key_set,
+        pad_keys,
+        rq_closed_set,
+        synthesize_perfect,
+    )
+
+    targets: List[Tuple[str, Tuple[bytes, ...]]] = []
+    try:
+        builtin_names = list(args.builtin or [])
+        if "all" in builtin_names:
+            builtin_names = list(BUILTIN_KEY_SET_NAMES)
+        for name in builtin_names:
+            targets.append((f"builtin:{name}", builtin_key_set(name)))
+        for name in args.rq or []:
+            targets.append(
+                (
+                    f"rq:{name.lower()}",
+                    tuple(
+                        rq_closed_set(
+                            name, count=args.count, seed=args.seed
+                        )
+                    ),
+                )
+            )
+        if args.keys_file:
+            with open(args.keys_file, "rb") as handle:
+                lines = [line.rstrip(b"\r\n") for line in handle]
+            targets.append(
+                (
+                    args.keys_file,
+                    pad_keys([line for line in lines if line]),
+                )
+            )
+    except (SepeError, KeyError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not targets:
+        print(
+            "error: nothing to certify; pass --builtin NAME|all, "
+            "--rq NAME, or --keys-file FILE",
+            file=sys.stderr,
+        )
+        return 2
+    documents = []
+    refusals = 0
+    for label, keys in targets:
+        try:
+            perfect = synthesize_perfect(keys)
+        except (PerfectSearchError, SepeError) as error:
+            refusals += 1
+            print(f"{label}: REFUSED — {error}")
+            documents.append(
+                {"key_set": label, "certified": False, "error": str(error)}
+            )
+            continue
+        certificate = perfect.certificate
+        print(
+            f"{label}: certified {certificate.key_count} keys -> "
+            f"{certificate.hash_bits}-bit hash, range "
+            f"{certificate.range_size}, load "
+            f"{certificate.load_factor:.3f}"
+            + (" (minimal)" if certificate.minimal else "")
+            + f", strategy {certificate.strategy or 'structural'}"
+            + (" + rotation fallback" if certificate.fallback_used else "")
+            + f", {certificate.evaluations} evaluations"
+        )
+        documents.append({"key_set": label, **certificate.to_dict()})
+    if args.json:
+        print(json_module.dumps(documents, indent=2, sort_keys=True))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json_module.dump(documents, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    if refusals and args.assert_certified:
+        print(
+            f"FAILED: {refusals} key set(s) refused certification",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.bench import tables
     from repro.bench.report import render_table
@@ -723,6 +833,14 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
         for entry_id in baseline.get("entries", {})
     ):
         entries.extend(bench_ledger.collect_serve_smoke_entries())
+    # Likewise the perfect tier: whenever the baseline carries perfect/
+    # rows, re-measure the certified lookup paths so a regression in the
+    # perfect fast path fails the same gate.
+    if any(
+        entry_id.startswith("perfect/")
+        for entry_id in baseline.get("entries", {})
+    ):
+        entries.extend(bench_ledger.collect_perfect_smoke_entries())
     verdicts = bench_ledger.compare_ledger(
         baseline,
         entries,
@@ -1025,6 +1143,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the JSON report here"
     )
 
+    perfect = subparsers.add_parser(
+        "perfect",
+        help="synthesize + certify perfect hashes for closed key sets",
+    )
+    perfect.add_argument(
+        "--builtin",
+        nargs="*",
+        metavar="NAME",
+        help="built-in closed key sets to certify "
+        "(c-keywords, http-methods, enum-codec, or 'all')",
+    )
+    perfect.add_argument(
+        "--rq",
+        nargs="*",
+        metavar="NAME",
+        help="closed samples of paper RQ key formats (SSN, MAC, ...)",
+    )
+    perfect.add_argument(
+        "--count",
+        type=int,
+        default=1000,
+        help="keys per --rq closed sample (default: 1000)",
+    )
+    perfect.add_argument("--seed", type=int, default=0)
+    perfect.add_argument(
+        "--keys-file",
+        metavar="FILE",
+        help="certify the newline-separated keys in FILE "
+        "(padded to a common width)",
+    )
+    perfect.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the certificates as JSON",
+    )
+    perfect.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the certificates as JSON to FILE",
+    )
+    perfect.add_argument(
+        "--assert-certified",
+        action="store_true",
+        help="exit 1 if any requested key set is refused (CI gate)",
+    )
+
     bench = subparsers.add_parser("bench", help="run a paper table")
     bench.add_argument(
         "table", type=int, choices=[1, 2, 3], nargs="?", default=None
@@ -1107,6 +1271,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_lint(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "perfect":
+        return _run_perfect(args)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "bench-full":

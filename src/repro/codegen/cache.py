@@ -92,6 +92,10 @@ def plan_fingerprint(plan: SynthesisPlan) -> str:
         "short_key": plan.short_key,
         "final_mix": plan.final_mix,
     }
+    if plan.perfect:
+        # Included only when set so every pre-existing plan keeps its
+        # fingerprint (and any on-disk cached artifact stays valid).
+        payload["perfect"] = True
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

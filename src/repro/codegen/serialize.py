@@ -42,6 +42,7 @@ def plan_to_dict(plan: SynthesisPlan) -> Dict[str, Any]:
         "pattern_regex": plan.pattern_regex,
         "short_key": plan.short_key,
         "final_mix": plan.final_mix,
+        "perfect": plan.perfect,
         "loads": [
             {
                 "offset": load.offset,
@@ -104,6 +105,9 @@ def plan_from_dict(data: Dict[str, Any]) -> SynthesisPlan:
             pattern_regex=data["pattern_regex"],
             short_key=data["short_key"],
             final_mix=data["final_mix"],
+            # Payloads written before the perfect tier lack the key;
+            # absence means an ordinary (non-perfect) plan.
+            perfect=data.get("perfect", False),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise SynthesisError(f"malformed serialized plan: {error}") from error

@@ -43,7 +43,13 @@ class ContainerTelemetry:
     resize event list is per-table.
     """
 
-    __slots__ = ("inserts", "resizes", "chain_on_insert", "resize_events")
+    __slots__ = (
+        "inserts",
+        "resizes",
+        "chain_on_insert",
+        "resize_events",
+        "perfect_fast_path_hits",
+    )
 
     CHAIN_BUCKETS = (0, 1, 2, 3, 4, 8, 16, 32)
 
@@ -54,12 +60,20 @@ class ContainerTelemetry:
         self.chain_on_insert = registry.histogram(
             "containers.chain_length_on_insert", buckets=self.CHAIN_BUCKETS
         )
+        self.perfect_fast_path_hits = registry.counter(
+            "containers.perfect_fast_path_hits"
+        )
         self.resize_events: List[Tuple[int, int, int]] = []
 
     def record_insert(self, chain_length: int) -> None:
         """One insert landed on a chain of ``chain_length`` prior nodes."""
         self.inserts.inc()
         self.chain_on_insert.observe(chain_length)
+
+    def record_perfect_hit(self) -> None:
+        """One lookup resolved on the certified-perfect fast path —
+        hash equality alone, no key equality probe."""
+        self.perfect_fast_path_hits.inc()
 
     def record_resize(
         self, old_buckets: int, new_buckets: int, elements: int
@@ -75,6 +89,7 @@ class ContainerTelemetry:
             "resizes": self.resizes.value,
             "chain_on_insert": self.chain_on_insert.snapshot(),
             "resize_events": list(self.resize_events),
+            "perfect_fast_path_hits": self.perfect_fast_path_hits.value,
         }
 
 
@@ -89,6 +104,14 @@ class HashTableBase:
             None, one is attached automatically iff
             :func:`repro.obs.container_telemetry_enabled` — otherwise
             the table runs the zero-overhead no-op path.
+        assume_perfect: opt into the no-collision fast path — lookups
+            match nodes on the cached hash alone, skipping the key
+            equality probe (and any collision-chain walk past the first
+            hash match).  Requires ``hash_function`` to carry a
+            *certified* :class:`~repro.perfect.PerfectCertificate`
+            (i.e. a :class:`~repro.perfect.PerfectHash`); sound only
+            while every key looked up or stored belongs to the
+            certified closed set.
     """
 
     __slots__ = (
@@ -98,6 +121,7 @@ class HashTableBase:
         "_size",
         "_allow_duplicates",
         "_telemetry",
+        "_assume_perfect",
     )
 
     def __init__(
@@ -106,7 +130,17 @@ class HashTableBase:
         policy: Optional[PrimeRehashPolicy] = None,
         allow_duplicates: bool = False,
         telemetry: Optional[ContainerTelemetry] = None,
+        assume_perfect: bool = False,
     ):
+        if assume_perfect:
+            certificate = getattr(hash_function, "certificate", None)
+            if certificate is None or not getattr(
+                certificate, "certified", False
+            ):
+                raise ValueError(
+                    "assume_perfect requires a hash carrying a certified "
+                    "PerfectCertificate (see repro.perfect)"
+                )
         self._hash = hash_function
         self._policy = policy or PrimeRehashPolicy()
         self._buckets: List[List[Tuple[int, bytes, Any]]] = [
@@ -114,6 +148,7 @@ class HashTableBase:
         ]
         self._size = 0
         self._allow_duplicates = allow_duplicates
+        self._assume_perfect = assume_perfect
         if telemetry is None:
             from repro.obs import container_telemetry_enabled
 
@@ -201,6 +236,16 @@ class HashTableBase:
 
     def _find(self, key: bytes) -> Optional[Tuple[int, bytes, Any]]:
         hash_value = self._hash(key)
+        if self._assume_perfect:
+            # Certified-perfect hash: within the closed set, equal hash
+            # implies equal key, so the equality probe (and any chain
+            # walk past the first hash match) is provably redundant.
+            for node in self._buckets[self._bucket_index(hash_value)]:
+                if node[0] == hash_value:
+                    if self._telemetry is not None:
+                        self._telemetry.record_perfect_hit()
+                    return node
+            return None
         for node in self._buckets[self._bucket_index(hash_value)]:
             if node[0] == hash_value and node[1] == key:
                 return node
@@ -254,6 +299,11 @@ class HashTableBase:
     def telemetry(self) -> Optional[ContainerTelemetry]:
         """The attached telemetry recorder, or None when disabled."""
         return self._telemetry
+
+    @property
+    def assume_perfect(self) -> bool:
+        """True when the certified no-collision fast path is engaged."""
+        return self._assume_perfect
 
     @property
     def bucket_count(self) -> int:

@@ -20,12 +20,19 @@ class UnorderedMap(HashTableBase):
     1
     """
 
-    def __init__(self, hash_function, policy=None, telemetry=None):
+    def __init__(
+        self, hash_function, policy=None, telemetry=None, perfect=False
+    ):
+        """``perfect=True`` engages the certified no-collision fast path
+        (lookups skip the key equality probe); requires a
+        :class:`~repro.perfect.PerfectHash` and lookups confined to its
+        certified closed key set."""
         super().__init__(
             hash_function,
             policy,
             allow_duplicates=False,
             telemetry=telemetry,
+            assume_perfect=perfect,
         )
 
     def insert(self, key: bytes, value: Any) -> bool:

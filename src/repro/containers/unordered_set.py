@@ -18,8 +18,20 @@ class UnorderedSet(HashTableBase):
     True
     """
 
-    def __init__(self, hash_function, policy=None):
-        super().__init__(hash_function, policy, allow_duplicates=False)
+    def __init__(
+        self, hash_function, policy=None, telemetry=None, perfect=False
+    ):
+        """``perfect=True`` engages the certified no-collision fast path
+        (lookups skip the key equality probe); requires a
+        :class:`~repro.perfect.PerfectHash` and lookups confined to its
+        certified closed key set."""
+        super().__init__(
+            hash_function,
+            policy,
+            allow_duplicates=False,
+            telemetry=telemetry,
+            assume_perfect=perfect,
+        )
 
     def insert(self, key: bytes, value=None) -> bool:
         """Insert; returns False if already present.

@@ -149,6 +149,12 @@ class SynthesisPlan:
             paper: it buys back the uniformity the synthetic families
             give up (Table 2 / RQ7) for a small fixed cost, and keeps the
             bijection property (the finalizer is invertible on 64 bits).
+        perfect: the plan was synthesized for a *closed* key set and is
+            claimed collision-free on exactly that set (see
+            :mod:`repro.perfect`).  The claim is audited by the
+            ``perfect-claim`` lint and backed by a
+            :class:`~repro.perfect.PerfectCertificate`; on open key sets
+            the plan is an ordinary hash with no special promise.
     """
 
     family: HashFamily
@@ -161,6 +167,7 @@ class SynthesisPlan:
     pattern_regex: str = ""
     short_key: bool = False
     final_mix: bool = False
+    perfect: bool = False
 
     def __post_init__(self) -> None:
         if (

@@ -415,17 +415,20 @@ def _verify_synthesis(
 
 
 def synthesize(
-    source: FormatSource,
+    source: Optional[FormatSource] = None,
     family: HashFamily = HashFamily.PEXT,
     name: Optional[str] = None,
     final_mix: bool = False,
     verify: Optional[str] = None,
+    perfect_for: Optional[Iterable[KeyLike]] = None,
 ) -> SynthesizedHash:
     """Synthesize one specialized hash function.
 
     Args:
         source: a format regex (the ``keysynth`` path, Figure 5b) or an
-            already-built :class:`KeyPattern`.
+            already-built :class:`KeyPattern`.  May be omitted only
+            together with ``perfect_for`` (the format is then inferred
+            from the closed key set).
         family: which synthetic family to generate.
         name: name of the generated function (defaults to
             ``sepe_<family>_hash``).
@@ -437,6 +440,11 @@ def synthesize(
             report (warning on error findings); ``"strict"``
             additionally raises :class:`VerificationError` when any
             error-severity finding survives.
+        perfect_for: a *closed* key set — routes to
+            :func:`repro.perfect.synthesize_perfect`, returning a
+            :class:`~repro.perfect.PerfectHash` certified collision-free
+            on exactly these keys (``family`` is ignored; the perfect
+            tier always emits Pext-vocabulary plans).
 
     >>> h = synthesize(r"\\d{3}-\\d{2}-\\d{4}", HashFamily.PEXT)
     >>> h(b"123-45-6789") != h(b"123-45-6780")
@@ -447,6 +455,22 @@ def synthesize(
     if verify not in VERIFY_MODES:
         raise ValueError(
             f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+        )
+    if perfect_for is not None:
+        # Lazy import: repro.perfect sits on top of this module.
+        from repro.perfect import synthesize_perfect
+
+        return synthesize_perfect(
+            perfect_for,
+            format=source,
+            name=name,
+            final_mix=final_mix,
+            verify=verify,
+        )
+    if source is None:
+        raise TypeError(
+            "synthesize() needs a format source (regex or KeyPattern) "
+            "unless perfect_for= provides a closed key set"
         )
     started = time.perf_counter()
     with span("synthesize", family=family.value):

@@ -74,3 +74,16 @@ class EmptyKeySetError(SepeError):
 
 class KeyFormatError(SepeError):
     """Raised when a key does not match the format a component expects."""
+
+
+class PerfectSearchError(SynthesisError):
+    """Raised when no certified-perfect plan exists within the budget.
+
+    The perfect tier (:mod:`repro.perfect`) refuses rather than hand
+    back an uncertified "perfect" hash: either the closed key set needs
+    more than 64 distinguishing bits, the search budget ran dry before
+    a collision-free mask/mixer assignment was found, or the exhaustive
+    certification pass caught a collision the search missed.  The
+    message carries the reasons; callers can fall back to an ordinary
+    synthesized family, which is what ``sepe perfect`` suggests.
+    """

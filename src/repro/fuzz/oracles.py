@@ -629,3 +629,56 @@ def check_verify_bijective(ctx: CaseContext) -> Optional[str]:
                 )
             seen[value] = key
     return None
+
+
+@_oracle("perfect-no-collision", GROUP_DIFFERENTIAL)
+def check_perfect_no_collision(ctx: CaseContext) -> Optional[str]:
+    """A certified-perfect plan never collides on its closed key set.
+
+    Runs the perfect-hash synthesizer on the case's key set.  An honest
+    *refusal* (``PerfectSearchError``) is not a finding — the tier is
+    allowed to give up — but any plan it *does* return must carry a
+    certified :class:`~repro.perfect.PerfectCertificate`, hash the keys
+    without a single collision, recognise the same set in any order, and
+    reject mutated or extended key sets (the certificate must not cover
+    an open set).
+    """
+    from repro.errors import PerfectSearchError
+    from repro.perfect import synthesize_perfect
+
+    if not ctx.synthesizable:
+        return None
+    keys = list(dict.fromkeys(ctx.keys))
+    if len(keys) < 2:
+        return None
+    try:
+        perfect = synthesize_perfect(keys, format=ctx.pattern)
+    except PerfectSearchError:
+        return None  # Honest refusal; the tier never over-claims.
+    certificate = perfect.certificate
+    if certificate is None or not certificate.certified:
+        return (
+            "synthesize_perfect returned a plan without a certified "
+            "PerfectCertificate instead of refusing"
+        )
+    seen: Dict[int, bytes] = {}
+    for key in keys:
+        value = perfect(key)
+        other = seen.get(value)
+        if other is not None:
+            return (
+                f"certified-perfect hash collides: {other!r} and {key!r} "
+                f"both map to {value:#x}"
+            )
+        seen[value] = key
+    shuffled = list(keys)
+    random.Random(0xC0FFEE).shuffle(shuffled)
+    if not certificate.covers(shuffled):
+        return "certificate is order-sensitive: permuted key set not covered"
+    mutated = list(keys)
+    mutated[0] = bytes([mutated[0][0] ^ 0xFF]) + mutated[0][1:]
+    if len(set(mutated)) == len(keys) and certificate.covers(mutated):
+        return "certificate covers a mutated key set (open-set over-claim)"
+    if certificate.covers(keys + [keys[0] + b"\x00"]):
+        return "certificate covers an extended key set (open-set over-claim)"
+    return None

@@ -1,0 +1,53 @@
+"""``repro.perfect``: minimal-perfect-hash synthesis for closed key sets.
+
+The paper synthesizes collision-*cheap* hashes from format structure;
+this tier goes one step further for workloads whose key set is closed
+and enumerable (static dictionaries, routing tables, enum codecs,
+keyword sets): a collision-*free* hash, searched rather than derived,
+certified by exhaustive evaluation, and emitted as an ordinary
+:class:`~repro.core.plan.SynthesisPlan` so every existing execution
+tier — interpreter, Python/C++ backends, NumPy batch, native JIT,
+compile cache — runs it unchanged.
+
+- :mod:`repro.perfect.search` — greedy + budgeted-exhaustive selection
+  of distinguishing bits from the verifier's live-bit report;
+- :mod:`repro.perfect.certificate` — the
+  :class:`PerfectCertificate` binding a plan to its key set;
+- :mod:`repro.perfect.synthesis` — :func:`synthesize_perfect` and the
+  :class:`PerfectHash` wrapper containers consult for their
+  no-collision fast path;
+- :mod:`repro.perfect.keysets` — built-in closed fixtures (C keywords,
+  HTTP methods, an enum codec) and closed RQ samples for the bench.
+"""
+
+from repro.errors import PerfectSearchError
+from repro.perfect.certificate import (
+    PerfectCertificate,
+    certify,
+    key_set_digest,
+    validate_certificate,
+)
+from repro.perfect.keysets import (
+    BUILTIN_KEY_SET_NAMES,
+    builtin_key_set,
+    pad_keys,
+    rq_closed_set,
+)
+from repro.perfect.search import SearchBudget, SearchOutcome
+from repro.perfect.synthesis import PerfectHash, synthesize_perfect
+
+__all__ = [
+    "BUILTIN_KEY_SET_NAMES",
+    "PerfectCertificate",
+    "PerfectHash",
+    "PerfectSearchError",
+    "SearchBudget",
+    "SearchOutcome",
+    "builtin_key_set",
+    "certify",
+    "key_set_digest",
+    "pad_keys",
+    "rq_closed_set",
+    "synthesize_perfect",
+    "validate_certificate",
+]

@@ -1,0 +1,246 @@
+"""Exhaustive certification of perfection claims.
+
+A :class:`PerfectCertificate` is the artifact that turns "the search
+thinks these lanes separate the keys" into "every key in the closed set
+was evaluated and no two collided".  Certification runs the plan's IR
+through the reference interpreter (the pipeline's independent oracle)
+and cross-checks the compiled callable, so a codegen divergence can
+never be laundered into a perfection claim.
+
+The certificate is bound to the *set*, not the sequence: the key digest
+hashes the sorted, length-prefixed keys, so any permutation of the same
+closed set validates and any mutation — one key edited, one added, one
+dropped — refuses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.interp import interpret
+from repro.codegen.ir import build_ir, optimize
+from repro.core.plan import CombineOp, SynthesisPlan
+from repro.obs.trace import span
+
+__all__ = [
+    "PerfectCertificate",
+    "certify",
+    "key_set_digest",
+    "plan_hash_bits",
+    "validate_certificate",
+]
+
+
+def key_set_digest(keys: Sequence[bytes]) -> str:
+    """Order-independent SHA-256 over the key *set*.
+
+    Keys are deduplicated, sorted, and length-prefixed (keys may contain
+    any byte, including the would-be separator), so the digest is a
+    function of the set alone.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(set(keys)):
+        digest.update(len(key).to_bytes(4, "little"))
+        digest.update(key)
+    return digest.hexdigest()
+
+
+def plan_hash_bits(plan: SynthesisPlan) -> int:
+    """Width of the value range the plan can produce.
+
+    Bottom-packed OR-combined pext lanes on a fixed-length key keep the
+    hash below ``2**k`` for ``k`` total extracted bits — that is the
+    range a direct-index table needs.  Everything else (rotation folds,
+    variable-length tail xor, the murmur finalizer) spreads over the
+    full 64 bits.
+    """
+    if (
+        plan.combine is CombineOp.OR
+        and plan.is_fixed_length
+        and not plan.final_mix
+        and plan.loads
+        and all(load.mask is not None for load in plan.loads)
+    ):
+        return max(
+            load.shift + bin(load.mask).count("1") for load in plan.loads
+        )
+    return 64
+
+
+@dataclass(frozen=True)
+class PerfectCertificate:
+    """Proof-of-evaluation that a plan is collision-free on a key set.
+
+    Attributes:
+        certified: every key evaluated, zero collisions, interpreter and
+            compiled function agreed bit for bit.
+        key_count: size of the (deduplicated) closed set.
+        key_set_digest: order-independent SHA-256 binding the set.
+        hash_bits: width of the plan's value range.
+        range_size: ``2 ** hash_bits`` — the direct-index table size the
+            hash supports.
+        minimal: ``range_size == key_count`` (a true *minimal* perfect
+            hash; rare, needs a power-of-two set at the entropy floor).
+        load_factor: ``key_count / range_size``.
+        distinct_values: distinct hash values observed (== key_count
+            when certified).
+        strategy: which search stage produced the selection.
+        selected_bits: the distinguishing key-bit indices.
+        evaluations: search budget consumed.
+        fallback_used: the rotation-mixer fallback (not disjoint lanes)
+            produced the plan.
+        reasons: why certification failed (empty when certified).
+    """
+
+    certified: bool
+    key_count: int
+    key_set_digest: str
+    hash_bits: int
+    range_size: int
+    minimal: bool
+    load_factor: float
+    distinct_values: int
+    strategy: str
+    selected_bits: Tuple[int, ...]
+    evaluations: int
+    fallback_used: bool
+    reasons: Tuple[str, ...] = ()
+
+    def covers(self, keys: Sequence[bytes]) -> bool:
+        """Is ``keys`` exactly the certified closed set (any order)?"""
+        return (
+            len(set(keys)) == self.key_count
+            and key_set_digest(keys) == self.key_set_digest
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "certified": self.certified,
+            "key_count": self.key_count,
+            "key_set_digest": self.key_set_digest,
+            "hash_bits": self.hash_bits,
+            "range_size": self.range_size,
+            "minimal": self.minimal,
+            "load_factor": self.load_factor,
+            "distinct_values": self.distinct_values,
+            "strategy": self.strategy,
+            "selected_bits": list(self.selected_bits),
+            "evaluations": self.evaluations,
+            "fallback_used": self.fallback_used,
+            "reasons": list(self.reasons),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "PerfectCertificate":
+        return PerfectCertificate(
+            certified=data["certified"],
+            key_count=data["key_count"],
+            key_set_digest=data["key_set_digest"],
+            hash_bits=data["hash_bits"],
+            range_size=data["range_size"],
+            minimal=data["minimal"],
+            load_factor=data["load_factor"],
+            distinct_values=data["distinct_values"],
+            strategy=data["strategy"],
+            selected_bits=tuple(data["selected_bits"]),
+            evaluations=data["evaluations"],
+            fallback_used=data["fallback_used"],
+            reasons=tuple(data.get("reasons", ())),
+        )
+
+
+def evaluate_plan(
+    plan: SynthesisPlan, keys: Sequence[bytes]
+) -> List[int]:
+    """Reference hash values for the keys, via the IR interpreter."""
+    func = optimize(build_ir(plan, name="perfect_certify"))
+    return [interpret(func, key) for key in keys]
+
+
+def certify(
+    plan: SynthesisPlan,
+    keys: Sequence[bytes],
+    strategy: str = "",
+    selected_bits: Sequence[int] = (),
+    evaluations: int = 0,
+    fallback_used: bool = False,
+    compiled=None,
+) -> PerfectCertificate:
+    """Exhaustively evaluate the plan over the closed set and judge it.
+
+    Args:
+        plan: the candidate perfect plan.
+        keys: the (deduplicated) closed key set.
+        strategy/selected_bits/evaluations/fallback_used: search
+            metadata recorded verbatim in the certificate.
+        compiled: the compiled scalar callable; when given, every key is
+            cross-checked interpreter-vs-compiled and any divergence
+            refuses certification.
+    """
+    with span("perfect.certify", keys=len(keys)):
+        reasons: List[str] = []
+        values = evaluate_plan(plan, keys)
+        if compiled is not None:
+            for key, expected in zip(keys, values):
+                got = compiled(key)
+                if got != expected:
+                    reasons.append(
+                        f"compiled function diverges from the interpreter "
+                        f"on {key!r}: {got:#x} != {expected:#x}"
+                    )
+                    break
+        distinct = len(set(values))
+        if distinct != len(keys):
+            collisions = len(keys) - distinct
+            reasons.append(
+                f"{collisions} collision(s) over the {len(keys)}-key set"
+            )
+        hash_bits = plan_hash_bits(plan)
+        range_size = 1 << hash_bits
+        return PerfectCertificate(
+            certified=not reasons,
+            key_count=len(keys),
+            key_set_digest=key_set_digest(keys),
+            hash_bits=hash_bits,
+            range_size=range_size,
+            minimal=range_size == len(keys),
+            load_factor=len(keys) / range_size,
+            distinct_values=distinct,
+            strategy=strategy,
+            selected_bits=tuple(selected_bits),
+            evaluations=evaluations,
+            fallback_used=fallback_used,
+            reasons=tuple(reasons),
+        )
+
+
+def validate_certificate(
+    certificate: PerfectCertificate,
+    hash_function,
+    keys: Sequence[bytes],
+) -> List[str]:
+    """Re-check a certificate against a key set; empty list means valid.
+
+    The checks mirror what the fuzz oracle asserts: the certificate must
+    be certified, must cover exactly this set (mutated or open sets
+    refuse on the digest), and the function must still be collision-free
+    on it.
+    """
+    problems: List[str] = []
+    if not certificate.certified:
+        problems.append("certificate is not certified")
+    if not certificate.covers(keys):
+        problems.append(
+            "key set does not match the certified closed set "
+            "(mutated, extended, or truncated)"
+        )
+        return problems
+    values = {hash_function(key) for key in set(keys)}
+    if len(values) != certificate.key_count:
+        problems.append(
+            f"function collides on the certified set: "
+            f"{certificate.key_count - len(values)} collision(s)"
+        )
+    return problems

@@ -1,0 +1,119 @@
+"""Built-in closed key sets for the perfect-hash tier.
+
+Three fixtures ship with the library — the classic gperf demo (C
+keywords), a protocol dispatch table (HTTP methods), and a wire-codec
+enum — plus closed samples of the paper's RQ key formats for the
+perfect-vs-gperf benchmark.  All fixtures are *fixed-width*: keys are
+padded to a common length because SEPE refuses sub-8-byte bodies
+(paper footnote 5) and because a fixed-length format is the strong
+path for structural perfection (disjoint pext lanes, Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import SynthesisError
+from repro.keygen import Distribution, KeyGenerator, key_spec
+
+KeyLike = Union[bytes, str]
+
+MIN_BODY = 8
+"""Smallest key body SEPE specializes (paper footnote 5)."""
+
+
+def pad_keys(
+    keys: Sequence[KeyLike],
+    length: int = 0,
+    fill: bytes = b"\x00",
+) -> Tuple[bytes, ...]:
+    """Right-pad keys to a common width (at least :data:`MIN_BODY`).
+
+    Padding keeps distinctness: two distinct inputs stay distinct after
+    padding with a byte none of them ends in.  Raises
+    :class:`SynthesisError` when padding *would* merge keys (an input
+    already ends with the fill byte and collides with a shorter one).
+    """
+    encoded = [
+        key.encode("utf-8") if isinstance(key, str) else bytes(key)
+        for key in keys
+    ]
+    width = max([length, MIN_BODY] + [len(key) for key in encoded])
+    padded = tuple(
+        key + fill * (width - len(key)) for key in encoded
+    )
+    if len(set(padded)) != len(set(encoded)):
+        raise SynthesisError(
+            f"padding to {width} bytes with {fill!r} merges distinct keys"
+        )
+    return padded
+
+
+# The 32 keywords of C89 — the canonical gperf demonstration set.
+C_KEYWORDS = (
+    "auto break case char const continue default do double else enum "
+    "extern float for goto if int long register return short signed "
+    "sizeof static struct switch typedef union unsigned void volatile "
+    "while"
+).split()
+
+HTTP_METHODS = (
+    "GET HEAD POST PUT DELETE CONNECT OPTIONS TRACE PATCH".split()
+)
+
+# A wire-codec enum: fixed 12-byte event tags (underscore-padded), the
+# shape a serialization layer dispatches on.
+ENUM_CODEC_EVENTS = (
+    "open close read write seek flush mmap sync stat chmod chown "
+    "rename unlink mkdir rmdir link"
+).split()
+
+
+def _enum_codec_keys() -> Tuple[bytes, ...]:
+    return tuple(
+        f"EV_{name.upper()}".ljust(12, "_").encode("ascii")
+        for name in ENUM_CODEC_EVENTS
+    )
+
+
+_BUILTIN_BUILDERS = {
+    "c-keywords": lambda: pad_keys(C_KEYWORDS),
+    "http-methods": lambda: pad_keys(HTTP_METHODS),
+    "enum-codec": _enum_codec_keys,
+}
+
+BUILTIN_KEY_SET_NAMES: Tuple[str, ...] = tuple(_BUILTIN_BUILDERS)
+
+_CACHE: Dict[str, Tuple[bytes, ...]] = {}
+
+
+def builtin_key_set(name: str) -> Tuple[bytes, ...]:
+    """One of the shipped closed key sets, by name.
+
+    Raises:
+        SynthesisError: for an unknown name.
+    """
+    builder = _BUILTIN_BUILDERS.get(name)
+    if builder is None:
+        known = ", ".join(BUILTIN_KEY_SET_NAMES)
+        raise SynthesisError(
+            f"unknown built-in key set {name!r} (known: {known})"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]
+
+
+def rq_closed_set(
+    name: str, count: int = 1000, seed: int = 0
+) -> List[bytes]:
+    """A closed sample of one of the paper's RQ key formats.
+
+    Draws ``count`` *distinct* keys from the named
+    :data:`~repro.keygen.KEY_TYPES` spec (SSN, MAC, IPV4, ...) — the
+    closed-world version of the pools the RQ benchmarks stream.
+    """
+    spec = key_spec(name)
+    return KeyGenerator(spec, Distribution.UNIFORM, seed).distinct_pool(
+        count
+    )

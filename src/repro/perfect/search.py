@@ -1,0 +1,300 @@
+"""Distinguishing-bit search for closed key sets.
+
+The perfect tier's core question: which subset of the format's *live*
+variable bits (the verifier's :func:`repro.verify.bit_report`, dead
+lanes excluded) separates every key in the closed set?  Any such subset,
+pext-packed into disjoint bottom-aligned lanes, is a collision-free hash
+over the set by construction.
+
+Two stages, in the spirit of PAPERS.md's SAT-based minimal-perfect-hash
+construction but budgeted rather than complete:
+
+1. **Greedy partition refinement** — repeatedly add the candidate bit
+   that splits the most colliding signature groups, gperf's position
+   search lifted from bytes to bits.  Fast, and usually lands within a
+   bit or two of the information-theoretic floor ``ceil(log2 N)``.
+2. **Budgeted exhaustive fallback** — when the greedy pick is above the
+   floor, enumerate subsets of a ranked candidate pool from the floor
+   upward (the CSP-style search), stopping at the first separating
+   subset or when the evaluation budget runs dry; failing that, a
+   drop-one local minimization pass tightens the greedy set.
+
+Every signature evaluation is charged against a :class:`SearchBudget`,
+so adversarial sets degrade to "best found so far", never to an
+unbounded search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from math import comb, ceil, log2
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PerfectSearchError
+
+__all__ = [
+    "SearchBudget",
+    "SearchOutcome",
+    "select_distinguishing_bits",
+]
+
+MAX_HASH_BITS = 64
+"""A selection wider than the accumulator cannot pack injectively."""
+
+
+@dataclass
+class SearchBudget:
+    """Caps on the distinguishing-bit search.
+
+    Attributes:
+        max_evaluations: total per-key signature evaluations across all
+            stages; the search degrades gracefully when it runs out.
+        exhaustive_limit: subsets enumerated per target size in the
+            exhaustive stage (on top of the evaluation cap).
+        max_pool: candidate bits the exhaustive stage considers — the
+            greedy-chosen bits first, then the best remaining ones.
+    """
+
+    max_evaluations: int = 2_000_000
+    exhaustive_limit: int = 50_000
+    max_pool: int = 20
+
+    evaluations: int = field(default=0, repr=False)
+
+    def charge(self, amount: int) -> bool:
+        """Consume budget; False once the evaluation cap is exceeded."""
+        self.evaluations += amount
+        return self.evaluations <= self.max_evaluations
+
+    @property
+    def exhausted(self) -> bool:
+        return self.evaluations > self.max_evaluations
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """What the search settled on.
+
+    Attributes:
+        bits: selected key-bit indices (``byte * 8 + bit``), ascending.
+        strategy: ``greedy`` | ``exhaustive`` | ``greedy+minimized``.
+        evaluations: budget consumed (per-key signature evaluations).
+        floor: the information-theoretic minimum ``ceil(log2 N)``.
+        exhausted: the budget ran out before minimization finished.
+    """
+
+    bits: Tuple[int, ...]
+    strategy: str
+    evaluations: int
+    floor: int
+    exhausted: bool
+
+    @property
+    def minimal_count(self) -> bool:
+        """Selection size hit the information-theoretic floor."""
+        return len(self.bits) <= self.floor
+
+
+def _bit_columns(
+    keys: Sequence[bytes], pool: Sequence[int]
+) -> Dict[int, Tuple[int, ...]]:
+    """Per-candidate-bit value columns over the key set."""
+    columns: Dict[int, Tuple[int, ...]] = {}
+    for bit in pool:
+        byte, offset = divmod(bit, 8)
+        columns[bit] = tuple((key[byte] >> offset) & 1 for key in keys)
+    return columns
+
+
+def _separates(
+    subset: Sequence[int],
+    columns: Dict[int, Tuple[int, ...]],
+    extra: Optional[Sequence],
+    count: int,
+) -> bool:
+    """Do the subset's projections (plus extras) distinguish all keys?"""
+    seen = set()
+    cols = [columns[bit] for bit in subset]
+    for index in range(count):
+        signature = tuple(col[index] for col in cols)
+        if extra is not None:
+            signature = (extra[index],) + signature
+        if signature in seen:
+            return False
+        seen.add(signature)
+    return True
+
+
+def _greedy(
+    keys: Sequence[bytes],
+    pool: Sequence[int],
+    columns: Dict[int, Tuple[int, ...]],
+    extra: Optional[Sequence],
+    budget: SearchBudget,
+) -> Optional[List[int]]:
+    """Partition refinement: grow the subset until every group is a
+    singleton, picking the bit that leaves the fewest excess collisions.
+
+    Returns ``None`` when no candidate bit splits the remaining groups
+    (keys identical on every pool bit) or the budget runs out first.
+    """
+    # Groups holding >1 key, as lists of key indices; singletons leave.
+    if extra is None:
+        groups: List[List[int]] = [list(range(len(keys)))]
+    else:
+        by_extra: Dict = {}
+        for index, symbol in enumerate(extra):
+            by_extra.setdefault(symbol, []).append(index)
+        groups = [group for group in by_extra.values() if len(group) > 1]
+    chosen: List[int] = []
+    available = list(pool)
+    while groups:
+        colliding = sum(len(group) for group in groups)
+        best_bit = None
+        best_excess = colliding - len(groups)  # current excess collisions
+        best_split: List[List[int]] = []
+        for bit in available:
+            if not budget.charge(colliding):
+                return None
+            column = columns[bit]
+            excess = 0
+            split: List[List[int]] = []
+            for group in groups:
+                zeros = [i for i in group if not column[i]]
+                ones_count = len(group) - len(zeros)
+                if len(zeros) > 1:
+                    excess += len(zeros) - 1
+                    split.append(zeros)
+                if ones_count > 1:
+                    ones = [i for i in group if column[i]]
+                    excess += ones_count - 1
+                    split.append(ones)
+            if excess < best_excess:
+                best_excess = excess
+                best_bit = bit
+                best_split = split
+                if excess == 0:
+                    break
+        if best_bit is None:
+            return None  # No bit makes progress: keys indistinguishable.
+        chosen.append(best_bit)
+        available.remove(best_bit)
+        groups = best_split
+        if len(chosen) > MAX_HASH_BITS:
+            return None
+    return chosen
+
+
+def _exhaustive(
+    chosen: List[int],
+    pool: Sequence[int],
+    columns: Dict[int, Tuple[int, ...]],
+    extra: Optional[Sequence],
+    count: int,
+    floor: int,
+    budget: SearchBudget,
+) -> Optional[List[int]]:
+    """Enumerate subsets below the greedy size, smallest first.
+
+    The candidate pool is the greedy selection followed by the remaining
+    live bits (capped at ``budget.max_pool``); within the budget this is
+    a complete search over that pool, so a hit is genuinely minimal for
+    the sizes it finished.
+    """
+    ranked = chosen + [bit for bit in pool if bit not in chosen]
+    ranked = ranked[: budget.max_pool]
+    for size in range(max(floor, 1), len(chosen)):
+        if comb(len(ranked), size) > budget.exhaustive_limit:
+            # This size alone would blow the enumeration cap; larger
+            # sizes only get worse.
+            return None
+        for subset in itertools.islice(
+            itertools.combinations(ranked, size), budget.exhaustive_limit
+        ):
+            if not budget.charge(count):
+                return None
+            if _separates(subset, columns, extra, count):
+                return list(subset)
+    return None
+
+
+def _minimize(
+    chosen: List[int],
+    columns: Dict[int, Tuple[int, ...]],
+    extra: Optional[Sequence],
+    count: int,
+    budget: SearchBudget,
+) -> Tuple[List[int], bool]:
+    """Drop-one local minimization of a separating subset."""
+    kept = list(chosen)
+    shrunk = False
+    for bit in reversed(chosen):
+        if len(kept) <= 1:
+            break
+        candidate = [b for b in kept if b != bit]
+        if not budget.charge(count):
+            break
+        if _separates(candidate, columns, extra, count):
+            kept = candidate
+            shrunk = True
+    return kept, shrunk
+
+
+def select_distinguishing_bits(
+    keys: Sequence[bytes],
+    pool: Sequence[int],
+    extra: Optional[Sequence] = None,
+    budget: Optional[SearchBudget] = None,
+) -> SearchOutcome:
+    """Pick a small bit subset separating every key in the closed set.
+
+    Args:
+        keys: the closed key set (distinct; every key long enough to
+            index every pool bit).
+        pool: candidate key-bit indices — callers pass the verifier's
+            *live* bits so constant bytes and dead lanes never enter.
+        extra: optional per-key auxiliary symbols (length, tail fold for
+            variable-length formats) that distinguish for free.
+        budget: search caps; a default :class:`SearchBudget` when None.
+
+    Raises:
+        PerfectSearchError: when no subset of at most 64 pool bits
+            separates the keys (or the budget dies before finding one).
+    """
+    budget = budget if budget is not None else SearchBudget()
+    count = len(keys)
+    floor = ceil(log2(count)) if count > 1 else 0
+    columns = _bit_columns(keys, pool)
+    if count <= 1:
+        return SearchOutcome((), "greedy", budget.evaluations, floor, False)
+    chosen = _greedy(keys, pool, columns, extra, budget)
+    if chosen is None:
+        detail = (
+            "search budget exhausted"
+            if budget.exhausted
+            else f"no subset of the {len(pool)} live bit(s) separates "
+            f"the {count} keys"
+        )
+        raise PerfectSearchError(
+            f"cannot select distinguishing bits: {detail}"
+        )
+    strategy = "greedy"
+    if len(chosen) > floor:
+        smaller = _exhaustive(
+            chosen, pool, columns, extra, count, floor, budget
+        )
+        if smaller is not None:
+            chosen = smaller
+            strategy = "exhaustive"
+        else:
+            chosen, shrunk = _minimize(chosen, columns, extra, count, budget)
+            if shrunk:
+                strategy = "greedy+minimized"
+    return SearchOutcome(
+        bits=tuple(sorted(chosen)),
+        strategy=strategy,
+        evaluations=budget.evaluations,
+        floor=floor,
+        exhausted=budget.exhausted,
+    )

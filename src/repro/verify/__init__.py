@@ -12,6 +12,9 @@ through the hash:
 - :mod:`repro.verify.bijectivity` — a prover that certifies or refutes
   injectivity on conforming keys from the provenance facts, peeling the
   invertible finalizer when ``final_mix`` is on;
+- :mod:`repro.verify.bit_report` — the public live/dead classification
+  of every variable key bit (:func:`bit_report`), shared by the prover,
+  the dead-input-bits lint, and the perfect-hash tier's seed analysis;
 - :mod:`repro.verify.tv` — translation validation of
   :func:`repro.codegen.ir.optimize`, Alive2-style;
 - :mod:`repro.verify.lints` — a registry of plan/IR lint rules with
@@ -35,6 +38,11 @@ from repro.verify.bijectivity import (
     BijectivityResult,
     prove_bijectivity,
 )
+from repro.verify.bit_report import (
+    BitReport,
+    bit_report,
+    variable_key_bits,
+)
 from repro.verify.lints import (
     Finding,
     LintReport,
@@ -57,6 +65,9 @@ __all__ = [
     "analyze_ir",
     "BijectivityResult",
     "prove_bijectivity",
+    "BitReport",
+    "bit_report",
+    "variable_key_bits",
     "Finding",
     "LintReport",
     "Severity",

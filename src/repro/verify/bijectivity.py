@@ -35,10 +35,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.codegen.ir import Instr, IRFunction, build_ir
 from repro.core.pattern import KeyPattern
 from repro.core.plan import SynthesisPlan
-from repro.core.regex_expand import pattern_from_regex
 from repro.errors import SepeError
 from repro.obs.trace import span
 from repro.verify.absint import TAIL, AbstractResult, analyze_ir
+from repro.verify.bit_report import (
+    bit_report,
+    resolve_pattern,
+    variable_key_bits,
+)
 
 __all__ = ["BijectivityResult", "prove_bijectivity", "resolve_pattern"]
 
@@ -79,33 +83,9 @@ class BijectivityResult:
         }
 
 
-def resolve_pattern(
-    plan: SynthesisPlan, pattern: Optional[KeyPattern] = None
-) -> Optional[KeyPattern]:
-    """The format to verify against: explicit, or re-expanded from the plan.
-
-    Returns ``None`` when the plan records no (or an unparsable) regex —
-    verification then degrades to pattern-free checks.
-    """
-    if pattern is not None:
-        return pattern
-    if not plan.pattern_regex:
-        return None
-    try:
-        return pattern_from_regex(plan.pattern_regex)
-    except SepeError:
-        return None
-
-
 def _variable_key_bits(pattern: KeyPattern) -> List[int]:
-    """All variable bit indices (``byte * 8 + bit``) in the fixed body."""
-    bits: List[int] = []
-    for index in range(pattern.body_length):
-        variable = pattern.byte_pattern(index).variable_mask
-        for bit in range(8):
-            if (variable >> bit) & 1:
-                bits.append(8 * index + bit)
-    return bits
+    """All variable bit indices — shared with :mod:`.bit_report`."""
+    return variable_key_bits(pattern)
 
 
 def _peel_invertible_suffix(
@@ -217,10 +197,9 @@ def _prove(
 
     # Dead input bits are judged on the *returned* value: a variable key
     # bit absent there provably never reaches the hash, bijective or not.
-    influence = result.ret.influence()
-    dead = tuple(
-        bit for bit in _variable_key_bits(pattern) if bit not in influence
-    )
+    # The classification is the public bit_report, so the prover, the
+    # dead-input-bits lint, and the perfect tier all see the same facts.
+    dead = bit_report(plan, pattern, func=func, result=result).dead_bits
     dead_bits = dead
     if dead:
         preview = ", ".join(

@@ -1,0 +1,157 @@
+"""Public known-bits / dead-input-bit report over a synthesis plan.
+
+The bijectivity prover (:mod:`repro.verify.bijectivity`) and the
+dead-input-bits lint both need the same fact: which variable key bits of
+a format provably reach the hash, and which provably never do.  The
+perfect-hash tier (:mod:`repro.perfect`) needs it too — it seeds its
+distinguishing-bit search from the *live* bits only, so constant bytes
+and dead lanes never enter the candidate pool.
+
+Rather than having three consumers reach into
+:mod:`repro.verify.absint` internals, this module exposes the analysis
+as one small dataclass: run the plan's IR through the known-bits /
+provenance abstract interpretation under the key format, and classify
+every variable key bit (``byte_index * 8 + bit``) as live or dead.  The
+return value's proven-constant bits ride along (``known_zeros`` /
+``known_ones`` masks), which is the other half of "known bits" the
+paper's Section 3.2.3 constant-bit removal talks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.ir import IRFunction, build_ir
+from repro.core.pattern import KeyPattern
+from repro.core.plan import SynthesisPlan
+from repro.core.regex_expand import pattern_from_regex
+from repro.errors import SepeError, VerificationError
+from repro.verify.absint import AbstractResult, analyze_ir
+
+__all__ = [
+    "BitReport",
+    "bit_report",
+    "resolve_pattern",
+    "variable_key_bits",
+]
+
+
+def resolve_pattern(
+    plan: SynthesisPlan, pattern: Optional[KeyPattern] = None
+) -> Optional[KeyPattern]:
+    """The format to verify against: explicit, or re-expanded from the plan.
+
+    Returns ``None`` when the plan records no (or an unparsable) regex —
+    verification then degrades to pattern-free checks.
+    """
+    if pattern is not None:
+        return pattern
+    if not plan.pattern_regex:
+        return None
+    try:
+        return pattern_from_regex(plan.pattern_regex)
+    except SepeError:
+        return None
+
+
+def variable_key_bits(pattern: KeyPattern) -> List[int]:
+    """All variable bit indices (``byte * 8 + bit``) in the fixed body."""
+    bits: List[int] = []
+    for index in range(pattern.body_length):
+        variable = pattern.byte_pattern(index).variable_mask
+        for bit in range(8):
+            if (variable >> bit) & 1:
+                bits.append(8 * index + bit)
+    return bits
+
+
+@dataclass(frozen=True)
+class BitReport:
+    """Which variable key bits reach the hash, and what the hash fixes.
+
+    Attributes:
+        variable_bits: every variable bit index of the format body.
+        live_bits: variable bits that may influence the returned hash
+            (provenance is an over-approximation, so "may").
+        dead_bits: variable bits that provably *never* influence the
+            hash — two conforming keys differing only there collide.
+        known_zeros: mask of return-value bits proven zero on every
+            conforming key.
+        known_ones: mask of return-value bits proven one.
+    """
+
+    variable_bits: Tuple[int, ...]
+    live_bits: Tuple[int, ...]
+    dead_bits: Tuple[int, ...]
+    known_zeros: int
+    known_ones: int
+
+    @property
+    def live_count(self) -> int:
+        return len(self.live_bits)
+
+    @property
+    def dead_count(self) -> int:
+        return len(self.dead_bits)
+
+    def to_dict(self) -> Dict:
+        return {
+            "variable_bits": list(self.variable_bits),
+            "live_bits": list(self.live_bits),
+            "dead_bits": list(self.dead_bits),
+            "known_zeros": self.known_zeros,
+            "known_ones": self.known_ones,
+        }
+
+
+def bit_report(
+    plan: SynthesisPlan,
+    pattern: Optional[KeyPattern] = None,
+    func: Optional[IRFunction] = None,
+    result: Optional[AbstractResult] = None,
+) -> BitReport:
+    """Classify every variable key bit of ``pattern`` as live or dead.
+
+    Args:
+        plan: the plan whose IR is analyzed.
+        pattern: the key format; re-expanded from ``plan.pattern_regex``
+            when omitted.
+        func: pre-built IR for the plan (rebuilt when omitted).
+        result: a pre-computed abstract interpretation of ``func`` under
+            ``pattern`` — pass it to share work with the bijectivity
+            prover, which runs the same analysis.
+
+    Raises:
+        VerificationError: when no key format is available, or the plan
+            does not lower/analyze to a returned value.
+    """
+    pattern = resolve_pattern(plan, pattern)
+    if pattern is None:
+        raise VerificationError(
+            "bit_report needs a key format: pass a pattern or use a plan "
+            "with a parsable pattern_regex"
+        )
+    if result is None:
+        if func is None:
+            try:
+                func = build_ir(plan, name="bit_report")
+            except SepeError as error:
+                raise VerificationError(
+                    f"plan fails to lower to IR: {error}"
+                ) from error
+        result = analyze_ir(func, pattern)
+    if result.ret is None:
+        raise VerificationError("function has no return value")
+    influence = result.ret.influence()
+    live: List[int] = []
+    dead: List[int] = []
+    for bit in variable_key_bits(pattern):
+        (live if bit in influence else dead).append(bit)
+    return BitReport(
+        variable_bits=tuple(sorted(live + dead)),
+        live_bits=tuple(live),
+        dead_bits=tuple(dead),
+        known_zeros=result.ret.zeros,
+        known_ones=result.ret.ones,
+    )

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.codegen.ir import IRFunction, build_ir, optimize
 from repro.core.pattern import KeyPattern
-from repro.core.plan import HashFamily, SynthesisPlan
+from repro.core.plan import CombineOp, HashFamily, SynthesisPlan
 from repro.errors import SepeError
 from repro.obs.trace import span
 from repro.verify.absint import AbstractResult, analyze_ir
@@ -374,12 +374,22 @@ def _lint_dead_bits(ctx: LintContext) -> Iterator[Finding]:
     dead = ctx.bijectivity.dead_bits
     if dead:
         preview = [f"byte {bit // 8} bit {bit % 8}" for bit in dead[:8]]
+        # Perfect plans drop non-distinguishing bits *on purpose*: the
+        # key set is closed and the certificate proves zero collisions
+        # over it, so a dead bit is a size win, not a distribution bug.
+        severity = Severity.INFO if ctx.plan.perfect else Severity.ERROR
+        suffix = (
+            "; intentional for a closed-key-set perfect plan"
+            if ctx.plan.perfect
+            else ""
+        )
         yield Finding(
             "dead-input-bits",
-            Severity.ERROR,
+            severity,
             f"{len(dead)} variable key bit(s) provably never influence "
             f"the hash: {', '.join(preview)}"
-            + ("..." if len(dead) > 8 else ""),
+            + ("..." if len(dead) > 8 else "")
+            + suffix,
             {"dead_bits": list(dead)},
         )
 
@@ -442,6 +452,67 @@ def _lint_bijective_flag(ctx: LintContext) -> Iterator[Finding]:
             "plan is provably bijective but does not claim it",
             result.to_dict(),
         )
+
+
+@lint_rule(
+    "perfect-claim",
+    Severity.ERROR,
+    "plans claiming perfection must keep their selected lanes injective",
+)
+def _lint_perfect_claim(ctx: LintContext) -> Iterator[Finding]:
+    plan = ctx.plan
+    if not plan.perfect:
+        return
+    if plan.combine is CombineOp.OR and plan.is_fixed_length:
+        # The strong shape: disjoint shift-packed pext lanes OR-folded.
+        # Injectivity on the selected bits is structural — overlapping
+        # lanes (or an unmasked word) would let distinct projections
+        # merge, contradicting the perfection claim.
+        lanes = []
+        for load in plan.loads:
+            if load.mask is None:
+                yield Finding(
+                    "perfect-claim",
+                    Severity.ERROR,
+                    f"perfect OR-combined load at offset {load.offset} "
+                    f"has no extraction mask; its lane cannot be proven "
+                    f"disjoint",
+                    {"offset": load.offset},
+                )
+                return
+            lanes.append(
+                (load.offset, load.shift, bin(load.mask).count("1"))
+            )
+        lanes.sort(key=lambda lane: lane[1])
+        for (off_a, lo_a, width_a), (off_b, lo_b, _width_b) in zip(
+            lanes, lanes[1:]
+        ):
+            if lo_a + width_a > lo_b:
+                yield Finding(
+                    "perfect-claim",
+                    Severity.ERROR,
+                    f"perfect lanes overlap: load at offset {off_a} "
+                    f"occupies hash bits [{lo_a}, {lo_a + width_a}) and "
+                    f"load at offset {off_b} starts at bit {lo_b}",
+                    {
+                        "first_offset": off_a,
+                        "second_offset": off_b,
+                        "overlap": lo_a + width_a - lo_b,
+                    },
+                )
+        return
+    # Rotation-folded, tail-folding, or otherwise mixed plans cannot be
+    # proven perfect from structure alone; the claim rests entirely on
+    # the exhaustive PerfectCertificate over the closed key set.
+    yield Finding(
+        "perfect-claim",
+        Severity.INFO,
+        "perfection of this plan is not structural "
+        f"({plan.combine.value}-combined, "
+        f"{'fixed' if plan.is_fixed_length else 'variable'} length); "
+        "the claim rests on the exhaustive certificate",
+        {"combine": plan.combine.value},
+    )
 
 
 # -- the runner --------------------------------------------------------------

@@ -327,3 +327,63 @@ class TestModuleMain:
         bad.write_text("nope")
         out = tmp_path / "L.json"
         assert _main(["--out", str(out), "--reports", str(bad)]) == 2
+
+
+class TestPerfectReport:
+    def test_perfect_report(self):
+        from repro.bench.ledger import normalize_perfect_report
+
+        report = {
+            "benchmark": "perfect",
+            "key_sets": [
+                {
+                    "key_set": "http-methods",
+                    "rows": [
+                        {
+                            "variant": "perfect",
+                            "h_ns_per_key": 400.0,
+                            "lookup_ns_per_key": 650.0,
+                            "samples_h": [400.0, 410.0, 405.0],
+                            "samples_lookup": [650.0, 655.0, 660.0],
+                            "repeats": 3,
+                            "fast_path": True,
+                        },
+                        {
+                            "variant": "gperf",
+                            "h_ns_per_key": 260.0,
+                            "lookup_ns_per_key": 610.0,
+                            "samples_h": [260.0],
+                            "samples_lookup": [610.0],
+                            "repeats": 1,
+                            "fast_path": False,
+                        },
+                    ],
+                }
+            ],
+        }
+        entries = normalize_perfect_report(report)
+        by_id = {entry.id: entry for entry in entries}
+        assert set(by_id) == {
+            "perfect/http-methods/perfect/h_ns_per_key",
+            "perfect/http-methods/perfect/lookup_ns_per_key",
+            "perfect/http-methods/gperf/h_ns_per_key",
+            "perfect/http-methods/gperf/lookup_ns_per_key",
+        }
+        entry = by_id["perfect/http-methods/perfect/lookup_ns_per_key"]
+        assert entry.value == 650.0
+        assert entry.samples == [650.0, 655.0, 660.0]
+        assert entry.repeats == 3
+        # The dispatcher recognizes the report kind.
+        assert normalize_report(report) == entries
+
+    def test_collect_perfect_smoke_entries_measures_builtins(self):
+        from repro.bench.ledger import collect_perfect_smoke_entries
+
+        entries = collect_perfect_smoke_entries(repeats=1)
+        ids = {entry.id for entry in entries}
+        assert any(id.startswith("perfect/c-keywords/") for id in ids)
+        assert any(id.startswith("perfect/http-methods/") for id in ids)
+        assert any(id.startswith("perfect/enum-codec/") for id in ids)
+        # RQ samples are committed-artifact-only in the smoke pass.
+        assert not any("/ssn/" in id for id in ids)
+        assert all(entry.source == "smoke" for entry in entries)

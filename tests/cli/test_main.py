@@ -330,3 +330,85 @@ class TestBenchCompareServeRows:
         assert run(["bench", "--compare", str(path)]) == 0
         out = capsys.readouterr().out
         assert "serve/scaling/shards1/ns_per_key" in out
+
+
+class TestPerfect:
+    def test_builtin_all_certifies(self, capsys):
+        assert run(["perfect", "--builtin", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "builtin:c-keywords: certified" in out
+        assert "builtin:http-methods: certified" in out
+        assert "builtin:enum-codec: certified" in out
+
+    def test_single_builtin_with_json_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "certs.json"
+        assert run(
+            [
+                "perfect", "--builtin", "http-methods",
+                "--json", "--report", str(report),
+            ]
+        ) == 0
+        documents = json.loads(report.read_text())
+        assert documents[0]["key_set"] == "builtin:http-methods"
+        assert documents[0]["certified"] is True
+
+    def test_rq_closed_sample(self, capsys):
+        assert run(
+            ["perfect", "--rq", "SSN", "--count", "64", "--seed", "5"]
+        ) == 0
+        assert "rq:ssn: certified 64 keys" in capsys.readouterr().out
+
+    def test_keys_file(self, capsys, tmp_path):
+        path = tmp_path / "keys.txt"
+        path.write_text("alpha\nbeta\ngamma\ndelta\n")
+        assert run(["perfect", "--keys-file", str(path)]) == 0
+        assert "certified 4 keys" in capsys.readouterr().out
+
+    def test_unknown_builtin_errors(self, capsys):
+        assert run(["perfect", "--builtin", "klingon"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_nothing_to_do_errors(self, capsys):
+        assert run(["perfect"]) == 2
+        assert "nothing to certify" in capsys.readouterr().err
+
+    def test_obs_surfaces_perfect_counters(self, capsys):
+        from repro.perfect import builtin_key_set, synthesize_perfect
+
+        synthesize_perfect(builtin_key_set("http-methods"))
+        assert run(["obs", r"\d{3}-\d{2}-\d{4}"]) == 0
+        assert "perfect.certified" in capsys.readouterr().out
+
+
+class TestBenchComparePerfectRows:
+    def test_perfect_rows_in_ledger_are_smoke_compared(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.bench import ledger as bench_ledger
+
+        entries = [
+            bench_ledger.LedgerEntry(
+                id="perfect/http-methods/perfect/lookup_ns_per_key",
+                value=700.0,
+                samples=[700.0, 710.0, 705.0],
+                repeats=3,
+                source="smoke",
+            )
+        ]
+        ledger = bench_ledger.new_ledger()
+        bench_ledger.update_ledger(ledger, entries)
+        path = tmp_path / "ledger.json"
+        bench_ledger.write_ledger(ledger, path)
+        monkeypatch.setattr(
+            bench_ledger, "collect_smoke_entries", lambda **kwargs: []
+        )
+        monkeypatch.setattr(
+            bench_ledger,
+            "collect_perfect_smoke_entries",
+            lambda **kwargs: entries,
+        )
+        assert run(["bench", "--compare", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "perfect/http-methods/perfect/lookup_ns_per_key" in out

@@ -90,3 +90,24 @@ class TestOpenSetFailureMode:
             generate_keys("SSN", 1000, Distribution.UNIFORM, seed=8)
         )
         assert large.table_size > small.table_size
+
+
+class TestHashMany:
+    def test_matches_scalar_bit_for_bit(self):
+        training = generate_keys("SSN", 200, Distribution.UNIFORM, seed=8)
+        function = gperf.generate(training)
+        probe = training + generate_keys(
+            "SSN", 100, Distribution.UNIFORM, seed=9
+        )
+        assert function.hash_many(probe) == [
+            function(key) for key in probe
+        ]
+
+    def test_empty_batch(self):
+        function = gperf.generate([b"red", b"green", b"blue"])
+        assert function.hash_many([]) == []
+
+    def test_handles_short_keys_like_scalar(self):
+        function = gperf.generate([b"abcdefgh", b"12345678"])
+        keys = [b"a", b"abcdefgh", b""]
+        assert function.hash_many(keys) == [function(k) for k in keys]

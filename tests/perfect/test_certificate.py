@@ -1,0 +1,129 @@
+"""Certificates: digest binding, coverage, round trips, validation."""
+
+import random
+
+from repro.perfect import (
+    PerfectCertificate,
+    builtin_key_set,
+    certify,
+    key_set_digest,
+    synthesize_perfect,
+    validate_certificate,
+)
+
+
+class TestKeySetDigest:
+    def test_order_independent(self):
+        keys = [b"alpha\x00\x00\x00", b"beta\x00\x00\x00\x00"]
+        assert key_set_digest(keys) == key_set_digest(list(reversed(keys)))
+
+    def test_duplicates_collapse(self):
+        keys = [b"k" * 8, b"q" * 8]
+        assert key_set_digest(keys) == key_set_digest(keys + [keys[0]])
+
+    def test_mutation_changes_digest(self):
+        keys = [b"k" * 8, b"q" * 8]
+        mutated = [b"K" + b"k" * 7, b"q" * 8]
+        assert key_set_digest(keys) != key_set_digest(mutated)
+
+    def test_length_prefix_prevents_concatenation_aliasing(self):
+        # {"ab", "c"} and {"a", "bc"} concatenate identically; the
+        # length prefix must keep their digests apart.
+        assert key_set_digest([b"ab", b"c"]) != key_set_digest(
+            [b"a", b"bc"]
+        )
+
+
+class TestCovers:
+    def test_covers_any_permutation(self):
+        keys = list(builtin_key_set("http-methods"))
+        perfect = synthesize_perfect(keys)
+        shuffled = list(keys)
+        random.Random(7).shuffle(shuffled)
+        assert perfect.certificate.covers(shuffled)
+
+    def test_refuses_mutated_set(self):
+        keys = list(builtin_key_set("http-methods"))
+        perfect = synthesize_perfect(keys)
+        mutated = [bytes([keys[0][0] ^ 0xFF]) + keys[0][1:]] + keys[1:]
+        assert not perfect.certificate.covers(mutated)
+
+    def test_refuses_extended_set(self):
+        keys = list(builtin_key_set("http-methods"))
+        perfect = synthesize_perfect(keys)
+        assert not perfect.certificate.covers(keys + [b"BREW\x00\x00\x00\x00"])
+
+    def test_refuses_truncated_set(self):
+        keys = list(builtin_key_set("http-methods"))
+        perfect = synthesize_perfect(keys)
+        assert not perfect.certificate.covers(keys[:-1])
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_stable(self):
+        certificate = synthesize_perfect(
+            builtin_key_set("enum-codec")
+        ).certificate
+        document = certificate.to_dict()
+        restored = PerfectCertificate.from_dict(document)
+        assert restored == certificate
+        assert restored.to_dict() == document
+
+
+class TestCertify:
+    def test_refuses_colliding_key_set(self):
+        # The perfect plan reads only its selected bits, so a key that
+        # differs from a certified key in an *unselected* bit hashes
+        # identically — certifying the plan over that widened set must
+        # refuse with a recorded collision reason.
+        import pytest
+
+        keys = list(builtin_key_set("enum-codec"))
+        perfect = synthesize_perfect(keys)
+        selected = set(perfect.certificate.selected_bits)
+        twin = None
+        for bit in range(len(keys[0]) * 8):
+            if bit in selected:
+                continue
+            mutated = bytearray(keys[0])
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            candidate = bytes(mutated)
+            if candidate not in keys and perfect(candidate) == perfect(
+                keys[0]
+            ):
+                twin = candidate
+                break
+        if twin is None:  # pragma: no cover - every bit selected
+            pytest.skip("plan reads every bit of the key")
+        refused = certify(perfect.plan, keys + [twin])
+        assert not refused.certified
+        assert any("collision" in reason for reason in refused.reasons)
+
+    def test_certificate_implies_zero_collisions(self):
+        for name in ("c-keywords", "http-methods", "enum-codec"):
+            keys = builtin_key_set(name)
+            perfect = synthesize_perfect(keys)
+            certificate = perfect.certificate
+            assert certificate.certified
+            values = {perfect(key) for key in keys}
+            assert len(values) == len(keys)
+            assert certificate.distinct_values == len(keys)
+            # The certified range bound holds for every observed value.
+            assert all(value < certificate.range_size for value in values)
+
+
+class TestValidate:
+    def test_valid_round_trip(self):
+        keys = list(builtin_key_set("enum-codec"))
+        perfect = synthesize_perfect(keys)
+        assert validate_certificate(perfect.certificate, perfect, keys) == []
+
+    def test_mutated_set_reports_problem(self):
+        keys = list(builtin_key_set("enum-codec"))
+        perfect = synthesize_perfect(keys)
+        mutated = keys[:-1] + [b"EV_SURPRISE_"]
+        problems = validate_certificate(
+            perfect.certificate, perfect, mutated
+        )
+        assert problems
+        assert "does not match" in problems[0]

@@ -1,0 +1,92 @@
+"""Containers on the certified no-collision fast path."""
+
+import pytest
+
+from repro.containers import UnorderedMap, UnorderedSet
+from repro.containers.base import ContainerTelemetry
+from repro.hashes import stl_hash_bytes
+from repro.obs.metrics import MetricsRegistry
+from repro.perfect import builtin_key_set, synthesize_perfect
+
+
+@pytest.fixture(scope="module")
+def perfect_http():
+    return synthesize_perfect(builtin_key_set("http-methods"))
+
+
+class TestOptIn:
+    def test_requires_certificate(self):
+        with pytest.raises(ValueError, match="certified"):
+            UnorderedSet(stl_hash_bytes, perfect=True)
+
+    def test_map_requires_certificate(self):
+        with pytest.raises(ValueError, match="certified"):
+            UnorderedMap(stl_hash_bytes, perfect=True)
+
+    def test_perfect_hash_accepted(self, perfect_http):
+        table = UnorderedSet(perfect_http, perfect=True)
+        assert table.assume_perfect
+
+    def test_default_stays_off(self, perfect_http):
+        assert not UnorderedSet(perfect_http).assume_perfect
+
+
+class TestLookups:
+    def test_set_membership_on_closed_set(self, perfect_http):
+        keys = builtin_key_set("http-methods")
+        table = UnorderedSet(perfect_http, perfect=True)
+        table.insert_many(keys)
+        assert len(table) == len(keys)
+        for key in keys:
+            assert key in table
+        # Outside the certified closed set the fast path is undefined
+        # (hash-only matching): that is exactly what the certificate's
+        # covers() refuses, so misuse is detectable before lookup.
+        assert not perfect_http.certificate.covers(
+            list(keys) + [b"BREW\x00\x00\x00\x00"]
+        )
+
+    def test_map_values_on_closed_set(self, perfect_http):
+        keys = builtin_key_set("http-methods")
+        table = UnorderedMap(perfect_http, perfect=True)
+        for index, key in enumerate(keys):
+            table.assign(key, index)
+        for index, key in enumerate(keys):
+            assert table.find(key) == index
+
+    def test_agrees_with_probing_table(self, perfect_http):
+        keys = builtin_key_set("http-methods")
+        fast = UnorderedSet(perfect_http, perfect=True)
+        slow = UnorderedSet(perfect_http)
+        fast.insert_many(keys)
+        slow.insert_many(keys)
+        for key in keys:
+            assert fast.find(key) == slow.find(key)
+
+
+class TestTelemetry:
+    def test_fast_path_hits_counted(self, perfect_http):
+        registry = MetricsRegistry()
+        telemetry = ContainerTelemetry(registry)
+        keys = builtin_key_set("http-methods")
+        table = UnorderedMap(
+            perfect_http, telemetry=telemetry, perfect=True
+        )
+        for key in keys:
+            table.insert(key, None)
+        for key in keys:
+            table.find(key)
+        assert telemetry.perfect_fast_path_hits.value == len(keys)
+        assert (
+            telemetry.snapshot()["perfect_fast_path_hits"] == len(keys)
+        )
+
+    def test_probing_table_records_no_hits(self, perfect_http):
+        registry = MetricsRegistry()
+        telemetry = ContainerTelemetry(registry)
+        keys = builtin_key_set("http-methods")
+        table = UnorderedMap(perfect_http, telemetry=telemetry)
+        for key in keys:
+            table.insert(key, None)
+            table.find(key)
+        assert telemetry.perfect_fast_path_hits.value == 0

@@ -1,0 +1,77 @@
+"""Built-in closed key sets and the padding helper."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.perfect import (
+    BUILTIN_KEY_SET_NAMES,
+    builtin_key_set,
+    pad_keys,
+    rq_closed_set,
+)
+
+
+class TestPadKeys:
+    def test_pads_to_common_width(self):
+        padded = pad_keys([b"GET", b"DELETE"])
+        assert all(len(key) == 8 for key in padded)
+        assert padded[0].startswith(b"GET")
+
+    def test_minimum_width_is_eight(self):
+        padded = pad_keys([b"a", b"b"])
+        assert all(len(key) == 8 for key in padded)
+
+    def test_explicit_length_wins_when_larger(self):
+        padded = pad_keys([b"GET", b"PUT"], length=12)
+        assert all(len(key) == 12 for key in padded)
+
+    def test_accepts_strings(self):
+        padded = pad_keys(["GET", "PUT"])
+        assert padded[0].startswith(b"GET")
+
+    def test_refuses_merging_pad(self):
+        # b"ab" padded with NULs collides with b"ab\x00...".
+        with pytest.raises(SynthesisError):
+            pad_keys([b"ab", b"ab\x00\x00\x00\x00\x00\x00"])
+
+
+class TestBuiltinSets:
+    def test_names_listed(self):
+        assert set(BUILTIN_KEY_SET_NAMES) == {
+            "c-keywords",
+            "http-methods",
+            "enum-codec",
+        }
+
+    @pytest.mark.parametrize("name", BUILTIN_KEY_SET_NAMES)
+    def test_sets_are_distinct_and_fixed_width(self, name):
+        keys = builtin_key_set(name)
+        assert len(keys) == len(set(keys))
+        widths = {len(key) for key in keys}
+        assert len(widths) == 1
+        assert widths.pop() >= 8
+
+    def test_c_keywords_count(self):
+        assert len(builtin_key_set("c-keywords")) == 32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SynthesisError):
+            builtin_key_set("klingon-keywords")
+
+    def test_cached(self):
+        assert builtin_key_set("enum-codec") is builtin_key_set(
+            "enum-codec"
+        )
+
+
+class TestRQClosedSets:
+    def test_distinct_and_deterministic(self):
+        first = rq_closed_set("SSN", count=50, seed=3)
+        second = rq_closed_set("SSN", count=50, seed=3)
+        assert first == second
+        assert len(set(first)) == 50
+
+    def test_seed_changes_sample(self):
+        assert rq_closed_set("MAC", count=30, seed=0) != rq_closed_set(
+            "MAC", count=30, seed=1
+        )

@@ -1,0 +1,83 @@
+"""The public bit_report helper: liveness classification and plumbing."""
+
+import pytest
+
+from repro.core.plan import HashFamily
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.synthesis import build_plan
+from repro.errors import VerificationError
+from repro.verify import BitReport, bit_report, variable_key_bits
+
+SSN = r"\d{3}-\d{2}-\d{4}"
+
+
+class TestBitReport:
+    def test_partitions_variable_bits(self):
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        report = bit_report(plan, pattern)
+        assert isinstance(report, BitReport)
+        assert sorted(report.live_bits + report.dead_bits) == list(
+            report.variable_bits
+        )
+        assert set(report.live_bits).isdisjoint(report.dead_bits)
+
+    def test_pext_keeps_every_variable_bit_live(self):
+        # Pext extracts exactly the varying bits, so nothing is dead.
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        report = bit_report(plan, pattern)
+        assert report.dead_bits == ()
+        assert report.live_count == len(report.variable_bits)
+        assert report.variable_bits == tuple(variable_key_bits(pattern))
+
+    def test_pattern_resolved_from_plan_regex(self):
+        plan = build_plan(pattern_from_regex(SSN), HashFamily.PEXT)
+        explicit = bit_report(plan, pattern_from_regex(SSN))
+        implicit = bit_report(plan)
+        assert explicit == implicit
+
+    def test_no_pattern_raises(self):
+        import dataclasses
+
+        plan = build_plan(pattern_from_regex(SSN), HashFamily.PEXT)
+        stripped = dataclasses.replace(plan, pattern_regex="")
+        with pytest.raises(VerificationError):
+            bit_report(stripped)
+
+    def test_to_dict_round_trips_fields(self):
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.OFFXOR)
+        report = bit_report(plan, pattern)
+        document = report.to_dict()
+        assert document["live_bits"] == list(report.live_bits)
+        assert document["known_zeros"] == report.known_zeros
+
+    def test_agrees_with_bijectivity_prover(self):
+        # The prover's dead-bit refutations are computed through this
+        # same helper; a fully-live pext plan must certify.
+        from repro.verify import prove_bijectivity
+
+        pattern = pattern_from_regex(SSN)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        report = bit_report(plan, pattern)
+        result = prove_bijectivity(plan, pattern)
+        if report.dead_bits:
+            assert not result.certified
+        else:
+            assert not any(
+                "dead" in reason for reason in result.reasons
+            )
+
+
+class TestVariableKeyBits:
+    def test_constant_bytes_contribute_nothing(self):
+        pattern = pattern_from_regex(r"A{8}")
+        assert variable_key_bits(pattern) == []
+
+    def test_digits_vary_in_low_nibble(self):
+        pattern = pattern_from_regex(r"\d{8}")
+        bits = variable_key_bits(pattern)
+        assert bits
+        # Digit bytes 0x30-0x39 vary only in the low four bits.
+        assert all(bit % 8 <= 3 for bit in bits)
