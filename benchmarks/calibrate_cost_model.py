@@ -1,0 +1,212 @@
+"""Calibrate the static cost model's per-opcode tables.
+
+Runs the PR 6 profiler (``repro.obs.profile``) plus direct tier timings
+over every buildable built-in format × family and distills them into
+the per-opcode nanosecond tables committed in
+:mod:`repro.verify.cost`:
+
+- **interp**: chained-timestamp attribution of the IR interpreter,
+  aggregated as total-wall / total-count per opcode;
+- **numpy**: vector-mode attribution of the batch kernel (per array op
+  per key), plus a per-key base cost — the marshaling the profiler's
+  attribution window cannot see — taken as the mean gap between the
+  measured ``hash_many`` per-key time and the attributed sum;
+- **python**: least squares of measured generated-scalar per-key times
+  against the plan's opcode counts (intercept = per-call overhead);
+- **native**: two-parameter fit (per-key base + per-instruction slope)
+  of the measured native ``hash_many`` per-key times.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/calibrate_cost_model.py \
+        --keys 4000 --repeats 3 [--json-out calibration.json]
+
+The script prints the ``CALIBRATION`` dict ready to paste into
+``src/repro/verify/cost.py``.  Re-run it when the container, the
+interpreter, or the IR opcode set changes materially; predictions are
+used for *ranking* tiers, so only large drifts matter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List
+
+from repro.codegen.ir import build_ir, optimize
+from repro.core.plan import HashFamily
+from repro.core.synthesis import synthesize
+from repro.keygen import EXTENDED_KEY_TYPES, KEY_TYPES
+from repro.obs.profile import profile_batch, profile_interp
+
+
+def _specs():
+    merged = {**KEY_TYPES, **EXTENDED_KEY_TYPES}
+    return {
+        name: spec for name, spec in merged.items() if spec.length >= 8
+    }
+
+
+def _sample_keys(spec, count: int) -> List[bytes]:
+    step = max(1, spec.space_size // count)
+    return [spec.encode((i * step) % spec.space_size) for i in range(count)]
+
+
+def _time_per_key(fn, keys, repeats: int, batched: bool) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        if batched:
+            started = time.perf_counter()
+            fn(keys)
+            elapsed = time.perf_counter() - started
+        else:
+            started = time.perf_counter()
+            for key in keys:
+                fn(key)
+            elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best / len(keys) * 1e9
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=4000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json-out", default=None)
+    args = parser.parse_args()
+
+    try:
+        import numpy
+    except ImportError:
+        raise SystemExit("calibration needs numpy for the least squares")
+
+    interp_wall: Dict[str, float] = {}
+    interp_count: Dict[str, int] = {}
+    vector_wall: Dict[str, float] = {}
+    vector_weight: Dict[str, float] = {}
+    numpy_gaps: List[float] = []
+    python_rows: List[tuple] = []
+    native_rows: List[tuple] = []
+    opcode_names: List[str] = []
+
+    for name, spec in _specs().items():
+        keys = _sample_keys(spec, args.keys)
+        for family in HashFamily:
+            synthesized = synthesize(spec.regex, family=family)
+            func = optimize(build_ir(synthesized.plan))
+            counts: Dict[str, int] = {}
+            for instr in func.instrs:
+                counts[instr.opcode] = counts.get(instr.opcode, 0) + 1
+            for op in counts:
+                if op not in opcode_names:
+                    opcode_names.append(op)
+
+            report = profile_interp(synthesized, keys)
+            for stat in report.opcodes.values():
+                interp_wall[stat.opcode] = (
+                    interp_wall.get(stat.opcode, 0.0) + stat.wall_seconds
+                )
+                interp_count[stat.opcode] = (
+                    interp_count.get(stat.opcode, 0) + stat.count
+                )
+
+            batch_report = profile_batch(synthesized, keys)
+            if batch_report.mode == "vector":
+                attributed_per_key = 0.0
+                for stat in batch_report.opcodes.values():
+                    per_instr_key = stat.wall_seconds * 1e9 / (
+                        stat.count * len(keys)
+                    )
+                    vector_wall[stat.opcode] = (
+                        vector_wall.get(stat.opcode, 0.0)
+                        + per_instr_key * stat.count
+                    )
+                    vector_weight[stat.opcode] = (
+                        vector_weight.get(stat.opcode, 0.0) + stat.count
+                    )
+                    attributed_per_key += (
+                        stat.wall_seconds * 1e9 / len(keys)
+                    )
+                measured = _time_per_key(
+                    synthesized.batch_function, keys, args.repeats, True
+                )
+                numpy_gaps.append(measured - attributed_per_key)
+
+            python_rows.append(
+                (
+                    dict(counts),
+                    _time_per_key(
+                        synthesized.function, keys, args.repeats, False
+                    ),
+                )
+            )
+
+            module = synthesized.native_module
+            if module is not None:
+                native_rows.append(
+                    (
+                        sum(counts.values()),
+                        _time_per_key(
+                            module.hash_many, keys, args.repeats, True
+                        ),
+                    )
+                )
+            print(
+                f"calibrated {name}/{family.value}: "
+                f"{sum(counts.values())} instrs",
+                flush=True,
+            )
+
+    interp_ns = {
+        op: interp_wall[op] * 1e9 / interp_count[op] for op in interp_wall
+    }
+    numpy_ns = {
+        op: vector_wall[op] / vector_weight[op] for op in vector_wall
+    }
+    numpy_base = (
+        sum(numpy_gaps) / len(numpy_gaps) if numpy_gaps else 0.0
+    )
+
+    # Python scalar: least squares over opcode counts with intercept.
+    features = numpy.array(
+        [
+            [1.0] + [float(counts.get(op, 0)) for op in opcode_names]
+            for counts, _ in python_rows
+        ]
+    )
+    targets = numpy.array([measured for _, measured in python_rows])
+    coeffs, *_ = numpy.linalg.lstsq(features, targets, rcond=None)
+    python_ns = {"__base__": max(0.0, float(coeffs[0]))}
+    for index, op in enumerate(opcode_names):
+        python_ns[op] = max(0.0, float(coeffs[index + 1]))
+
+    native = {}
+    if native_rows:
+        nf = numpy.array([[1.0, float(n)] for n, _ in native_rows])
+        nt = numpy.array([measured for _, measured in native_rows])
+        ncoef, *_ = numpy.linalg.lstsq(nf, nt, rcond=None)
+        native = {
+            "__base__": max(0.0, float(ncoef[0])),
+            "__per_instr__": max(0.0, float(ncoef[1])),
+        }
+
+    calibration = {
+        "interp": {op: round(v, 2) for op, v in sorted(interp_ns.items())},
+        "python": {op: round(v, 2) for op, v in sorted(python_ns.items())},
+        "numpy": dict(
+            {"__base__": round(max(0.0, numpy_base), 2)},
+            **{op: round(v, 3) for op, v in sorted(numpy_ns.items())},
+        ),
+        "native": {op: round(v, 3) for op, v in sorted(native.items())},
+    }
+    rendered = json.dumps(calibration, indent=4, sort_keys=True)
+    print("\nCALIBRATION = " + rendered)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

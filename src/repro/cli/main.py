@@ -15,6 +15,9 @@ Subcommands:
   the bijectivity prover's certificate or refutation.
 - ``sepe lint`` — the CI gate: lint many formats (built-ins, explicit
   regexes, corpus reproducers) and fail on error findings.
+- ``sepe analyze`` — multi-domain static analysis report per format:
+  derived value ranges, entropy funnels, and the predicted per-tier
+  cost ladder.
 """
 
 from __future__ import annotations
@@ -468,8 +471,14 @@ def _run_verify(args: argparse.Namespace) -> int:
         for report in reports:
             print(f"  {report.summary()}")
             bijectivity = report.bijectivity
-            for reason in bijectivity.reasons:
-                print(f"      reason: {reason}")
+            preconditions = list(bijectivity.failed_preconditions)
+            for index, reason in enumerate(bijectivity.reasons):
+                name = (
+                    preconditions[index]["precondition"]
+                    if index < len(preconditions)
+                    else "?"
+                )
+                print(f"      refused [{name}]: {reason}")
             for finding in report.lints.findings:
                 print(
                     f"      [{finding.severity.value}] "
@@ -517,7 +526,7 @@ def _run_lint(args: argparse.Namespace) -> int:
         )
         return 2
     documents = []
-    errors = warnings_count = skipped = 0
+    errors = warnings_count = skipped = internal = 0
     for label, regex in targets:
         try:
             pattern = pattern_from_regex(regex)
@@ -542,6 +551,7 @@ def _run_lint(args: argparse.Namespace) -> int:
             counts = report.counts()
             errors += counts["error"]
             warnings_count += counts["warning"]
+            internal += len(report.internal_errors)
             documents.append({"target": label, **report.to_dict()})
             if not args.json and report.findings:
                 for finding in report.findings:
@@ -558,8 +568,164 @@ def _run_lint(args: argparse.Namespace) -> int:
         f"{skipped} skipped"
     )
     print(summary, file=sys.stderr)
+    if internal:
+        # A crashed rule is a linter bug, not a plan defect; report it
+        # on the input-error channel so CI distinguishes "the gate found
+        # problems" (exit 1) from "the gate itself broke" (exit 2).
+        print(
+            f"internal error: {internal} lint rule crash(es); "
+            "see lint-crash findings",
+            file=sys.stderr,
+        )
+        return 2
     failed = errors > 0 or (args.fail_on == "warning" and warnings_count > 0)
     return 1 if failed else 0
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    """Multi-domain static analysis report (``sepe analyze``).
+
+    For each target format × family: the return value's derived range
+    and known bits, the entropy-flow report (funnels), the predicted
+    per-tier cost ladder, and which analysis-driven rewrites fired.
+    Exit code 1 means at least one error-severity analysis finding
+    (the CI ``analyze-gate`` signal); 2 is an input error.
+    """
+    import json
+
+    from repro.codegen.ir import build_ir, optimize_with_stats
+    from repro.core.plan import HashFamily
+    from repro.core.regex_expand import pattern_from_regex
+    from repro.core.synthesis import build_plan
+    from repro.errors import SepeError
+    from repro.verify.cost import predict_ir_costs
+    from repro.verify.dataflow import analyze_dataflow, entropy_report
+    from repro.verify.lints import LintContext, run_lints
+
+    targets = _lint_targets(args)
+    if not targets:
+        print(
+            "error: nothing to analyze (pass regexes, --formats, "
+            "or --corpus)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        families = _verify_families(args.family)
+    except (SepeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    documents = []
+    errors = 0
+    skipped = 0
+    for label, regex in targets:
+        try:
+            pattern = pattern_from_regex(regex)
+        except SepeError as error:
+            print(f"error: {label}: {error}", file=sys.stderr)
+            return 2
+        if pattern.body_length < 8:
+            skipped += 1
+            if not args.json:
+                print(f"{label}: skipped (body below one machine word)")
+            continue
+        for family in families:
+            try:
+                plan = build_plan(pattern, family)
+            except SepeError as error:
+                print(f"error: {label}/{family.value}: {error}",
+                      file=sys.stderr)
+                return 2
+            func = build_ir(plan)
+            optimized, rewrites = optimize_with_stats(func)
+            analysis = analyze_dataflow(func, pattern)
+            entropy = entropy_report(func, pattern, result=analysis)
+            costs = predict_ir_costs(optimized)
+            ctx = LintContext(plan, pattern)
+            findings = run_lints(
+                plan,
+                pattern,
+                rules=["entropy-funnel", "cost-anomaly"],
+                ctx=ctx,
+            ).findings
+            errors += sum(
+                1 for f in findings if f.severity.value == "error"
+            )
+            ret = analysis.ret
+            document = {
+                "target": label,
+                "pattern": regex,
+                "family": family.value,
+                "ret": None,
+                "entropy": entropy.to_dict(),
+                "cost": costs.to_dict(),
+                "rewrites": rewrites,
+                "findings": [f.to_dict() for f in findings],
+            }
+            if ret is not None:
+                document["ret"] = {
+                    "range": [ret.range.lo, ret.range.hi],
+                    "known_zeros": f"{ret.bits.zeros:#x}",
+                    "known_ones": f"{ret.bits.ones:#x}",
+                    "effective_width": ret.effective_width(),
+                }
+            documents.append(document)
+            if args.json:
+                continue
+            print(f"{label}/{family.value}:")
+            if ret is not None:
+                print(
+                    f"  ret range [{ret.range.lo:#x}, {ret.range.hi:#x}]"
+                    f", effective width {ret.effective_width()} bit(s)"
+                )
+            print(
+                f"  entropy: {entropy.live_input_bits:.1f} live bits -> "
+                f"capacity {entropy.capacity:.1f}, "
+                f"avoidable loss {entropy.avoidable_bits:.1f}, "
+                f"{entropy.funneled_bits} funneled output bit(s)"
+            )
+            ladder = " > ".join(
+                f"{tier} {costs.cost(tier):.0f}ns"
+                for tier in reversed(costs.order())
+            )
+            print(f"  cost ladder (slow to fast): {ladder}")
+            if costs.abstained():
+                print(f"  cost abstained: {', '.join(costs.abstained())}")
+            fired = {
+                k: v
+                for k, v in rewrites.items()
+                if k != "tv_rejected" and v
+            }
+            if fired or rewrites.get("tv_rejected"):
+                print(
+                    "  rewrites: "
+                    + (
+                        "REJECTED by translation validation"
+                        if rewrites.get("tv_rejected")
+                        else ", ".join(
+                            f"{name} x{count}"
+                            for name, count in sorted(fired.items())
+                        )
+                    )
+                )
+            for finding in findings:
+                print(
+                    f"  [{finding.severity.value}] {finding.rule}: "
+                    f"{finding.message}"
+                )
+    rendered = json.dumps(documents, indent=2, sort_keys=True)
+    if args.json:
+        print(rendered)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    print(
+        f"analyzed {len(documents)} plan(s) across {len(targets)} "
+        f"target(s): {errors} error finding(s), {skipped} skipped",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -1096,6 +1262,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that fails the run (default: error)",
     )
 
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="multi-domain static analysis: ranges, entropy, cost",
+    )
+    analyze.add_argument(
+        "regexes", nargs="*", metavar="REGEX", help="formats to analyze"
+    )
+    analyze.add_argument(
+        "--formats",
+        action="store_true",
+        help="analyze every built-in key format",
+    )
+    analyze.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="also analyze the formats of fuzz reproducers under DIR",
+    )
+    analyze.add_argument(
+        "--family",
+        default="all",
+        choices=["all", "naive", "offxor", "aes", "pext"],
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full analysis reports as JSON",
+    )
+    analyze.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the JSON reports to FILE",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="replay traffic through the sharded online hash service",
@@ -1269,6 +1468,8 @@ def run(argv: Optional[List[str]] = None) -> int:
         return _run_verify(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "analyze":
+        return _run_analyze(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "perfect":

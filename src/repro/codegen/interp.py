@@ -20,7 +20,7 @@ parity-pinned against each other in ``tests/obs/test_profile.py``.
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.codegen.ir import AES_ROUND_KEY, IRFunction
 from repro.isa.aes import aesenc
@@ -38,8 +38,27 @@ def interpret(func: IRFunction, key: bytes) -> int:
         return _interpret(func, key)
 
 
-def _interpret(func: IRFunction, key: bytes) -> int:
+def interpret_registers(func: IRFunction, key: bytes):
+    """Evaluate like :func:`interpret`, also exposing the registers.
+
+    Returns ``(value, registers)`` where ``registers`` maps every
+    register assigned before the return to its concrete 64-bit value.
+    The dataflow soundness oracle compares this environment against the
+    analyzer's abstract values register by register — the return value
+    alone would let an unsound intermediate fact hide behind a sound
+    final one.
+    """
     registers: Dict[str, int] = {}
+    return _interpret(func, key, registers), registers
+
+
+def _interpret(
+    func: IRFunction,
+    key: bytes,
+    registers: Optional[Dict[str, int]] = None,
+) -> int:
+    if registers is None:
+        registers = {}
 
     def get(name) -> int:
         if isinstance(name, int):

@@ -189,8 +189,8 @@ def _build_aes_body(func: IRFunction) -> None:
     func.emit_ret(folded)
 
 
-def optimize(func: IRFunction) -> IRFunction:
-    """Peephole cleanup: drop dead instructions (unused destinations).
+def dead_code_eliminate(func: IRFunction) -> IRFunction:
+    """Drop dead instructions (destinations no return chain uses).
 
     The builder already avoids most waste (zero-mask loads are skipped at
     build time); this pass removes anything left unreachable from the
@@ -219,3 +219,132 @@ def optimize(func: IRFunction) -> IRFunction:
     optimized.instrs = list(reversed(kept))
     optimized._counter = func._counter
     return optimized
+
+
+_REWRITE_INSTR_LIMIT = 512
+"""Largest function the range-rewrite pass will analyze; see below."""
+
+
+def _apply_range_rewrites(func: IRFunction) -> Tuple[IRFunction, dict]:
+    """Analysis-driven rewrites justified by *structural* range facts.
+
+    The dataflow analysis runs with ``pattern=None``, so every fact
+    holds for arbitrary input bytes — required because the native C++
+    tier lowers from the plan (not this IR) and the serving tier
+    cross-checks backends on drifted, non-conforming keys.  Two
+    rewrites, both from the multi-domain analyzer's range/known-bits
+    product:
+
+    - **shift-range strength reduction**: ``rotl src, r`` where the
+      product proves ``src < 2**(64-r)`` rotates nothing around the
+      top, so it becomes the cheaper ``shl src, r`` (on the NumPy tier
+      this turns two shifts and an OR into one shift);
+    - **range-proven mask elision**: ``pext src, mask`` where the mask
+      covers every bit the product allows to be set compresses nothing
+      — the extract is the identity, the instruction disappears, and
+      uses are rewritten to ``src``.
+
+    Returns the rewritten function plus a stats dict
+    (``rotl_to_shl`` / ``pext_elided`` counts).
+
+    Functions above :data:`_REWRITE_INSTR_LIMIT` instructions skip the
+    pass entirely (zero stats, ``codegen.optimize.rewrites_skipped``
+    counter): the provenance sets the analysis drags along grow with
+    key width, so on paper-scale RQ6 plans (a 2^14-byte key is ~7k
+    instructions) the analysis costs tens of seconds to shave
+    nanoseconds — every realistic format plan is well under the limit.
+    """
+    if len(func.instrs) > _REWRITE_INSTR_LIMIT:
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter("codegen.optimize.rewrites_skipped").inc()
+        return func, {"rotl_to_shl": 0, "pext_elided": 0}
+
+    from repro.verify.dataflow import analyze_dataflow
+
+    analysis = analyze_dataflow(func, pattern=None)
+    mask64 = (1 << 64) - 1
+    stats = {"rotl_to_shl": 0, "pext_elided": 0}
+    replaced: dict = {}
+    rewritten: List[Instr] = []
+    for instr in func.instrs:
+        args = tuple(
+            replaced.get(arg, arg) if isinstance(arg, str) else arg
+            for arg in instr.args
+        )
+        product = (
+            analysis.values.get(args[0])
+            if args and isinstance(args[0], str)
+            else None
+        )
+        if instr.opcode == "rotl" and product is not None:
+            amount = args[1] % 64
+            if amount and product.effective_width() + amount <= 64:
+                rewritten.append(Instr("shl", instr.dest, (args[0], amount)))
+                stats["rotl_to_shl"] += 1
+                continue
+        if instr.opcode == "pext" and product is not None:
+            mask = args[1] & mask64
+            possible = (1 << product.effective_width()) - 1
+            if possible & ~mask == 0:
+                # Every possibly-set source bit is extracted and keeps
+                # its position (no selected bit below it is missing),
+                # so the extract is the identity on all inputs.
+                replaced[instr.dest] = args[0]
+                stats["pext_elided"] += 1
+                continue
+        rewritten.append(Instr(instr.opcode, instr.dest, args))
+    result = IRFunction(name=func.name, plan=func.plan)
+    result.instrs = rewritten
+    result._counter = func._counter
+    return result, stats
+
+
+def optimize_with_stats(func: IRFunction) -> Tuple[IRFunction, dict]:
+    """Like :func:`optimize`, also reporting which rewrites survived.
+
+    The stats dict carries ``rotl_to_shl`` / ``pext_elided`` counts for
+    rewrites that shipped and ``tv_rejected`` (bool) when translation
+    validation refuted the batch and the DCE-only version shipped
+    instead.
+    """
+    cleaned = dead_code_eliminate(func)
+    rewritten, stats = _apply_range_rewrites(cleaned)
+    stats["tv_rejected"] = False
+    if not any(v for k, v in stats.items() if k != "tv_rejected"):
+        return cleaned, stats
+
+    from repro.obs.metrics import get_registry
+    from repro.verify.tv import translation_validate
+
+    registry = get_registry()
+    mismatch = translation_validate(func, rewritten, pattern=None)
+    if mismatch is not None:
+        registry.counter("codegen.optimize.tv_rejected").inc()
+        return cleaned, {
+            "rotl_to_shl": 0,
+            "pext_elided": 0,
+            "tv_rejected": True,
+        }
+    registry.counter("codegen.optimize.rotl_to_shl").inc(
+        stats["rotl_to_shl"]
+    )
+    registry.counter("codegen.optimize.pext_elided").inc(
+        stats["pext_elided"]
+    )
+    return rewritten, stats
+
+
+def optimize(func: IRFunction) -> IRFunction:
+    """Dead-code elimination plus translation-validated range rewrites.
+
+    Pipeline: :func:`dead_code_eliminate`, then the structural range
+    rewrites of :func:`_apply_range_rewrites`, then translation
+    validation (:mod:`repro.verify.tv`) of the *whole* transformation
+    against the original function.  If validation refutes the rewrites
+    — which would mean a bug in the analyzer or the rewrite logic — the
+    DCE-only version ships instead and a counter records the rejection,
+    so an unsound rewrite can never reach a backend.
+    """
+    result, _ = optimize_with_stats(func)
+    return result

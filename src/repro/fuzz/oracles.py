@@ -682,3 +682,59 @@ def check_perfect_no_collision(ctx: CaseContext) -> Optional[str]:
     if certificate.covers(keys + [keys[0] + b"\x00"]):
         return "certificate covers an extended key set (open-set over-claim)"
     return None
+
+
+@_oracle("dataflow-sound", GROUP_METAMORPHIC)
+def check_dataflow_sound(ctx: CaseContext) -> Optional[str]:
+    """Concrete execution never escapes the dataflow analyzer's facts.
+
+    For every family: abstractly interpret the un-optimized IR under
+    the case's format, then run the concrete interpreter on conforming
+    keys and require every register's concrete value to be *admitted*
+    by the reduced product — inside the derived interval, no
+    claimed-zero bit set, no claimed-one bit clear.  A violation means
+    a transfer function or the product refinement is unsound, which
+    would silently poison every analysis-driven rewrite.  Separately,
+    ``optimize()`` (whose range rewrites the analyzer justifies) must
+    agree with the original IR on conforming *and* mutated
+    non-conforming keys, because the rewrites claim structural facts
+    that hold for arbitrary bytes.
+    """
+    from repro.codegen.interp import interpret_registers
+    from repro.verify.dataflow import analyze_dataflow
+
+    if not ctx.synthesizable:
+        return None
+    for family in HashFamily:
+        synthesized = ctx.synthesized(family)
+        func = build_ir(synthesized.plan, name=synthesized.name)
+        analysis = analyze_dataflow(func, ctx.pattern)
+        conforming = [key for key in ctx.keys if ctx.pattern.matches(key)]
+        for key in conforming:
+            _, registers = interpret_registers(func, key)
+            for register, concrete in registers.items():
+                product = analysis.values.get(register)
+                if product is None:
+                    continue
+                if not product.admits(concrete):
+                    return (
+                        f"{family.value}: register {register} = "
+                        f"{concrete:#x} escapes the derived product "
+                        f"(range [{product.range.lo:#x}, "
+                        f"{product.range.hi:#x}], zeros "
+                        f"{product.bits.zeros:#x}, ones "
+                        f"{product.bits.ones:#x}) for key {key!r}"
+                    )
+        optimized = optimize(func)
+        mutated = [
+            bytes([key[0] ^ 0xFF]) + key[1:] for key in conforming[:8]
+        ]
+        for key in conforming + mutated:
+            expected = interpret(func, key)
+            actual = interpret(optimized, key)
+            if actual != expected:
+                return (
+                    f"{family.value}: optimize() changed the hash for "
+                    f"key {key!r}: {actual:#x} != {expected:#x}"
+                )
+    return None

@@ -10,8 +10,10 @@ with the state it already resolved (the "stale plan serves until the
 swap lands" contract).
 
 Each :class:`RouteState` pre-resolves the fastest callable of every
-kind at build time — scalar (native → interp), list batch (native →
-NumPy → interp) and array batch (native only) — through the process
+kind at build time — scalar (native → interp), list batch (ordered by
+the static cost model's predicted ns/key, falling back to the fixed
+native → NumPy preference when the model abstains) and array batch
+(native only) — through the process
 :class:`repro.codegen.cache.CompileCache`, so a hot-swap pays JIT cost
 in the reconciler thread and the traffic threads only ever call
 already-compiled functions.
@@ -29,6 +31,39 @@ _FAST_LENGTH_SPAN = 64
 """Widest bounded variable-length range eagerly expanded into the
 length → route map; wider ranges resolve through the match walk."""
 
+_FIXED_BATCH_ORDER = ("native", "numpy")
+"""Fallback batch-tier preference when the cost model abstains."""
+
+
+def _pick_batch_tier(
+    synthesized: SynthesizedHash,
+    candidates: Dict[str, Callable],
+) -> Tuple[Callable, str, bool]:
+    """Choose the batch callable by predicted cost, or fixed order.
+
+    Returns ``(callable, tier_name, cost_ordered)``.  The static cost
+    model (:mod:`repro.verify.cost`) prices every candidate tier; when
+    it prices all of them, the cheapest wins.  When it abstains on any
+    candidate — unknown opcode, non-vectorizable plan — the fixed
+    native → NumPy preference decides, so an unpriceable plan routes
+    exactly as it did before the model existed.
+    """
+    from repro.obs.metrics import get_registry
+    from repro.verify.cost import predict_plan_costs
+
+    registry = get_registry()
+    prediction = predict_plan_costs(synthesized.plan)
+    if all(prediction.cost(tier) is not None for tier in candidates):
+        for tier in prediction.order():
+            if tier in candidates:
+                registry.counter("serve.routes.cost_ordered").inc()
+                return candidates[tier], tier, True
+    registry.counter("serve.routes.fixed_order").inc()
+    for tier in _FIXED_BATCH_ORDER:
+        if tier in candidates:
+            return candidates[tier], tier, False
+    raise ValueError("no batch candidates")  # pragma: no cover
+
 
 class RouteState:
     """One route's plan plus its pre-resolved callables, frozen.
@@ -43,6 +78,11 @@ class RouteState:
         batch_array: native ``hash_many_array`` returning a NumPy
             uint64 array, or None when the native tier degraded.
         native: True when the native module backs the callables.
+        batch_tier: name of the tier serving ``batch`` (``"native"`` or
+            ``"numpy"``).
+        cost_ordered: True when the static cost model picked the batch
+            tier; False when it abstained and the fixed preference
+            order decided.
     """
 
     __slots__ = (
@@ -54,6 +94,8 @@ class RouteState:
         "batch",
         "batch_array",
         "native",
+        "batch_tier",
+        "cost_ordered",
     )
 
     def __init__(
@@ -69,23 +111,28 @@ class RouteState:
         self.generation = generation
         self.label = label or synthesized.plan.pattern_regex or route_id
         scalar = synthesized.function
-        batch = synthesized.batch_function  # compiles now, not on traffic
         batch_array = None
         native = False
-        if prefer_native:
-            module = synthesized.native_module
-            if module is not None:
-                scalar = module
-                batch = module.hash_many
-                try:
-                    from repro.codegen.native import _HAVE_NUMPY
-                except ImportError:  # pragma: no cover - defensive
-                    _HAVE_NUMPY = False
-                if _HAVE_NUMPY:
-                    batch_array = module.hash_many_array
-                native = True
+        module = synthesized.native_module if prefer_native else None
+        # Candidate batch callables by cost-model tier name.  The list
+        # batch kernel is the "numpy" tier whether or not it actually
+        # vectorized — when the model abstains on it (tail_xor), the
+        # fixed order decides, which is exactly the loop-fallback case.
+        candidates = {"numpy": synthesized.batch_function}
+        if module is not None:
+            scalar = module
+            candidates["native"] = module.hash_many
+            try:
+                from repro.codegen.native import _HAVE_NUMPY
+            except ImportError:  # pragma: no cover - defensive
+                _HAVE_NUMPY = False
+            if _HAVE_NUMPY:
+                batch_array = module.hash_many_array
+            native = True
+        self.batch, self.batch_tier, self.cost_ordered = _pick_batch_tier(
+            synthesized, candidates
+        )
         self.scalar = scalar
-        self.batch = batch
         self.batch_array = batch_array
         self.native = native
 

@@ -360,6 +360,56 @@ def _tail_xor_value(acc: AbstractValue) -> AbstractValue:
     return AbstractValue(0, 0, prov, 64)
 
 
+# -- reduced product with the interval domain --------------------------------
+
+
+def interval_from_bits(value: AbstractValue) -> Tuple[int, int]:
+    """Tightest unsigned interval implied by the known-bit masks.
+
+    Every admitted concrete value has all known-one bits set (so is at
+    least ``ones``) and no known-zero bits set (so is at most ``ones``
+    plus every unknown bit).
+    """
+    return value.ones, value.ones | value.unknown
+
+
+def refine_known_bits(value: AbstractValue, lo: int, hi: int) -> AbstractValue:
+    """Fold an interval fact ``lo <= value <= hi`` into the known bits.
+
+    This is the bits-side half of the reduced product with the range
+    domain (:mod:`repro.verify.dataflow`): all bits above the highest
+    bit where ``lo`` and ``hi`` differ are shared by every value in the
+    interval, so they become known.  (When ``lo == hi`` the value is a
+    constant and every bit becomes known.)
+
+    Raises:
+        VerificationError: when the interval is empty or contradicts an
+            already-known bit — either means one of the two domains is
+            unsound, which the analyzer must refuse to paper over.
+    """
+    mask = _width_mask(value.width)
+    if lo > hi:
+        raise VerificationError(
+            f"reduced product met an empty interval [{lo:#x}, {hi:#x}]"
+        )
+    if (lo | hi) & ~mask:
+        raise VerificationError(
+            f"interval [{lo:#x}, {hi:#x}] exceeds the {value.width}-bit width"
+        )
+    prefix = mask & ~((1 << (lo ^ hi).bit_length()) - 1)
+    new_ones = value.ones | (prefix & lo)
+    new_zeros = value.zeros | (prefix & ~lo & mask)
+    if new_ones & new_zeros:
+        raise VerificationError(
+            "reduced product contradiction: interval "
+            f"[{lo:#x}, {hi:#x}] conflicts with known bits "
+            f"zeros={value.zeros:#x} ones={value.ones:#x}"
+        )
+    if new_ones == value.ones and new_zeros == value.zeros:
+        return value
+    return _make(new_zeros, new_ones, value.prov, value.width)
+
+
 # -- the interpreter ---------------------------------------------------------
 
 

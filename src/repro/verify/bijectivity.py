@@ -59,6 +59,12 @@ class BijectivityResult:
             pattern was available.
         dead_bits: variable key-bit indices (``byte * 8 + bit``) that
             provably never influence the hash — a distribution bug.
+        failed_preconditions: machine-readable refusal records, one per
+            reason, each ``{"precondition": <stable-name>, ...detail}``
+            — e.g. ``{"precondition": "too-many-variable-bits",
+            "variable_bits": 71, "limit": 64}`` — so tooling can react
+            to *which* proof obligation failed instead of parsing
+            prose.
     """
 
     certified: bool
@@ -66,6 +72,7 @@ class BijectivityResult:
     reasons: Tuple[str, ...] = ()
     variable_bits: Optional[int] = None
     dead_bits: Tuple[int, ...] = ()
+    failed_preconditions: Tuple[Dict, ...] = ()
 
     @property
     def refutes_claim(self) -> bool:
@@ -80,6 +87,9 @@ class BijectivityResult:
             "reasons": list(self.reasons),
             "variable_bits": self.variable_bits,
             "dead_bits": list(self.dead_bits),
+            "failed_preconditions": [
+                dict(entry) for entry in self.failed_preconditions
+            ],
         }
 
 
@@ -166,33 +176,54 @@ def _prove(
     claimed = plan.bijective
     pattern = resolve_pattern(plan, pattern)
     reasons: List[str] = []
+    failed: List[Dict] = []
     variable_bits: Optional[int] = None
     dead_bits: Tuple[int, ...] = ()
+
+    def refuse(precondition: str, message: str, **detail) -> None:
+        reasons.append(message)
+        failed.append({"precondition": precondition, **detail})
+
     if pattern is None:
-        reasons.append(
-            "no key format available (plan records no parsable regex)"
+        refuse(
+            "no-format",
+            "no key format available (plan records no parsable regex)",
         )
-        return BijectivityResult(False, claimed, tuple(reasons))
+        return BijectivityResult(
+            False, claimed, tuple(reasons),
+            failed_preconditions=tuple(failed),
+        )
     variable_bits = pattern.variable_bit_count()
     if func is None:
         try:
             func = build_ir(plan, name="verify")
         except SepeError as error:
-            reasons.append(f"plan fails to lower to IR: {error}")
+            refuse(
+                "lowering-failed",
+                f"plan fails to lower to IR: {error}",
+                error=str(error),
+            )
             return BijectivityResult(
-                False, claimed, tuple(reasons), variable_bits
+                False, claimed, tuple(reasons), variable_bits,
+                failed_preconditions=tuple(failed),
             )
     try:
         result = analyze_ir(func, pattern)
     except SepeError as error:
-        reasons.append(f"abstract interpretation failed: {error}")
+        refuse(
+            "absint-failed",
+            f"abstract interpretation failed: {error}",
+            error=str(error),
+        )
         return BijectivityResult(
-            False, claimed, tuple(reasons), variable_bits
+            False, claimed, tuple(reasons), variable_bits,
+            failed_preconditions=tuple(failed),
         )
     if result.ret is None:
-        reasons.append("function has no return value")
+        refuse("no-return", "function has no return value")
         return BijectivityResult(
-            False, claimed, tuple(reasons), variable_bits
+            False, claimed, tuple(reasons), variable_bits,
+            failed_preconditions=tuple(failed),
         )
 
     # Dead input bits are judged on the *returned* value: a variable key
@@ -206,24 +237,34 @@ def _prove(
             f"byte {bit // 8} bit {bit % 8}" for bit in dead[:4]
         )
         suffix = "..." if len(dead) > 4 else ""
-        reasons.append(
+        refuse(
+            "dead-input-bits",
             f"{len(dead)} variable key bit(s) never reach the hash "
-            f"({preview}{suffix})"
+            f"({preview}{suffix})",
+            count=len(dead),
+            bits=list(dead[:16]),
         )
 
     if not plan.is_fixed_length or not pattern.is_fixed_length:
-        reasons.append(
-            "variable-length plans fold an arbitrary tail into 64 bits"
+        refuse(
+            "variable-length",
+            "variable-length plans fold an arbitrary tail into 64 bits",
         )
     elif plan.key_length != pattern.body_length:
-        reasons.append(
+        refuse(
+            "length-mismatch",
             f"plan key length {plan.key_length} != format body "
-            f"{pattern.body_length}"
+            f"{pattern.body_length}",
+            plan_length=plan.key_length,
+            format_length=pattern.body_length,
         )
     if variable_bits > 64:
-        reasons.append(
+        refuse(
+            "too-many-variable-bits",
             f"format has {variable_bits} > 64 variable bits; 64-bit "
-            f"hashes cannot be injective"
+            f"hashes cannot be injective",
+            variable_bits=variable_bits,
+            limit=64,
         )
 
     core_register = _peel_invertible_suffix(func, result)
@@ -235,7 +276,11 @@ def _prove(
     if core is None:
         core = result.ret
     if core.width != 64:
-        reasons.append(f"core value is {core.width}-bit, expected 64")
+        refuse(
+            "core-width",
+            f"core value is {core.width}-bit, expected 64",
+            width=core.width,
+        )
     else:
         overlaps = [
             (index, entry)
@@ -245,14 +290,18 @@ def _prove(
         if overlaps:
             index, entry = overlaps[0]
             named = ", ".join(str(bit) for bit in sorted(entry, key=str)[:6])
-            reasons.append(
+            refuse(
+                "overlapping-lanes",
                 f"hash bit {index} is influenced by {len(entry)} key bits "
-                f"({named}) — lanes overlap, so distinct keys can collide"
+                f"({named}) — lanes overlap, so distinct keys can collide",
+                hash_bit=index,
+                influences=len(entry),
             )
         if any(TAIL in entry for entry in core.prov):
             if plan.is_fixed_length:
-                reasons.append(
-                    "fixed-length plan folds tail bytes (malformed IR)"
+                refuse(
+                    "tail-in-fixed",
+                    "fixed-length plan folds tail bytes (malformed IR)",
                 )
     return BijectivityResult(
         certified=not reasons,
@@ -260,4 +309,5 @@ def _prove(
         reasons=tuple(reasons),
         variable_bits=variable_bits,
         dead_bits=dead_bits,
+        failed_preconditions=tuple(failed),
     )

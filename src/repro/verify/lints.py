@@ -24,7 +24,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.codegen.ir import IRFunction, build_ir, optimize
+from repro.codegen.ir import (
+    IRFunction,
+    build_ir,
+    dead_code_eliminate,
+    optimize,
+)
 from repro.core.pattern import KeyPattern
 from repro.core.plan import CombineOp, HashFamily, SynthesisPlan
 from repro.errors import SepeError
@@ -35,9 +40,17 @@ from repro.verify.bijectivity import (
     prove_bijectivity,
     resolve_pattern,
 )
+from repro.verify.cost import TIERS, CostPrediction, predict_ir_costs
+from repro.verify.dataflow import (
+    DataflowResult,
+    EntropyReport,
+    analyze_dataflow,
+    entropy_report,
+)
 from repro.verify.tv import translation_validate
 
 __all__ = [
+    "LINT_SCHEMA_VERSION",
     "Severity",
     "Finding",
     "LintReport",
@@ -46,6 +59,16 @@ __all__ = [
     "registered_rules",
     "run_lints",
 ]
+
+#: Version of the JSON document ``LintReport.to_dict`` produces.  Bump
+#: on any breaking change to field names or semantics so CI gates and
+#: downstream consumers can detect drift instead of misparsing.
+LINT_SCHEMA_VERSION = 1
+
+#: Rule name the runner uses for findings that represent *linter* bugs
+#: (a rule crashed) rather than plan defects; the CLI maps reports
+#: containing these to its internal-error exit code.
+CRASH_RULE = "lint-crash"
 
 
 class Severity(enum.Enum):
@@ -105,6 +128,11 @@ class LintReport:
     def warnings(self) -> List[Finding]:
         return [f for f in self.findings if f.severity is Severity.WARNING]
 
+    @property
+    def internal_errors(self) -> List[Finding]:
+        """Findings that mean the *linter* broke, not the plan."""
+        return [f for f in self.findings if f.rule == CRASH_RULE]
+
     def counts(self) -> Dict[str, int]:
         totals = {severity.value: 0 for severity in Severity}
         for finding in self.findings:
@@ -113,6 +141,7 @@ class LintReport:
 
     def to_dict(self) -> Dict:
         return {
+            "schema_version": LINT_SCHEMA_VERSION,
             "pattern": self.plan_regex,
             "family": self.family,
             "ok": self.ok,
@@ -143,6 +172,9 @@ class LintContext:
         self._optimized: Optional[IRFunction] = None
         self._absint: Optional[AbstractResult] = None
         self._bijectivity: Optional[BijectivityResult] = None
+        self._dataflow: Optional[DataflowResult] = None
+        self._entropy: Optional[EntropyReport] = None
+        self._costs: Optional[CostPrediction] = None
 
     @property
     def ir(self) -> IRFunction:
@@ -169,6 +201,26 @@ class LintContext:
                 self.plan, self.pattern, func=self._ir
             )
         return self._bijectivity
+
+    @property
+    def dataflow(self) -> DataflowResult:
+        if self._dataflow is None:
+            self._dataflow = analyze_dataflow(self.ir, self.pattern)
+        return self._dataflow
+
+    @property
+    def entropy(self) -> EntropyReport:
+        if self._entropy is None:
+            self._entropy = entropy_report(
+                self.ir, self.pattern, result=self.dataflow
+            )
+        return self._entropy
+
+    @property
+    def costs(self) -> CostPrediction:
+        if self._costs is None:
+            self._costs = predict_ir_costs(self.optimized)
+        return self._costs
 
 
 LintFn = Callable[[LintContext], Iterator[Finding]]
@@ -400,16 +452,91 @@ def _lint_dead_bits(ctx: LintContext) -> Iterator[Finding]:
     "the builder should not emit dead instructions",
 )
 def _lint_redundant_ir(ctx: LintContext) -> Iterator[Finding]:
+    # Compare against DCE only, not full optimize(): the range rewrites
+    # also shrink the IR, and that is the analyzer doing its job, not
+    # the builder emitting waste.
     before = len(ctx.ir.instrs)
-    after = len(ctx.optimized.instrs)
+    after = len(dead_code_eliminate(ctx.ir).instrs)
     if after < before:
         yield Finding(
             "redundant-ir",
             Severity.WARNING,
-            f"optimize() removed {before - after} dead instruction(s) "
-            f"the builder emitted",
+            f"dead-code elimination removed {before - after} "
+            f"instruction(s) the builder emitted",
             {"before": before, "after": after},
         )
+
+
+@lint_rule(
+    "entropy-funnel",
+    Severity.WARNING,
+    "output bits should not collapse more input entropy than they hold",
+)
+def _lint_entropy_funnel(ctx: LintContext) -> Iterator[Finding]:
+    if ctx.pattern is None:
+        return
+    report = ctx.entropy
+    detail = report.to_dict()
+    if ctx.plan.bijective and report.avoidable_bits > 0.5:
+        # A bijection by definition loses nothing; measurable avoidable
+        # loss contradicts the claim and predicts chi-square failure.
+        yield Finding(
+            "entropy-funnel",
+            Severity.ERROR,
+            f"plan claims bijectivity but the entropy domain finds "
+            f"{report.avoidable_bits:.1f} avoidably lost bit(s) "
+            f"(capacity {report.capacity:.1f} of "
+            f"{report.live_input_bits:.1f} live input bits)",
+            detail,
+        )
+    elif report.avoidable_bits > 4.0:
+        yield Finding(
+            "entropy-funnel",
+            Severity.WARNING,
+            f"{report.avoidable_bits:.1f} bit(s) of key entropy are "
+            f"avoidably funneled away (worst output bit absorbs "
+            f"{report.max_inflow:.1f} bits); expect measurably more "
+            f"collisions than a mixing combine would give",
+            detail,
+        )
+    elif report.lost_bits > 8.0:
+        yield Finding(
+            "entropy-funnel",
+            Severity.INFO,
+            f"format carries {report.live_input_bits:.1f} live entropy "
+            f"bits into a 64-bit hash; {report.lost_bits:.1f} bit(s) of "
+            f"compression are inherent, not a plan defect",
+            detail,
+        )
+
+
+@lint_rule(
+    "cost-anomaly",
+    Severity.WARNING,
+    "the fixed tier preference should not pick a predictably slow tier",
+)
+def _lint_cost_anomaly(ctx: LintContext) -> Iterator[Finding]:
+    prediction = ctx.costs
+    priced = [
+        (tier, prediction.cost(tier))
+        for tier in TIERS
+        if prediction.cost(tier) is not None
+    ]
+    for (earlier, cost_a), (later, cost_b) in zip(priced, priced[1:]):
+        if cost_b > 0 and cost_a >= 2.0 * cost_b:
+            yield Finding(
+                "cost-anomaly",
+                Severity.WARNING,
+                f"fixed tier order prefers {earlier} "
+                f"(predicted {cost_a:.0f} ns/key) over {later} "
+                f"(predicted {cost_b:.0f} ns/key); cost-ordered "
+                f"routing will invert them",
+                {
+                    "preferred": earlier,
+                    "cheaper": later,
+                    "predicted_ns": {earlier: cost_a, later: cost_b},
+                },
+            )
 
 
 @lint_rule(
@@ -557,7 +684,7 @@ def run_lints(
             except Exception as error:  # noqa: BLE001 - crash isolation
                 report.findings.append(
                     Finding(
-                        "lint-crash",
+                        CRASH_RULE,
                         Severity.ERROR,
                         f"rule {name!r} crashed: "
                         f"{type(error).__name__}: {error}",

@@ -1,0 +1,133 @@
+"""CLI contract tests for ``sepe analyze`` and the ``sepe lint`` schema.
+
+The exit-code protocol is part of the CI interface: 0 clean, 1 the gate
+found findings, 2 the tooling itself failed (bad input or a crashed
+rule).  The lint JSON document carries a ``schema_version`` so the
+``analyze-gate`` job can evolve its parser deliberately.
+"""
+
+import json
+
+import pytest
+
+from repro.cli.main import run
+from repro.verify import lints
+from repro.verify.lints import LINT_SCHEMA_VERSION
+
+
+class TestAnalyze:
+    def test_clean_format_exits_zero(self, capsys):
+        assert run(["analyze", r"[0-9a-f]{16}", "--family", "pext"]) == 0
+        out = capsys.readouterr().out
+        assert "cost ladder" in out
+        assert "ret range" in out
+
+    def test_reports_entropy_funnel_findings(self, capsys):
+        assert run(
+            ["analyze", r"[0-9]{3}-[0-9]{2}-[0-9]{4}", "--family", "naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "entropy" in out
+
+    def test_json_document_fields(self, capsys):
+        assert run(
+            ["analyze", r"[0-9]{3}-[0-9]{2}-[0-9]{4}", "--json"]
+        ) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 4  # one per family
+        for document in documents:
+            assert document["target"]
+            assert document["family"]
+            assert "ret" in document and "range" in document["ret"]
+            assert "entropy" in document
+            assert "cost" in document
+            assert "rewrites" in document
+            assert "findings" in document
+
+    def test_json_out_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "analysis.json"
+        assert run(
+            ["analyze", "--formats", "--json-out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        documents = json.loads(out_path.read_text())
+        assert documents
+
+    def test_nothing_to_analyze_is_input_error(self, capsys):
+        assert run(["analyze"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_bad_regex_is_input_error(self, capsys):
+        assert run(["analyze", "[unclosed"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_short_format_is_skipped(self, capsys):
+        assert run(["analyze", r"[0-9]{4}"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+
+class TestLintSchema:
+    def test_schema_version_in_json(self, capsys):
+        assert run(["lint", r"[0-9]{16}", "--json"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert documents
+        for document in documents:
+            assert document["schema_version"] == LINT_SCHEMA_VERSION
+
+    def test_findings_exit_one(self, capsys, monkeypatch):
+        severity, description, _ = lints._RULES["entropy-funnel"]
+
+        def always_err(ctx):
+            return [
+                lints.Finding(
+                    "entropy-funnel",
+                    lints.Severity.ERROR,
+                    "forced finding for the exit-code contract",
+                )
+            ]
+
+        monkeypatch.setitem(
+            lints._RULES,
+            "entropy-funnel",
+            (severity, description, always_err),
+        )
+        assert run(["lint", r"[0-9]{16}"]) == 1
+
+    def test_crashed_rule_exits_two(self, capsys, monkeypatch):
+        severity, description, _ = lints._RULES["entropy-funnel"]
+
+        def crash(ctx):
+            raise RuntimeError("synthetic rule crash")
+
+        monkeypatch.setitem(
+            lints._RULES,
+            "entropy-funnel",
+            (severity, description, crash),
+        )
+        assert run(["lint", r"[0-9]{16}"]) == 2
+        err = capsys.readouterr().err
+        assert "internal error" in err
+
+    def test_crash_findings_carry_the_crash_rule(self, monkeypatch):
+        severity, description, _ = lints._RULES["entropy-funnel"]
+
+        def crash(ctx):
+            raise RuntimeError("synthetic rule crash")
+
+        monkeypatch.setitem(
+            lints._RULES,
+            "entropy-funnel",
+            (severity, description, crash),
+        )
+        from repro.core.plan import HashFamily
+        from repro.core.regex_expand import pattern_from_regex
+        from repro.core.synthesis import build_plan
+
+        pattern = pattern_from_regex(r"[0-9]{16}")
+        plan = build_plan(pattern, HashFamily.PEXT)
+        report = lints.run_lints(plan, pattern)
+        assert report.internal_errors
+        assert all(
+            finding.rule == lints.CRASH_RULE
+            for finding in report.internal_errors
+        )

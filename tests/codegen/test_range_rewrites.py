@@ -1,0 +1,94 @@
+"""Analysis-driven rewrites in ``optimize()`` and their TV gate.
+
+Two rewrites are justified purely by pattern-free range facts, so they
+must preserve the hash on *arbitrary* byte strings, not just conforming
+keys — the native tier lowers from the same plan and the serving sink
+cross-checks tiers on drifted traffic.  Each test therefore checks
+equivalence on conforming keys *and* on mutated garbage.
+"""
+
+from repro.codegen.interp import interpret
+from repro.codegen.ir import build_ir, optimize_with_stats
+from repro.core.plan import HashFamily
+from repro.core.regex_expand import pattern_from_regex
+from repro.core.synthesis import build_plan, synthesize_short_key
+from repro.keygen import KEY_TYPES
+
+
+def _mutate(key: bytes) -> bytes:
+    return bytes([key[0] ^ 0xFF]) + key[1:]
+
+
+class TestRotlToShl:
+    def test_fires_on_mac_pext_seed(self):
+        pattern = pattern_from_regex(KEY_TYPES["MAC"].regex)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        func = build_ir(plan)
+        optimized, stats = optimize_with_stats(func)
+        assert stats["rotl_to_shl"] >= 1
+        assert stats["tv_rejected"] is False
+        before = sum(1 for i in func.instrs if i.opcode == "rotl")
+        after = sum(1 for i in optimized.instrs if i.opcode == "rotl")
+        assert after == before - stats["rotl_to_shl"]
+        assert any(i.opcode == "shl" for i in optimized.instrs)
+
+    def test_preserves_hash_on_conforming_and_garbage_keys(self):
+        spec = KEY_TYPES["MAC"]
+        pattern = pattern_from_regex(spec.regex)
+        plan = build_plan(pattern, HashFamily.PEXT)
+        func = build_ir(plan)
+        optimized, stats = optimize_with_stats(func)
+        assert stats["rotl_to_shl"] >= 1
+        for index in range(50):
+            key = spec.encode((index * 7919) % spec.space_size)
+            assert interpret(func, key) == interpret(optimized, key)
+            garbage = _mutate(key)
+            assert interpret(func, garbage) == interpret(
+                optimized, garbage
+            )
+
+    def test_does_not_fire_where_rotation_can_wrap(self):
+        """AES-family seeds keep their semantics-bearing rotls."""
+        pattern = pattern_from_regex(KEY_TYPES["SSN"].regex)
+        plan = build_plan(pattern, HashFamily.NAIVE)
+        func = build_ir(plan)
+        optimized, stats = optimize_with_stats(func)
+        before = sum(1 for i in func.instrs if i.opcode == "rotl")
+        after = sum(1 for i in optimized.instrs if i.opcode == "rotl")
+        assert stats["rotl_to_shl"] == before - after
+
+
+class TestPextElision:
+    def test_fires_on_short_key_full_byte_classes(self):
+        """A hex short-key plan's extraction mask is the identity."""
+        synthesized = synthesize_short_key(
+            pattern_from_regex(r"[0-9a-f]{4}")
+        )
+        func = build_ir(synthesized.plan)
+        optimized, stats = optimize_with_stats(func)
+        assert stats["pext_elided"] == 1
+        assert stats["tv_rejected"] is False
+        assert not any(i.opcode == "pext" for i in optimized.instrs)
+        for key in (b"abcd", b"0123", b"ffff", b"\xff\x00\x7f\x80"):
+            assert interpret(func, key) == interpret(optimized, key)
+
+    def test_does_not_fire_on_sparse_masks(self):
+        """Digit classes leave high nibbles dead; pext must stay."""
+        synthesized = synthesize_short_key(pattern_from_regex(r"[0-9]{4}"))
+        func = build_ir(synthesized.plan)
+        optimized, stats = optimize_with_stats(func)
+        assert stats["pext_elided"] == 0
+        assert any(i.opcode == "pext" for i in optimized.instrs)
+
+
+class TestTranslationValidationGate:
+    def test_no_seed_plan_is_tv_rejected(self):
+        for name, spec in KEY_TYPES.items():
+            if spec.length < 8:
+                continue
+            for family in HashFamily:
+                plan = build_plan(
+                    pattern_from_regex(spec.regex), family
+                )
+                _, stats = optimize_with_stats(build_ir(plan))
+                assert stats["tv_rejected"] is False, (name, family)

@@ -61,12 +61,23 @@ class TestFramework:
             assert expected in rules, expected
 
     def test_clean_plans_lint_clean(self):
+        """No errors anywhere; warnings only from the entropy rule.
+
+        The naive/offxor mixers funnel SSN's 30 bits of entropy — that
+        warning is the rule working (the paper's motivating defect),
+        not a dirty plan.  Pext and Aes plans must stay fully clean.
+        """
         pattern = pattern_from_regex(SSN)
         for family in HashFamily:
             report = run_lints(build_plan(pattern, family), pattern)
             assert report.ok, report.to_dict()
             assert report.errors == []
-            assert report.warnings == []
+            assert all(
+                finding.rule == "entropy-funnel"
+                for finding in report.warnings
+            ), report.to_dict()
+            if family in (HashFamily.PEXT, HashFamily.AES):
+                assert report.warnings == []
 
     def test_rule_subset_selection(self):
         pattern = pattern_from_regex(SSN)
